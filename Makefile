@@ -1,0 +1,42 @@
+# CHRYSALIS — common developer targets.
+
+GO ?= go
+
+.PHONY: all build vet test race bench experiments examples fuzz cover clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every paper table/figure at full budget.
+experiments:
+	$(GO) run ./cmd/experiments -run all -budget 400 -pareto 600 -seed 1 -out experiments_full.txt
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/solarsizing
+	$(GO) run ./examples/acceldesign
+	$(GO) run ./examples/customharvester
+	$(GO) run ./examples/jsonworkload
+
+fuzz:
+	$(GO) test ./internal/dnn/ -fuzz FuzzParseJSON -fuzztime 30s
+
+cover:
+	$(GO) test -cover ./...
+
+clean:
+	$(GO) clean ./...

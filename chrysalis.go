@@ -1,0 +1,207 @@
+// Package chrysalis is the public API of the CHRYSALIS EA/IA co-design
+// framework for Autonomous Things (AuT), a reproduction of "A Tale of
+// Two Domains: Exploring Efficient Architecture Design for Truly
+// Autonomous Things" (ISCA 2024).
+//
+// An AuT couples an energy-harvesting subsystem (solar panel, storage
+// capacitor, power-management IC) with an inference subsystem (an
+// MSP430-class MCU or a reconfigurable DNN accelerator) and executes
+// DNN inference intermittently, checkpointing between tiles. CHRYSALIS
+// models both subsystems, evaluates candidate designs with a step-based
+// co-simulator, and searches the joint design space with a bi-level
+// genetic optimizer to produce the ideal AuT configuration for a given
+// workload, environment and SWaP objective.
+//
+// The three-line version:
+//
+//	spec := chrysalis.Spec{WorkloadName: "har", Platform: chrysalis.MSP430,
+//	        Objective: chrysalis.MinimizeLatTimesSP}
+//	res, err := chrysalis.Design(spec)
+//	// res.PanelArea, res.Cap, res.Dataflow, res.AvgLatency, ...
+//
+// Deeper control — custom workloads, custom harvesters, direct
+// simulation — is available through the exported wrappers below; the
+// experiment harness that regenerates every table and figure of the
+// paper lives in cmd/experiments.
+package chrysalis
+
+import (
+	"chrysalis/internal/core"
+	"chrysalis/internal/dnn"
+	"chrysalis/internal/explore"
+	"chrysalis/internal/sim"
+	"chrysalis/internal/solar"
+	"chrysalis/internal/units"
+)
+
+// Quantity aliases so callers do not need the internal units package.
+type (
+	// Energy is joules.
+	Energy = units.Energy
+	// Power is watts.
+	Power = units.Power
+	// Seconds is a duration in seconds.
+	Seconds = units.Seconds
+	// Capacitance is farads.
+	Capacitance = units.Capacitance
+	// AreaCM2 is square centimeters.
+	AreaCM2 = units.AreaCM2
+	// Bytes is a data size.
+	Bytes = units.Bytes
+)
+
+// Platform selects the inference-hardware family.
+type Platform = explore.PlatformKind
+
+// Platform values.
+const (
+	// MSP430 is the existing-AuT platform: MSP430FR5994 + LEA (Table IV).
+	MSP430 = explore.MSP
+	// Accelerator is the future-AuT reconfigurable array (Table V).
+	Accelerator = explore.Accel
+)
+
+// Objective selects the design target.
+type Objective = explore.Objective
+
+// Objective values.
+const (
+	// MinimizeLatency minimizes average inference latency subject to a
+	// solar-panel area bound.
+	MinimizeLatency = explore.Lat
+	// MinimizeSP minimizes solar-panel area subject to a latency bound.
+	MinimizeSP = explore.SP
+	// MinimizeLatTimesSP minimizes the latency × panel-area product,
+	// the paper's overall space-time efficiency metric.
+	MinimizeLatTimesSP = explore.LatSP
+)
+
+// Spec is the design problem: workload, platform, objective and
+// constraints (the paper's Table II inputs).
+type Spec = core.Spec
+
+// SearchConfig sizes the HW-level optimizer.
+type SearchConfig = core.SearchConfig
+
+// Result is the ideal AuT solution (the paper's Table II outputs).
+type Result = core.Result
+
+// Workload is a DNN task description.
+type Workload = dnn.Workload
+
+// Environment supplies the ambient light coefficient k_eh over time.
+type Environment = solar.Environment
+
+// SimResult is a step-based simulation outcome.
+type SimResult = sim.Result
+
+// Design runs the full CHRYSALIS pipeline: describe, evaluate, explore,
+// and return the ideal AuT configuration for the spec.
+func Design(spec Spec) (Result, error) { return core.Run(spec) }
+
+// DesignWithBaseline runs the pipeline under one of the paper's
+// Table VI ablated search spaces ("wo/Cap", "wo/SP", "wo/EA", "wo/PE",
+// "wo/Cache", "wo/IA") for comparison studies. The name "chrysalis"
+// selects the full space.
+func DesignWithBaseline(spec Spec, baseline string) (Result, error) {
+	for _, b := range explore.Baselines() {
+		if b.String() == baseline {
+			return core.RunBaseline(spec, b)
+		}
+	}
+	return Result{}, errUnknownBaseline(baseline)
+}
+
+// Report renders a designed configuration as a pre-RTL design
+// reference document: hardware tables, per-layer mapping, predicted
+// metrics and Fig. 4 style loop nests.
+func Report(spec Spec, res Result) (string, error) { return core.Report(spec, res) }
+
+// ReportWithVerification is Report plus a step-simulator replay.
+func ReportWithVerification(spec Spec, res Result) (string, error) {
+	return core.ReportWithVerification(spec, res)
+}
+
+// Verify replays a designed configuration on the step-based simulator
+// (the higher-fidelity evaluator) and reports the simulated run,
+// letting users cross-check the analytic search estimate the way the
+// paper validates its model against the physical platform (Fig. 7).
+func Verify(spec Spec, res Result) (SimResult, error) { return core.Verify(spec, res) }
+
+// Workloads lists the names of all built-in benchmark networks
+// (Tables IV and V plus the Figure 2 workloads).
+func Workloads() []string { return dnn.Names() }
+
+// WorkloadByName retrieves a built-in workload.
+func WorkloadByName(name string) (Workload, error) { return dnn.ByName(name) }
+
+// ParseWorkload builds a custom workload from its JSON description
+// (see internal/dnn's schema: an input shape plus a chained layer
+// list). The result can be passed via Spec.Workload.
+func ParseWorkload(data []byte) (Workload, error) { return dnn.ParseJSON(data) }
+
+// Baselines lists the comparison-method names accepted by
+// DesignWithBaseline.
+func Baselines() []string {
+	var names []string
+	for _, b := range explore.Baselines() {
+		names = append(names, b.String())
+	}
+	return names
+}
+
+// BrightEnvironment returns the paper's brighter search environment
+// (k_eh = 1 mW/cm²).
+func BrightEnvironment() Environment { return solar.Bright() }
+
+// DarkEnvironment returns the paper's darker search environment
+// (k_eh = 0.25 mW/cm²).
+func DarkEnvironment() Environment { return solar.Dark() }
+
+// DiurnalEnvironment returns a clear-sky day profile peaking at
+// peak W/cm² between sunrise and sunset (seconds from scenario start).
+func DiurnalEnvironment(peak Power, sunrise, sunset Seconds) (Environment, error) {
+	return solar.NewDiurnal(peak, sunrise, sunset)
+}
+
+// errUnknownBaseline keeps the error type local without exporting
+// internal packages.
+type errUnknownBaseline string
+
+func (e errUnknownBaseline) Error() string {
+	return "chrysalis: unknown baseline " + string(e) + " (see Baselines())"
+}
+
+// PresetInfo describes one built-in deployment scenario.
+type PresetInfo struct {
+	Name        string
+	Domain      string
+	Description string
+}
+
+// Presets lists the built-in deployment scenarios (the paper's
+// land/sea/air/space SWaP taxonomy).
+func Presets() []PresetInfo {
+	var out []PresetInfo
+	for _, p := range core.Presets() {
+		out = append(out, PresetInfo{Name: p.Name, Domain: p.Domain, Description: p.Description})
+	}
+	return out
+}
+
+// DesignPreset designs an AuT for a named deployment scenario.
+func DesignPreset(preset, workload string, search SearchConfig) (Result, error) {
+	return core.RunPreset(preset, workload, search)
+}
+
+// SensitivityRow reports the latency response to one perturbed
+// parameter around a designed configuration.
+type SensitivityRow = core.SensitivityRow
+
+// Sensitivity perturbs the designed configuration one parameter at a
+// time (panel ±25%, capacitor ×/÷2, ambient light ±50%) and reports
+// the latency response — which tolerance matters before committing to
+// hardware.
+func Sensitivity(spec Spec, res Result) ([]SensitivityRow, error) {
+	return core.Sensitivity(spec, res)
+}

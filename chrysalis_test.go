@@ -1,0 +1,164 @@
+package chrysalis
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDesignQuickstart(t *testing.T) {
+	res, err := Design(Spec{
+		WorkloadName: "simpleconv",
+		Platform:     MSP430,
+		Objective:    MinimizeLatTimesSP,
+		Search:       SearchConfig{Budget: 80, Seed: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PanelArea < 1 || res.PanelArea > 30 {
+		t.Fatalf("panel %v outside design space", res.PanelArea)
+	}
+	if res.AvgLatency <= 0 {
+		t.Fatalf("latency %v", res.AvgLatency)
+	}
+}
+
+func TestWorkloadsCatalog(t *testing.T) {
+	names := Workloads()
+	if len(names) != 13 {
+		t.Fatalf("catalog = %v", names)
+	}
+	w, err := WorkloadByName("resnet18")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.TotalParams() < 10e6 {
+		t.Fatalf("resnet18 params = %d", w.TotalParams())
+	}
+	if _, err := WorkloadByName("alexnet-v9"); err == nil {
+		t.Fatal("unknown workload should fail")
+	}
+}
+
+func TestBaselinesRoundTrip(t *testing.T) {
+	bs := Baselines()
+	if len(bs) != 7 {
+		t.Fatalf("baselines = %v", bs)
+	}
+	res, err := DesignWithBaseline(Spec{
+		WorkloadName: "simpleconv",
+		Platform:     MSP430,
+		Objective:    MinimizeLatTimesSP,
+		Search:       SearchConfig{Budget: 60, Seed: 2},
+	}, "wo/EA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Baseline != "wo/EA" {
+		t.Fatalf("baseline label = %q", res.Baseline)
+	}
+	if _, err := DesignWithBaseline(Spec{WorkloadName: "har"}, "wo/Everything"); err == nil ||
+		!strings.Contains(err.Error(), "unknown baseline") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestVerifyRoundTrip(t *testing.T) {
+	spec := Spec{
+		WorkloadName: "har",
+		Platform:     MSP430,
+		Objective:    MinimizeLatTimesSP,
+		Search:       SearchConfig{Budget: 60, Seed: 3},
+	}
+	res, err := Design(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := Verify(spec, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !run.Completed {
+		t.Fatal("verification run should complete")
+	}
+}
+
+func TestEnvironments(t *testing.T) {
+	if BrightEnvironment().Keh(0) <= DarkEnvironment().Keh(0) {
+		t.Fatal("bright must harvest more than dark")
+	}
+	d, err := DiurnalEnvironment(1e-3, 6*3600, 18*3600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Keh(12*3600) <= 0 {
+		t.Fatal("noon should harvest")
+	}
+	if _, err := DiurnalEnvironment(0, 0, 1); err == nil {
+		t.Fatal("invalid diurnal should fail")
+	}
+}
+
+func TestReportFacade(t *testing.T) {
+	spec := Spec{
+		WorkloadName: "simpleconv",
+		Platform:     MSP430,
+		Objective:    MinimizeLatTimesSP,
+		Search:       SearchConfig{Budget: 60, Seed: 12},
+	}
+	res, err := Design(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := Report(spec, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(doc, "pre-RTL design reference") {
+		t.Fatal("report header missing")
+	}
+	full, err := ReportWithVerification(spec, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full) <= len(doc) {
+		t.Fatal("verified report should extend the base report")
+	}
+}
+
+func TestPresetsFacade(t *testing.T) {
+	ps := Presets()
+	if len(ps) != 5 {
+		t.Fatalf("presets = %d", len(ps))
+	}
+	res, err := DesignPreset("volcano", "kws", SearchConfig{Budget: 60, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AvgLatency <= 0 {
+		t.Fatal("no design")
+	}
+	if _, err := DesignPreset("moonbase", "kws", SearchConfig{}); err == nil {
+		t.Fatal("unknown preset should fail")
+	}
+}
+
+func TestSensitivityFacade(t *testing.T) {
+	spec := Spec{
+		WorkloadName: "simpleconv",
+		Platform:     MSP430,
+		Objective:    MinimizeLatTimesSP,
+		Search:       SearchConfig{Budget: 60, Seed: 14},
+	}
+	res, err := Design(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Sensitivity(spec, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+}

@@ -1,0 +1,200 @@
+// Command chrysalis runs one CHRYSALIS design search from the command
+// line: given a workload, platform, objective and constraints, it
+// prints the ideal AuT configuration (energy harvester, inference
+// hardware, per-layer dataflow) and its predicted metrics.
+//
+// Examples:
+//
+//	chrysalis -workload har -platform msp430 -objective 'lat*sp'
+//	chrysalis -workload resnet18 -platform accel -objective lat -max-panel 20
+//	chrysalis -workload kws -baseline wo/EA -budget 800 -json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"chrysalis"
+)
+
+func main() {
+	var (
+		workload     = flag.String("workload", "har", "workload name; one of: "+strings.Join(chrysalis.Workloads(), ", "))
+		workloadFile = flag.String("workload-file", "", "path to a custom workload JSON (overrides -workload)")
+		platform     = flag.String("platform", "msp430", "inference platform: msp430 or accel")
+		objective    = flag.String("objective", "lat*sp", "objective: lat, sp or lat*sp")
+		baseline     = flag.String("baseline", "chrysalis", "search space: "+strings.Join(chrysalis.Baselines(), ", "))
+		maxPanel     = flag.Float64("max-panel", 0, "solar-panel bound in cm² for the lat objective (0 = 30)")
+		maxLatency   = flag.Float64("max-latency", 0, "latency bound in seconds for the sp objective (0 = 30)")
+		budget       = flag.Int("budget", 400, "approximate search-evaluation budget")
+		seed         = flag.Int64("seed", 1, "search seed")
+		algorithm    = flag.String("algorithm", "ga", "search algorithm: ga or random")
+		verify       = flag.Bool("verify", false, "replay the winning design on the step-based simulator")
+		explain      = flag.Bool("explain", false, "print the Figure-4 style loop nest of each layer's mapping")
+		report       = flag.Bool("report", false, "emit the full pre-RTL design reference document")
+		preset       = flag.String("preset", "", "deployment scenario preset (see -list-presets); overrides platform/objective/constraints")
+		listPresets  = flag.Bool("list-presets", false, "list deployment scenario presets and exit")
+		sensitivity  = flag.Bool("sensitivity", false, "print a one-at-a-time sensitivity analysis of the winning design")
+		dumpWorkload = flag.String("dump-workload", "", "print a catalog workload as JSON and exit")
+		asJSON       = flag.Bool("json", false, "emit the result as JSON")
+	)
+	flag.Parse()
+
+	if *listPresets {
+		for _, p := range chrysalis.Presets() {
+			fmt.Printf("  %-10s [%s] %s\n", p.Name, p.Domain, p.Description)
+		}
+		return
+	}
+
+	if *dumpWorkload != "" {
+		w, err := chrysalis.WorkloadByName(*dumpWorkload)
+		if err != nil {
+			fatal(err)
+		}
+		data, err := w.ToJSON()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(string(data))
+		return
+	}
+
+	spec, err := buildSpec(*workload, *platform, *objective, *maxPanel, *maxLatency, *budget, *seed, *algorithm)
+	if err != nil {
+		fatal(err)
+	}
+	if *workloadFile != "" {
+		data, err := os.ReadFile(*workloadFile)
+		if err != nil {
+			fatal(err)
+		}
+		w, err := chrysalis.ParseWorkload(data)
+		if err != nil {
+			fatal(err)
+		}
+		spec.WorkloadName = ""
+		spec.Workload = &w
+	}
+	var res chrysalis.Result
+	if *preset != "" {
+		res, err = chrysalis.DesignPreset(*preset, *workload, spec.Search)
+	} else {
+		res, err = chrysalis.DesignWithBaseline(spec, *baseline)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	if *report {
+		doc, err := chrysalis.ReportWithVerification(spec, res)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(doc)
+		return
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fatal(err)
+		}
+	} else {
+		printResult(res)
+	}
+
+	if *explain {
+		fmt.Println()
+		fmt.Println("mapping loop nests (Fig. 4 style):")
+		for _, d := range res.Dataflow {
+			for _, line := range d.LoopNest {
+				fmt.Println("  " + line)
+			}
+		}
+	}
+
+	if *sensitivity {
+		rows, err := chrysalis.Sensitivity(spec, res)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+		fmt.Println("sensitivity (average latency at perturbed values):")
+		for _, r := range rows {
+			fmt.Printf("  %-20s low=%-12v high=%-12v swing=%.0f%%\n",
+				r.Parameter, r.LatLow, r.LatHigh, r.Swing*100)
+		}
+	}
+
+	if *verify {
+		run, err := chrysalis.Verify(spec, res)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nstep-simulator verification (first environment):\n")
+		fmt.Printf("  completed:     %v\n", run.Completed)
+		fmt.Printf("  e2e latency:   %v\n", run.E2ELatency)
+		fmt.Printf("  power cycles:  %d\n", run.PowerCycles)
+		fmt.Printf("  checkpoints:   %d (+%d resumes, %d retries)\n", run.Checkpoints, run.Resumes, run.TileRetries)
+		fmt.Printf("  system eff.:   %.1f%%\n", run.SystemEfficiency*100)
+	}
+}
+
+func buildSpec(workload, platform, objective string, maxPanel, maxLatency float64, budget int, seed int64, algorithm string) (chrysalis.Spec, error) {
+	spec := chrysalis.Spec{
+		WorkloadName: workload,
+		MaxPanel:     chrysalis.AreaCM2(maxPanel),
+		MaxLatency:   chrysalis.Seconds(maxLatency),
+		Search:       chrysalis.SearchConfig{Algorithm: algorithm, Budget: budget, Seed: seed},
+	}
+	switch platform {
+	case "msp430":
+		spec.Platform = chrysalis.MSP430
+	case "accel":
+		spec.Platform = chrysalis.Accelerator
+	default:
+		return spec, fmt.Errorf("unknown platform %q (want msp430 or accel)", platform)
+	}
+	switch objective {
+	case "lat":
+		spec.Objective = chrysalis.MinimizeLatency
+	case "sp":
+		spec.Objective = chrysalis.MinimizeSP
+	case "lat*sp", "latsp":
+		spec.Objective = chrysalis.MinimizeLatTimesSP
+	default:
+		return spec, fmt.Errorf("unknown objective %q (want lat, sp or lat*sp)", objective)
+	}
+	return spec, nil
+}
+
+func printResult(res chrysalis.Result) {
+	fmt.Printf("ideal AuT design (%s, objective %s):\n", res.Baseline, res.Objective)
+	fmt.Printf("  energy subsystem:    %v solar panel, %v capacitor\n", res.PanelArea, res.Cap)
+	if res.InferHW == "msp430" {
+		fmt.Printf("  inference subsystem: MSP430FR5994 + LEA\n")
+	} else {
+		fmt.Printf("  inference subsystem: %s array, %d PEs, %v PE cache\n", res.InferHW, res.NPE, res.CacheBytes)
+	}
+	fmt.Printf("  avg latency:         %v   (lat*sp = %.3g cm²·s)\n", res.AvgLatency, res.LatSP)
+	for _, e := range res.PerEnv {
+		fmt.Printf("    %-7s latency %v, energy %v, efficiency %.1f%%\n",
+			e.Env+":", e.Latency, e.Energy, e.Efficiency*100)
+	}
+	fmt.Printf("  search evaluations:  %d\n", res.Evals)
+	fmt.Println("  per-layer dataflow:")
+	for _, d := range res.Dataflow {
+		fmt.Printf("    %-12s %s/%s  N_tile=%-4d ckpt=%v\n",
+			d.Layer, d.Dataflow, d.Partition, d.NTile, d.CkptBytes)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "chrysalis:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,76 @@
+// Command experiments regenerates the tables and figures of the
+// paper's evaluation section. Each experiment prints the rows/series
+// behind the corresponding figure; see EXPERIMENTS.md for the recorded
+// paper-vs-measured comparison.
+//
+// Examples:
+//
+//	experiments -list
+//	experiments -run fig9
+//	experiments -run all -budget 800 -out results.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"chrysalis/internal/experiments"
+)
+
+func main() {
+	var (
+		run     = flag.String("run", "all", "experiment id (see -list) or 'all'")
+		list    = flag.Bool("list", false, "list available experiments")
+		budget  = flag.Int("budget", 400, "search budget per scenario")
+		pareto  = flag.Int("pareto", 600, "random samples for the Figure 6 Pareto scan")
+		seed    = flag.Int64("seed", 1, "experiment seed")
+		fast    = flag.Bool("fast", false, "trim workload sets for a quick pass")
+		outPath = flag.String("out", "", "also write output to this file")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, g := range experiments.Generators() {
+			fmt.Printf("  %-9s %s\n", g.ID, g.Desc)
+		}
+		return
+	}
+
+	var w io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = io.MultiWriter(os.Stdout, f)
+	}
+
+	opts := experiments.Options{
+		Budget:        *budget,
+		ParetoSamples: *pareto,
+		Seed:          *seed,
+		Fast:          *fast,
+	}
+
+	if *run == "all" {
+		if err := experiments.All(w, opts); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	g, err := experiments.ByID(*run)
+	if err != nil {
+		fatal(err)
+	}
+	if err := g.Run(w, opts); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,122 @@
+package chrysalis
+
+import (
+	"fmt"
+
+	"chrysalis/internal/accel"
+	"chrysalis/internal/dnn"
+	"chrysalis/internal/energy"
+	"chrysalis/internal/explore"
+	"chrysalis/internal/sim"
+)
+
+// AccelConfig describes one reconfigurable-accelerator design point
+// (Table V): architecture family, PE count (1–168) and per-PE cache
+// (128 B – 2 KB).
+type AccelConfig = accel.Config
+
+// Accelerator architecture families.
+const (
+	// TPU is the systolic weight-stationary family.
+	TPU = accel.TPU
+	// Eyeriss is the row-stationary family.
+	Eyeriss = accel.Eyeriss
+)
+
+// DesignPoint is one concrete AuT hardware configuration to evaluate
+// directly, bypassing the search.
+type DesignPoint struct {
+	// PanelArea is the solar panel size (1–30 cm²).
+	PanelArea AreaCM2
+	// Cap is the storage capacitor (1 µF – 10 mF).
+	Cap Capacitance
+	// Accel selects the accelerator configuration; nil means the
+	// MSP430 platform.
+	Accel *AccelConfig
+}
+
+// Evaluation is the assessment of one design point: per-environment
+// latency/energy/efficiency, the chosen per-layer mappings, and the
+// aggregate metrics the objectives optimize.
+type Evaluation = explore.Evaluation
+
+// Evaluate assesses a single design point for a spec using the analytic
+// evaluator (the paper's Eq. 5 + Eq. 7 fast path): the inner mapping
+// search still runs, so the design point is evaluated at its best
+// achievable dataflow and tiling.
+func Evaluate(spec Spec, dp DesignPoint) (Evaluation, error) {
+	sc, err := scenarioOf(spec)
+	if err != nil {
+		return Evaluation{}, err
+	}
+	return explore.EvaluateCandidate(sc, explore.Candidate{
+		PanelArea: dp.PanelArea, Cap: dp.Cap, Accel: dp.Accel,
+	})
+}
+
+// Harvester abstracts the energy transducer so non-solar sources
+// (thermal, RF, vibration) can be plugged into the simulator — the
+// paper's interface-oriented extensibility (Sec. III-D).
+type Harvester = energy.Harvester
+
+// Simulate runs a design point through the step-based co-simulator
+// under one environment and returns the detailed run (power cycles,
+// checkpoints, retries, energy breakdown). A nil env selects the
+// bright environment.
+func Simulate(spec Spec, dp DesignPoint, env Environment) (SimResult, error) {
+	return simulate(spec, dp, env, nil)
+}
+
+// SimulateWithHarvester is Simulate with a custom Harvester replacing
+// the solar panel entirely.
+func SimulateWithHarvester(spec Spec, dp DesignPoint, h Harvester) (SimResult, error) {
+	if h == nil {
+		return SimResult{}, fmt.Errorf("chrysalis: harvester must not be nil")
+	}
+	return simulate(spec, dp, nil, h)
+}
+
+func simulate(spec Spec, dp DesignPoint, env Environment, h Harvester) (SimResult, error) {
+	cfg, err := simConfig(spec, dp, env)
+	if err != nil {
+		return SimResult{}, err
+	}
+	if h != nil {
+		// Replace the solar subsystem with the custom harvester; the
+		// mapping was planned against the named environment, which acts
+		// as the sizing assumption.
+		es, err := energy.New(energy.Spec{PanelArea: dp.PanelArea, Cap: dp.Cap}, h)
+		if err != nil {
+			return SimResult{}, err
+		}
+		cfg.Energy = es
+	}
+	return sim.Run(cfg)
+}
+
+// scenarioOf converts a public spec to an explorer scenario.
+func scenarioOf(spec Spec) (explore.Scenario, error) {
+	w, err := workloadOf(spec)
+	if err != nil {
+		return explore.Scenario{}, err
+	}
+	return explore.Scenario{
+		Workload:   w,
+		Platform:   spec.Platform,
+		Envs:       spec.Envs,
+		Objective:  spec.Objective,
+		MaxPanel:   spec.MaxPanel,
+		MaxLatency: spec.MaxLatency,
+		Rexc:       spec.Rexc,
+	}, nil
+}
+
+func workloadOf(spec Spec) (dnn.Workload, error) {
+	if spec.Workload != nil {
+		return *spec.Workload, spec.Workload.Validate()
+	}
+	if spec.WorkloadName == "" {
+		return dnn.Workload{}, fmt.Errorf("chrysalis: spec needs a Workload or WorkloadName")
+	}
+	return dnn.ByName(spec.WorkloadName)
+}

@@ -1,0 +1,116 @@
+package chrysalis_test
+
+import (
+	"fmt"
+
+	"chrysalis"
+)
+
+// ExampleEvaluate assesses one concrete design point without running a
+// search: an 8 cm² panel and 100 µF capacitor driving HAR on the
+// MSP430 platform.
+func ExampleEvaluate() {
+	spec := chrysalis.Spec{
+		WorkloadName: "har",
+		Platform:     chrysalis.MSP430,
+		Objective:    chrysalis.MinimizeLatTimesSP,
+	}
+	ev, err := chrysalis.Evaluate(spec, chrysalis.DesignPoint{PanelArea: 8, Cap: 100e-6})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("feasible:", ev.Feasible)
+	fmt.Println("environments evaluated:", len(ev.PerEnv))
+	// Output:
+	// feasible: true
+	// environments evaluated: 2
+}
+
+// ExampleSimulate replays a design point on the step-based
+// co-simulator and inspects the intermittent execution.
+func ExampleSimulate() {
+	spec := chrysalis.Spec{
+		WorkloadName: "kws",
+		Platform:     chrysalis.MSP430,
+		Objective:    chrysalis.MinimizeLatency,
+	}
+	run, err := chrysalis.Simulate(spec, chrysalis.DesignPoint{PanelArea: 8, Cap: 470e-6}, nil)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("completed:", run.Completed)
+	fmt.Println("checkpoints at least one:", run.Checkpoints >= 1)
+	// Output:
+	// completed: true
+	// checkpoints at least one: true
+}
+
+// ExampleParseWorkload defines a custom network in JSON and counts its
+// compute.
+func ExampleParseWorkload() {
+	w, err := chrysalis.ParseWorkload([]byte(`{
+	  "name": "sensor-mlp",
+	  "input": [32, 1, 1],
+	  "elem_bytes": 2,
+	  "layers": [
+	    {"type": "dense", "out": 16},
+	    {"type": "dense", "out": 4}
+	  ]
+	}`))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("layers:", len(w.Layers))
+	fmt.Println("MACs:", w.TotalMACs())
+	// Output:
+	// layers: 2
+	// MACs: 576
+}
+
+// ExampleWorkloads lists a few of the built-in benchmark networks.
+func ExampleWorkloads() {
+	names := chrysalis.Workloads()
+	fmt.Println(names[0], names[1], names[2], names[3])
+	// Output:
+	// simpleconv cifar10 har kws
+}
+
+// ExampleDesignPreset designs an AuT for a built-in deployment
+// scenario: a wearable with a wrist-scale panel budget.
+func ExampleDesignPreset() {
+	res, err := chrysalis.DesignPreset("wearable", "kws",
+		chrysalis.SearchConfig{Budget: 120, Seed: 4})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("panel within budget:", res.PanelArea <= 6)
+	fmt.Println("objective:", res.Objective)
+	// Output:
+	// panel within budget: true
+	// objective: lat
+}
+
+// ExampleSimulateSeries runs several inferences back-to-back and
+// reports deployment throughput.
+func ExampleSimulateSeries() {
+	spec := chrysalis.Spec{
+		WorkloadName: "fc",
+		Platform:     chrysalis.MSP430,
+		Objective:    chrysalis.MinimizeLatency,
+	}
+	sr, err := chrysalis.SimulateSeries(spec,
+		chrysalis.DesignPoint{PanelArea: 8, Cap: 100e-6}, nil, 4, 0.5)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("completed:", sr.Completed)
+	fmt.Println("has throughput:", sr.ThroughputPerHour > 0)
+	// Output:
+	// completed: 4
+	// has throughput: true
+}

@@ -1,0 +1,61 @@
+// Acceldesign: design a future AuT with a reconfigurable accelerator
+// (the paper's Table V setup). Runs the three objective functions on
+// ResNet18 and compares full EA/IA co-design against the wo/EA and
+// wo/IA ablations — the Figure 10 story in miniature.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"chrysalis"
+)
+
+func main() {
+	base := chrysalis.Spec{
+		WorkloadName: "resnet18",
+		Platform:     chrysalis.Accelerator,
+		MaxPanel:     20,
+		MaxLatency:   15,
+		Search:       chrysalis.SearchConfig{Budget: 400, Seed: 7},
+	}
+
+	objectives := []struct {
+		name string
+		obj  chrysalis.Objective
+		unit string
+	}{
+		{"minimize latency (panel ≤ 20cm²)", chrysalis.MinimizeLatency, "s"},
+		{"minimize panel (latency ≤ 15s)", chrysalis.MinimizeSP, "cm²"},
+		{"minimize lat*sp", chrysalis.MinimizeLatTimesSP, "cm²·s"},
+	}
+
+	for _, o := range objectives {
+		spec := base
+		spec.Objective = o.obj
+		fmt.Printf("objective: %s\n", o.name)
+		for _, method := range []string{"chrysalis", "wo/EA", "wo/IA"} {
+			res, err := chrysalis.DesignWithBaseline(spec, method)
+			if err != nil {
+				log.Fatal(err)
+			}
+			value := objectiveValue(o.obj, res)
+			fmt.Printf("  %-10s %8.3g %-6s  (%s, %d PEs, %v cache, %v panel, %v cap)\n",
+				method, value, o.unit, res.InferHW, res.NPE, res.CacheBytes, res.PanelArea, res.Cap)
+		}
+		fmt.Println()
+	}
+	fmt.Println("full co-design matches or beats each single-domain method on its own objective;")
+	fmt.Println("the ablations only stay close on the dimension they are allowed to search.")
+}
+
+func objectiveValue(obj chrysalis.Objective, res chrysalis.Result) float64 {
+	switch obj {
+	case chrysalis.MinimizeLatency:
+		return float64(res.AvgLatency)
+	case chrysalis.MinimizeSP:
+		return float64(res.PanelArea)
+	default:
+		return res.LatSP
+	}
+}

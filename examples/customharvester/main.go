@@ -1,0 +1,74 @@
+// Customharvester: extend CHRYSALIS with a user-defined energy source
+// through the public Harvester interface — the paper's
+// interface-oriented extensibility (Sec. III-D): "by utilizing newer or
+// more sophisticated simulators ... through an interface, users can
+// explore a broader range of possibilities."
+//
+// Here we model a thermoelectric generator (TEG) on machinery that runs
+// a duty cycle: strong harvest while the machine is hot, a trickle
+// otherwise — then compare it against solar under the same AuT design.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"chrysalis"
+)
+
+// dutyCycleTEG is a thermoelectric harvester on equipment with an
+// on/off duty cycle. It implements chrysalis.Harvester.
+type dutyCycleTEG struct {
+	hot    chrysalis.Power   // output while the machine is hot
+	cold   chrysalis.Power   // trickle output while idle
+	period chrysalis.Seconds // full duty-cycle period
+	duty   float64           // fraction of the period spent hot
+}
+
+// Power implements chrysalis.Harvester: a smooth transition between the
+// hot and cold output as the machine cycles.
+func (g dutyCycleTEG) Power(t chrysalis.Seconds) chrysalis.Power {
+	phase := math.Mod(float64(t), float64(g.period)) / float64(g.period)
+	if phase < g.duty {
+		// Hot phase with a soft ramp at the start.
+		ramp := math.Min(1, phase/(g.duty*0.1+1e-9))
+		return g.cold + chrysalis.Power(ramp*float64(g.hot-g.cold))
+	}
+	return g.cold
+}
+
+// Describe implements chrysalis.Harvester.
+func (g dutyCycleTEG) Describe() string {
+	return fmt.Sprintf("TEG %v hot / %v cold, %.0f%% duty", g.hot, g.cold, g.duty*100)
+}
+
+func main() {
+	spec := chrysalis.Spec{
+		WorkloadName: "kws", // keyword spotting on the factory floor
+		Platform:     chrysalis.MSP430,
+		Objective:    chrysalis.MinimizeLatency,
+	}
+	dp := chrysalis.DesignPoint{PanelArea: 8, Cap: 470e-6}
+
+	teg := dutyCycleTEG{hot: 9e-3, cold: 0.4e-3, period: 20, duty: 0.5}
+	tegRun, err := chrysalis.SimulateWithHarvester(spec, dp, teg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	solarRun, err := chrysalis.Simulate(spec, dp, chrysalis.BrightEnvironment())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("workload: keyword spotting, design point: %v panel-equivalent, %v capacitor\n\n",
+		dp.PanelArea, dp.Cap)
+	fmt.Printf("%-22s %-12s %-8s %-12s %s\n", "source", "latency", "cycles", "ckpt energy", "efficiency")
+	fmt.Printf("%-22s %-12v %-8d %-12v %.1f%%\n", teg.Describe(),
+		tegRun.E2ELatency, tegRun.PowerCycles, tegRun.Breakdown.Ckpt, tegRun.SystemEfficiency*100)
+	fmt.Printf("%-22s %-12v %-8d %-12v %.1f%%\n", "solar 8cm² bright",
+		solarRun.E2ELatency, solarRun.PowerCycles, solarRun.Breakdown.Ckpt, solarRun.SystemEfficiency*100)
+
+	fmt.Println("\nthe same CHRYSALIS evaluator, capacitor model and checkpoint machinery run")
+	fmt.Println("unchanged under the custom source — only the Harvester implementation differs.")
+}

@@ -1,0 +1,64 @@
+// Jsonworkload: define a custom DNN in JSON (no Go code), design an AuT
+// for it, and inspect the chosen intermittent mapping — the workflow a
+// domain engineer would follow with a model exported from a training
+// pipeline.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"chrysalis"
+)
+
+// A vibration-anomaly detector for a bridge-monitoring AuT: 1-D convs
+// over a 256-sample accelerometer window.
+const modelJSON = `{
+  "name": "bridge-vibration",
+  "input": [3, 1, 256],
+  "elem_bytes": 2,
+  "layers": [
+    {"type": "conv1d", "out_channels": 8,  "kernel": 7, "stride": 2},
+    {"type": "conv1d", "out_channels": 16, "kernel": 5, "stride": 2},
+    {"type": "pool",   "kernel": 2},
+    {"type": "conv1d", "out_channels": 16, "kernel": 3},
+    {"type": "dense",  "out": 3}
+  ]
+}`
+
+func main() {
+	w, err := chrysalis.ParseWorkload([]byte(modelJSON))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload %q: %d layers, %d params, %.1f kMACs\n\n",
+		w.Name, len(w.Layers), w.TotalParams(), float64(w.TotalMACs())/1e3)
+
+	spec := chrysalis.Spec{
+		Workload:   &w,
+		Platform:   chrysalis.MSP430,
+		Objective:  chrysalis.MinimizeSP, // smallest panel that meets the deadline
+		MaxLatency: 2,                    // one detection every 2 seconds
+		Search:     chrysalis.SearchConfig{Budget: 400, Seed: 11},
+	}
+	res, err := chrysalis.Design(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("smallest panel meeting the 2s deadline: %v (capacitor %v)\n",
+		res.PanelArea, res.Cap)
+	fmt.Printf("predicted latency: %v avg across bright/dark\n\n", res.AvgLatency)
+
+	fmt.Println("chosen intermittent mapping:")
+	for _, d := range res.Dataflow {
+		fmt.Printf("  %-10s %s/%s, %d tile(s), checkpoint %v\n",
+			d.Layer, d.Dataflow, d.Partition, d.NTile, d.CkptBytes)
+	}
+
+	// Round-trip: export the model back out for version control.
+	out, err := w.ToJSON()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nserialized model is %d bytes of JSON (stable for review diffs)\n", len(out))
+}

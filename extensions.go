@@ -1,0 +1,150 @@
+package chrysalis
+
+// Extensions beyond the paper's core evaluation: temperature coupling,
+// multi-inference series simulation, and event tracing. These follow
+// Sec. III-D's interface-oriented extension model — each plugs into the
+// unchanged evaluator.
+
+import (
+	"fmt"
+
+	"chrysalis/internal/energy"
+	"chrysalis/internal/explore"
+	"chrysalis/internal/intermittent"
+	"chrysalis/internal/msp430"
+	"chrysalis/internal/sim"
+	"chrysalis/internal/solar"
+	"chrysalis/internal/thermal"
+)
+
+// --- Thermal coupling ---
+
+// ThermalProfile supplies ambient temperature over scenario time.
+type ThermalProfile = thermal.Profile
+
+// ConstantTemp returns a fixed-temperature profile.
+func ConstantTemp(celsius float64) ThermalProfile { return thermal.Constant{C: celsius} }
+
+// DayNightTemp returns a sinusoidal day/night temperature swing with
+// the given mean, amplitude and time of daily peak.
+func DayNightTemp(meanC, swingC float64, peakAt Seconds) ThermalProfile {
+	return thermal.DayNight{MeanC: meanC, SwingC: swingC, PeakAt: peakAt}
+}
+
+// ThermalDerate wraps an environment with photovoltaic temperature
+// derating (−0.4%/°C above 25 °C).
+func ThermalDerate(env Environment, p ThermalProfile) (Environment, error) {
+	return thermal.NewDeratedEnvironment(env, p)
+}
+
+// ThermalKcap returns the effective capacitor leakage coefficient at a
+// temperature: electrolytic leakage doubles per +10 °C. Pass base 0 for
+// the default coefficient. Use with Spec.Rexc-style low-level runs via
+// SimulateSeries options or custom subsystems.
+func ThermalKcap(base, celsius float64) float64 { return thermal.AdjustedKcap(base, celsius) }
+
+// --- Multi-inference series ---
+
+// SeriesResult summarizes a back-to-back sequence of inferences.
+type SeriesResult = sim.SeriesResult
+
+// SimulateSeries runs n inferences back-to-back on one design point
+// with an idle (sensing/sleep) gap between them, carrying capacitor
+// state and the clock across inferences so diurnal or cloudy
+// environments shape each one. A nil env selects the bright
+// environment.
+func SimulateSeries(spec Spec, dp DesignPoint, env Environment, n int, idle Seconds) (SeriesResult, error) {
+	cfg, err := simConfig(spec, dp, env)
+	if err != nil {
+		return SeriesResult{}, err
+	}
+	return sim.RunSeries(cfg, n, idle)
+}
+
+// --- Checkpoint policies ---
+
+// CheckpointPolicy selects the inference controller's save strategy.
+type CheckpointPolicy = sim.Policy
+
+// Checkpoint policies.
+const (
+	// CheckpointEveryTile saves after every tile (the paper's Eq. 5
+	// accounting; HAWAII-style footprints).
+	CheckpointEveryTile = sim.PolicyEveryTile
+	// CheckpointAdaptive saves only when capacitor headroom runs low.
+	CheckpointAdaptive = sim.PolicyAdaptive
+	// CheckpointNone never saves; interruptions restart the inference.
+	CheckpointNone = sim.PolicyNone
+)
+
+// SimulateWithPolicy is Simulate with an explicit checkpoint policy.
+func SimulateWithPolicy(spec Spec, dp DesignPoint, env Environment, policy CheckpointPolicy) (SimResult, error) {
+	cfg, err := simConfig(spec, dp, env)
+	if err != nil {
+		return SimResult{}, err
+	}
+	cfg.Policy = policy
+	return sim.Run(cfg)
+}
+
+// --- Event tracing ---
+
+// SimEvent is one observable simulator transition (power cycles, tile
+// starts/completions, checkpoints, resumes, retries).
+type SimEvent = sim.Event
+
+// SimulateTraced is Simulate with an event callback receiving the
+// run's transitions in time order.
+func SimulateTraced(spec Spec, dp DesignPoint, env Environment, onEvent func(SimEvent)) (SimResult, error) {
+	cfg, err := simConfig(spec, dp, env)
+	if err != nil {
+		return SimResult{}, err
+	}
+	if onEvent != nil {
+		cfg.Trace = sim.Tracer(onEvent)
+	}
+	return sim.Run(cfg)
+}
+
+// simConfig builds a step-simulator configuration for a design point.
+func simConfig(spec Spec, dp DesignPoint, env Environment) (sim.Config, error) {
+	if env == nil {
+		env = solar.Bright()
+	}
+	sc, err := scenarioOf(spec)
+	if err != nil {
+		return sim.Config{}, err
+	}
+	sc.Envs = []solar.Environment{env}
+	cand := explore.Candidate{PanelArea: dp.PanelArea, Cap: dp.Cap, Accel: dp.Accel}
+	ev, err := explore.EvaluateCandidate(sc, cand)
+	if err != nil {
+		return sim.Config{}, err
+	}
+	es, err := energy.NewSolar(energy.Spec{PanelArea: dp.PanelArea, Cap: dp.Cap}, env)
+	if err != nil {
+		return sim.Config{}, err
+	}
+	hw := msp430.Config{}.HW()
+	if dp.Accel != nil {
+		hw, err = dp.Accel.HW(dp.Accel.NativeDataflow())
+		if err != nil {
+			return sim.Config{}, err
+		}
+	}
+	plans := make([]intermittent.Plan, len(ev.Mappings))
+	for i, m := range ev.Mappings {
+		plans[i] = m.Plan
+	}
+	if len(plans) == 0 {
+		return sim.Config{}, fmt.Errorf("chrysalis: no feasible mapping for %s", dp.description())
+	}
+	return sim.Config{Energy: es, HW: hw, Plans: plans}, nil
+}
+
+func (dp DesignPoint) description() string {
+	if dp.Accel != nil {
+		return fmt.Sprintf("%v/%v/%s", dp.PanelArea, dp.Cap, dp.Accel.Arch)
+	}
+	return fmt.Sprintf("%v/%v/msp430", dp.PanelArea, dp.Cap)
+}

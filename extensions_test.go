@@ -1,0 +1,120 @@
+package chrysalis
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSimulateSeries(t *testing.T) {
+	sr, err := SimulateSeries(harSpec(), DesignPoint{PanelArea: 8, Cap: 100e-6}, nil, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Completed != 3 {
+		t.Fatalf("completed %d/3", sr.Completed)
+	}
+	if sr.ThroughputPerHour <= 0 {
+		t.Fatal("no throughput")
+	}
+	if _, err := SimulateSeries(harSpec(), DesignPoint{PanelArea: 8, Cap: 100e-6}, nil, 0, 0); err == nil {
+		t.Fatal("n=0 should fail")
+	}
+}
+
+func TestSimulateSeriesDiurnal(t *testing.T) {
+	// A short artificial day: inferences complete while light lasts,
+	// then the series stalls at night.
+	day, err := DiurnalEnvironment(1e-3, 0, 90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := harSpec()
+	sr, err := SimulateSeries(spec, DesignPoint{PanelArea: 20, Cap: 470e-6}, day, 500, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Completed == 0 {
+		t.Fatal("daylight should complete some inferences")
+	}
+	if sr.Completed >= 500 {
+		t.Fatal("night should stop the series")
+	}
+}
+
+func TestSimulateTraced(t *testing.T) {
+	var events []SimEvent
+	run, err := SimulateTraced(harSpec(), DesignPoint{PanelArea: 8, Cap: 100e-6}, nil,
+		func(e SimEvent) { events = append(events, e) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !run.Completed {
+		t.Fatal("run should complete")
+	}
+	if len(events) == 0 {
+		t.Fatal("no events delivered")
+	}
+	// nil callback must be accepted.
+	if _, err := SimulateTraced(harSpec(), DesignPoint{PanelArea: 8, Cap: 100e-6}, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestThermalFacade(t *testing.T) {
+	hot, err := ThermalDerate(BrightEnvironment(), ConstantTemp(60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hot.Keh(0) >= BrightEnvironment().Keh(0) {
+		t.Fatal("hot cells must harvest less")
+	}
+	if _, err := ThermalDerate(nil, ConstantTemp(60)); err == nil {
+		t.Fatal("nil env should fail")
+	}
+	if k := ThermalKcap(0, 35); math.Abs(k-0.02) > 1e-9 {
+		t.Fatalf("kcap at 35°C = %v, want 0.02", k)
+	}
+	dn := DayNightTemp(20, 10, 14*3600)
+	if dn.TempC(14*3600) <= dn.TempC(2*3600) {
+		t.Fatal("day/night profile should peak in the afternoon")
+	}
+
+	// A hot run should be slower than a cool run for the same design.
+	cool, err := Simulate(harSpec(), DesignPoint{PanelArea: 8, Cap: 1e-3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hotRun, err := Simulate(harSpec(), DesignPoint{PanelArea: 8, Cap: 1e-3}, hot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hotRun.Completed && cool.Completed && hotRun.E2ELatency <= cool.E2ELatency {
+		t.Fatalf("hot (%v) should be slower than cool (%v)", hotRun.E2ELatency, cool.E2ELatency)
+	}
+}
+
+func TestSimulateWithPolicy(t *testing.T) {
+	dp := DesignPoint{PanelArea: 8, Cap: 470e-6}
+	eager, err := SimulateWithPolicy(harSpec(), dp, nil, CheckpointEveryTile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lazy, err := SimulateWithPolicy(harSpec(), dp, nil, CheckpointAdaptive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eager.Completed || !lazy.Completed {
+		t.Fatal("both policies should complete under bright light")
+	}
+	if lazy.Checkpoints >= eager.Checkpoints {
+		t.Fatalf("adaptive (%d) should checkpoint less than every-tile (%d)",
+			lazy.Checkpoints, eager.Checkpoints)
+	}
+	none, err := SimulateWithPolicy(harSpec(), dp, nil, CheckpointNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if none.Checkpoints != 0 {
+		t.Fatalf("policy none saved %d checkpoints", none.Checkpoints)
+	}
+}

@@ -1,0 +1,80 @@
+package chrysalis
+
+import (
+	"testing"
+)
+
+func harSpec() Spec {
+	return Spec{WorkloadName: "har", Platform: MSP430, Objective: MinimizeLatTimesSP}
+}
+
+func TestEvaluateDesignPoint(t *testing.T) {
+	ev, err := Evaluate(harSpec(), DesignPoint{PanelArea: 8, Cap: 100e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ev.Feasible {
+		t.Fatal("8cm²/100uF HAR should be feasible")
+	}
+	if len(ev.PerEnv) != 2 {
+		t.Fatalf("envs = %d", len(ev.PerEnv))
+	}
+}
+
+func TestEvaluateAccelDesignPoint(t *testing.T) {
+	spec := Spec{WorkloadName: "resnet18", Platform: Accelerator, Objective: MinimizeLatency}
+	cfg := AccelConfig{Arch: Eyeriss, NPE: 128, CacheBytes: 1024}
+	ev, err := Evaluate(spec, DesignPoint{PanelArea: 20, Cap: 1e-3, Accel: &cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ev.Feasible {
+		t.Fatal("resnet18 on 128-PE Eyeriss should be feasible")
+	}
+}
+
+func TestSimulateDesignPoint(t *testing.T) {
+	run, err := Simulate(harSpec(), DesignPoint{PanelArea: 8, Cap: 100e-6}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !run.Completed {
+		t.Fatal("simulation should complete")
+	}
+	dark, err := Simulate(harSpec(), DesignPoint{PanelArea: 8, Cap: 100e-6}, DarkEnvironment())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dark.E2ELatency <= run.E2ELatency {
+		t.Fatal("dark should be slower")
+	}
+}
+
+// constantHarvester is a test double: a thermoelectric-style flat source.
+type constantHarvester struct{ p Power }
+
+func (c constantHarvester) Power(Seconds) Power { return c.p }
+func (c constantHarvester) Describe() string    { return "teg" }
+
+func TestSimulateWithHarvester(t *testing.T) {
+	run, err := SimulateWithHarvester(harSpec(), DesignPoint{PanelArea: 8, Cap: 100e-6},
+		constantHarvester{p: 10e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !run.Completed {
+		t.Fatal("10mW TEG should complete HAR")
+	}
+	if _, err := SimulateWithHarvester(harSpec(), DesignPoint{PanelArea: 8, Cap: 100e-6}, nil); err == nil {
+		t.Fatal("nil harvester should fail")
+	}
+}
+
+func TestEvaluateErrors(t *testing.T) {
+	if _, err := Evaluate(Spec{}, DesignPoint{PanelArea: 8, Cap: 100e-6}); err == nil {
+		t.Fatal("missing workload should fail")
+	}
+	if _, err := Evaluate(harSpec(), DesignPoint{PanelArea: 99, Cap: 100e-6}); err == nil {
+		t.Fatal("out-of-space panel should fail")
+	}
+}

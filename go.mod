@@ -1,0 +1,3 @@
+module chrysalis
+
+go 1.22

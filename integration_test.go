@@ -1,0 +1,153 @@
+package chrysalis
+
+// Integration tests crossing the whole pipeline: the analytic evaluator
+// against the step-based simulator over a grid of configurations, and
+// end-to-end determinism of the public API.
+
+import (
+	"math"
+	"testing"
+)
+
+// TestAnalyticVsStepSimGrid cross-validates the two evaluators over a
+// grid of workloads × panels × capacitors: wherever both complete, the
+// latencies must agree within a factor of 2 (the step simulator
+// resolves cycle quantization and cold-start effects the closed form
+// approximates).
+func TestAnalyticVsStepSimGrid(t *testing.T) {
+	if testing.Short() {
+		t.Skip("grid cross-validation is slow")
+	}
+	workloads := []string{"simpleconv", "har", "kws"}
+	panels := []AreaCM2{4, 8, 20}
+	caps := []Capacitance{47e-6, 470e-6, 4.7e-3}
+
+	checked := 0
+	for _, wl := range workloads {
+		for _, panel := range panels {
+			for _, capC := range caps {
+				spec := Spec{WorkloadName: wl, Platform: MSP430, Objective: MinimizeLatency}
+				dp := DesignPoint{PanelArea: panel, Cap: capC}
+				ev, err := Evaluate(spec, dp)
+				if err != nil || !ev.Feasible {
+					continue // infeasible points are covered elsewhere
+				}
+				var analytic Seconds
+				for _, e := range ev.PerEnv {
+					if e.Env == "bright" {
+						analytic = e.Latency
+					}
+				}
+				run, err := Simulate(spec, dp, nil)
+				if err != nil {
+					t.Fatalf("%s/%v/%v: %v", wl, panel, capC, err)
+				}
+				if !run.Completed {
+					t.Errorf("%s/%v/%v: analytic feasible but sim never completes", wl, panel, capC)
+					continue
+				}
+				ratio := float64(run.E2ELatency) / float64(analytic)
+				if ratio < 0.5 || ratio > 2.0 {
+					t.Errorf("%s/%v/%v: step %v vs analytic %v (ratio %.2f)",
+						wl, panel, capC, run.E2ELatency, analytic, ratio)
+				}
+				checked++
+			}
+		}
+	}
+	if checked < 15 {
+		t.Fatalf("only %d grid points were comparable", checked)
+	}
+}
+
+// TestDesignDeterministic verifies the whole pipeline is reproducible
+// for a fixed seed — a requirement for the recorded experiments.
+func TestDesignDeterministic(t *testing.T) {
+	spec := Spec{
+		WorkloadName: "har",
+		Platform:     MSP430,
+		Objective:    MinimizeLatTimesSP,
+		Search:       SearchConfig{Budget: 120, Seed: 99},
+	}
+	a, err := Design(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Design(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.PanelArea != b.PanelArea || a.Cap != b.Cap || a.AvgLatency != b.AvgLatency {
+		t.Fatalf("same seed produced different designs: %+v vs %+v", a, b)
+	}
+}
+
+// TestObjectivesAreConsistent checks the three objectives order
+// designs sensibly on the same scenario: the lat-optimal design is at
+// least as fast as the lat*sp-optimal one, which in turn uses no more
+// panel-time product than the lat-optimal one.
+func TestObjectivesAreConsistent(t *testing.T) {
+	base := Spec{
+		WorkloadName: "har",
+		Platform:     MSP430,
+		Search:       SearchConfig{Budget: 200, Seed: 5},
+	}
+	latSpec := base
+	latSpec.Objective = MinimizeLatency
+	latRes, err := Design(latSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prodSpec := base
+	prodSpec.Objective = MinimizeLatTimesSP
+	prodRes, err := Design(prodSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Modest slack for search stochasticity at this budget.
+	if float64(latRes.AvgLatency) > float64(prodRes.AvgLatency)*1.1 {
+		t.Errorf("lat-optimal (%v) slower than lat*sp-optimal (%v)",
+			latRes.AvgLatency, prodRes.AvgLatency)
+	}
+	if latRes.LatSP < prodRes.LatSP*0.9 {
+		t.Errorf("lat*sp-optimal (%.3g) beaten on its own objective by lat-optimal (%.3g)",
+			prodRes.LatSP, latRes.LatSP)
+	}
+}
+
+// TestInfeasibleScenarioSurfaced ensures hopeless scenarios fail with a
+// clear error instead of a bogus design: VGG16 on the MSP430's 8 KB
+// SRAM with a 1 cm² panel cannot run within any cycle.
+func TestInfeasibleScenarioSurfaced(t *testing.T) {
+	_, err := Evaluate(Spec{
+		WorkloadName: "vgg16",
+		Platform:     MSP430,
+		Objective:    MinimizeLatency,
+	}, DesignPoint{PanelArea: 1, Cap: 1e-6})
+	if err == nil {
+		t.Fatal("VGG16 on a 1uF/1cm² MSP430 should be infeasible")
+	}
+}
+
+// TestSeriesThroughputScaling sanity-checks deployment arithmetic: on
+// stable light, doubling the number of inferences roughly doubles the
+// total time (no hidden state leaks between runs).
+func TestSeriesThroughputScaling(t *testing.T) {
+	spec := Spec{WorkloadName: "kws", Platform: MSP430, Objective: MinimizeLatency}
+	dp := DesignPoint{PanelArea: 8, Cap: 100e-6}
+	three, err := SimulateSeries(spec, dp, nil, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	six, err := SimulateSeries(spec, dp, nil, 6, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if three.Completed != 3 || six.Completed != 6 {
+		t.Fatalf("completions: %d/3, %d/6", three.Completed, six.Completed)
+	}
+	ratio := float64(six.TotalTime) / float64(three.TotalTime)
+	if math.Abs(ratio-2) > 0.5 {
+		t.Fatalf("6 inferences took %.2fx the time of 3, want ~2x", ratio)
+	}
+}

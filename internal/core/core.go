@@ -1,0 +1,325 @@
+// Package core orchestrates CHRYSALIS's usage model (Sec. III-A,
+// Table II): given a domain-specific DNN workload, platform and
+// environment constraints, and an objective demand function, it wires
+// the AuT HW/SW Describer, the Evaluator and the Explorer together and
+// returns the ideal AuT solution — energy-harvester hardware, inference
+// hardware and per-layer dataflow.
+package core
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"chrysalis/internal/dataflow"
+	"chrysalis/internal/dnn"
+	"chrysalis/internal/energy"
+	"chrysalis/internal/explore"
+	"chrysalis/internal/intermittent"
+	"chrysalis/internal/search"
+	"chrysalis/internal/sim"
+	"chrysalis/internal/solar"
+	"chrysalis/internal/units"
+)
+
+// Spec is the full input of a CHRYSALIS run, mirroring Table II's
+// input categories: workload, environment constraint, technology
+// constraint and objective.
+type Spec struct {
+	// Workload is the DNN task. Either set it directly or name a
+	// catalog workload in WorkloadName.
+	Workload     *dnn.Workload
+	WorkloadName string
+
+	// Platform selects MSP430-class or reconfigurable-accelerator
+	// inference hardware.
+	Platform explore.PlatformKind
+
+	// Objective and its constraints.
+	Objective  explore.Objective
+	MaxPanel   units.AreaCM2
+	MaxLatency units.Seconds
+
+	// Envs are the environment constraints (k_eh providers); nil
+	// selects the paper's bright/dark pair.
+	Envs []solar.Environment
+
+	// Rexc is the energy-exception rate (technology constraint; <0
+	// selects the default).
+	Rexc float64
+
+	// Search configures the outer optimizer.
+	Search SearchConfig
+}
+
+// SearchConfig sizes the HW-level optimizer.
+type SearchConfig struct {
+	// Algorithm is "ga" (default) or "random".
+	Algorithm string
+	// Budget approximates the number of candidate evaluations
+	// (0 selects ~1200, matching the paper's hardware-point counts
+	// scaled to interactive runtimes).
+	Budget int
+	Seed   int64
+}
+
+func (s SearchConfig) withDefaults() SearchConfig {
+	if s.Algorithm == "" {
+		s.Algorithm = "ga"
+	}
+	if s.Budget == 0 {
+		s.Budget = 1200
+	}
+	return s
+}
+
+// resolveWorkload picks the workload from the spec.
+func (s Spec) resolveWorkload() (dnn.Workload, error) {
+	if s.Workload != nil {
+		return *s.Workload, s.Workload.Validate()
+	}
+	if s.WorkloadName == "" {
+		return dnn.Workload{}, fmt.Errorf("core: spec needs a Workload or WorkloadName")
+	}
+	return dnn.ByName(s.WorkloadName)
+}
+
+// scenario converts the spec to an explorer scenario.
+func (s Spec) scenario() (explore.Scenario, error) {
+	w, err := s.resolveWorkload()
+	if err != nil {
+		return explore.Scenario{}, err
+	}
+	return explore.Scenario{
+		Workload:   w,
+		Platform:   s.Platform,
+		Envs:       s.Envs,
+		Objective:  s.Objective,
+		MaxPanel:   s.MaxPanel,
+		MaxLatency: s.MaxLatency,
+		Rexc:       s.Rexc,
+	}, nil
+}
+
+// LayerDataflow reports the chosen mapping of one layer, including the
+// paper's Figure 4 directive rendering.
+type LayerDataflow struct {
+	Layer      string
+	Dataflow   string
+	Partition  string
+	NTile      int
+	CkptBytes  units.Bytes
+	Directives []string
+	// LoopNest is the rendered Figure-4 style loop nest, one line per
+	// level plus the annotated compute body.
+	LoopNest []string
+}
+
+// EnvMetrics reports per-environment outcomes.
+type EnvMetrics struct {
+	Env        string
+	Latency    units.Seconds
+	Energy     units.Energy
+	Efficiency float64
+}
+
+// Result is the ideal AuT solution CHRYSALIS outputs (Table II's output
+// category).
+type Result struct {
+	// Energy-harvester hardware.
+	PanelArea units.AreaCM2
+	Cap       units.Capacitance
+	// Inference hardware ("msp430" or "tpu"/"eyeriss" with PE/cache).
+	InferHW    string
+	NPE        int
+	CacheBytes units.Bytes
+	// Dataflow per layer.
+	Dataflow []LayerDataflow
+
+	// Metrics.
+	PerEnv     []EnvMetrics
+	AvgLatency units.Seconds
+	LatSP      float64
+	Evals      int
+	Objective  string
+	Baseline   string
+}
+
+// Run executes the full CHRYSALIS pipeline for a spec under the full
+// (co-design) search space.
+func Run(spec Spec) (Result, error) {
+	return RunBaseline(spec, explore.Full)
+}
+
+// RunBaseline executes the pipeline with one of Table VI's ablated
+// search spaces (or the full space).
+func RunBaseline(spec Spec, b explore.Baseline) (Result, error) {
+	sc, err := spec.scenario()
+	if err != nil {
+		return Result{}, err
+	}
+	cfg, err := gaConfig(spec.Search)
+	if err != nil {
+		return Result{}, err
+	}
+	out, err := explore.Explore(sc, b, cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return assemble(out), nil
+}
+
+// gaConfig maps the search config onto GA hyperparameters.
+func gaConfig(s SearchConfig) (search.GAConfig, error) {
+	s = s.withDefaults()
+	switch s.Algorithm {
+	case "ga":
+	case "random":
+		// Random sampling is modeled as a GA with no selection pressure:
+		// full mutation, no elitism.
+		cfg := search.DefaultGA(s.Seed)
+		cfg.MutRate = 1
+		cfg.MutSigma = 10
+		cfg.Elite = 0
+		cfg.TournamentK = 1
+		sizeGA(&cfg, s.Budget)
+		return cfg, nil
+	default:
+		return search.GAConfig{}, fmt.Errorf("core: unknown search algorithm %q (want ga or random)", s.Algorithm)
+	}
+	cfg := search.DefaultGA(s.Seed)
+	sizeGA(&cfg, s.Budget)
+	return cfg, nil
+}
+
+// sizeGA scales population/generations to approximate an evaluation
+// budget.
+func sizeGA(cfg *search.GAConfig, budget int) {
+	if budget <= 0 {
+		return
+	}
+	pop := int(math.Sqrt(float64(budget)))
+	if pop < 8 {
+		pop = 8
+	}
+	if pop > 80 {
+		pop = 80
+	}
+	gens := budget / pop
+	if gens < 2 {
+		gens = 2
+	}
+	cfg.Population = pop
+	cfg.Generations = gens
+	if cfg.Elite >= pop {
+		cfg.Elite = pop / 4
+	}
+	if cfg.TournamentK > pop {
+		cfg.TournamentK = 2
+	}
+}
+
+// assemble converts an explorer outcome into the public result.
+func assemble(out explore.Outcome) Result {
+	ev := out.Best
+	r := Result{
+		PanelArea:  ev.Candidate.PanelArea,
+		Cap:        ev.Candidate.Cap,
+		InferHW:    "msp430",
+		NPE:        1,
+		AvgLatency: ev.AvgLatency,
+		LatSP:      ev.LatSP,
+		Evals:      out.Evals,
+		Objective:  out.Scenario.Objective.String(),
+		Baseline:   out.Baseline.String(),
+	}
+	if ac := ev.Candidate.Accel; ac != nil {
+		r.InferHW = ac.Arch.String()
+		r.NPE = ac.NPE
+		r.CacheBytes = ac.CacheBytes
+	}
+	for _, m := range ev.Mappings {
+		nest := dataflow.BuildLoopNest(m.Plan.Layer, m.Mapping)
+		r.Dataflow = append(r.Dataflow, LayerDataflow{
+			Layer:      m.Layer,
+			Dataflow:   m.Mapping.Dataflow.String(),
+			Partition:  m.Mapping.Partition.String(),
+			NTile:      m.Plan.Cost.NTileEffective,
+			CkptBytes:  m.Plan.CkptBytes,
+			Directives: dataflow.Directives(m.Plan.Layer, m.Mapping),
+			LoopNest:   strings.Split(strings.TrimRight(nest.Render(), "\n"), "\n"),
+		})
+	}
+	for _, e := range ev.PerEnv {
+		r.PerEnv = append(r.PerEnv, EnvMetrics{
+			Env:        e.Env,
+			Latency:    e.Latency,
+			Energy:     e.Energy,
+			Efficiency: e.Efficiency,
+		})
+	}
+	return r
+}
+
+// Verify re-evaluates a result with the step-based simulator under the
+// first environment and returns the simulated run, cross-checking the
+// analytic search estimate (the paper's model-vs-platform validation
+// flow, Fig. 7).
+func Verify(spec Spec, res Result) (sim.Result, error) {
+	sc, err := spec.scenario()
+	if err != nil {
+		return sim.Result{}, err
+	}
+	scd := sc // defaults applied inside EvaluateCandidate; mirror here
+	if scd.Envs == nil {
+		scd.Envs = []solar.Environment{solar.Bright(), solar.Dark()}
+	}
+	cand, err := candidateFromResult(spec, res)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	ev, err := explore.EvaluateCandidate(sc, cand)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	plans := make([]intermittent.Plan, len(ev.Mappings))
+	for i, m := range ev.Mappings {
+		plans[i] = m.Plan
+	}
+	es, err := energy.NewSolar(energy.Spec{PanelArea: res.PanelArea, Cap: res.Cap}, scd.Envs[0])
+	if err != nil {
+		return sim.Result{}, err
+	}
+	hw, err := hwFromResult(spec, res)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	return sim.Run(sim.Config{Energy: es, HW: hw, Plans: plans})
+}
+
+func candidateFromResult(spec Spec, res Result) (explore.Candidate, error) {
+	cand := explore.Candidate{PanelArea: res.PanelArea, Cap: res.Cap}
+	if spec.Platform == explore.Accel {
+		arch, err := accelArch(res.InferHW)
+		if err != nil {
+			return explore.Candidate{}, err
+		}
+		cand.Accel = &arch
+		cand.Accel.NPE = res.NPE
+		cand.Accel.CacheBytes = res.CacheBytes
+	}
+	return cand, nil
+}
+
+func hwFromResult(spec Spec, res Result) (dataflow.HW, error) {
+	if spec.Platform == explore.MSP {
+		return mspHW(), nil
+	}
+	arch, err := accelArch(res.InferHW)
+	if err != nil {
+		return dataflow.HW{}, err
+	}
+	arch.NPE = res.NPE
+	arch.CacheBytes = res.CacheBytes
+	return arch.HW(arch.NativeDataflow())
+}

@@ -1,0 +1,75 @@
+package dataflow
+
+import (
+	"fmt"
+
+	"chrysalis/internal/dnn"
+	"chrysalis/internal/units"
+)
+
+// LayerAnalysis profiles one layer on one hardware configuration at its
+// best feasible mapping — the per-layer view MAESTRO-style tools give
+// designers before any energy-subsystem consideration.
+type LayerAnalysis struct {
+	Layer  string
+	Kind   string
+	MACs   int64
+	Params int64
+
+	// Best mapping found (minimum-energy feasible).
+	Mapping Mapping
+	// NVM traffic at that mapping.
+	ReadBytes, WriteBytes units.Bytes
+	// ArithmeticIntensity is MACs per NVM byte moved: low values mark
+	// memory-bound layers that tiling cannot rescue.
+	ArithmeticIntensity float64
+	// Energy and time of the layer (E_df, T_df).
+	Energy units.Energy
+	Time   units.Seconds
+	// EnergyShare/TimeShare are filled by Analyze relative to the
+	// workload totals.
+	EnergyShare, TimeShare float64
+}
+
+// Analyze profiles every layer of a workload on the given hardware with
+// the given dataflow, reporting per-layer bests plus workload shares.
+func Analyze(w dnn.Workload, df Dataflow, hw HW) ([]LayerAnalysis, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	out := make([]LayerAnalysis, 0, len(w.Layers))
+	var totalE, totalT float64
+	for _, l := range w.Layers {
+		m, c, err := MinTileMapping(l, w.ElemBytes, df, hw)
+		if err != nil {
+			return nil, fmt.Errorf("dataflow: analyze %s: %w", w.Name, err)
+		}
+		nvm := float64(c.ReadBytes) + float64(c.WriteBytes)
+		la := LayerAnalysis{
+			Layer:      l.Name,
+			Kind:       l.Kind.String(),
+			MACs:       l.MACs(),
+			Params:     l.Params(),
+			Mapping:    m,
+			ReadBytes:  c.ReadBytes,
+			WriteBytes: c.WriteBytes,
+			Energy:     c.EDf,
+			Time:       c.TDf,
+		}
+		if nvm > 0 {
+			la.ArithmeticIntensity = float64(l.MACs()) / nvm
+		}
+		totalE += float64(c.EDf)
+		totalT += float64(c.TDf)
+		out = append(out, la)
+	}
+	for i := range out {
+		if totalE > 0 {
+			out[i].EnergyShare = float64(out[i].Energy) / totalE
+		}
+		if totalT > 0 {
+			out[i].TimeShare = float64(out[i].Time) / totalT
+		}
+	}
+	return out, nil
+}

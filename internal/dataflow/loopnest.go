@@ -1,0 +1,132 @@
+package dataflow
+
+import (
+	"fmt"
+	"strings"
+
+	"chrysalis/internal/dnn"
+)
+
+// LoopLevel is one directive of the data-centric mapping description
+// (paper Fig. 4): which dimension it iterates, how large each step is,
+// and which mapping class it belongs to.
+type LoopLevel struct {
+	// Directive is "InterTempMap", "SpatialMap" or "TemporalMap".
+	Directive string
+	// Dim names the iterated dimension (C_out, Y, C_in, R, S, ...).
+	Dim string
+	// Size is the tile size of each step along Dim.
+	Size int
+	// Count is the number of steps (the loop trip count).
+	Count int
+}
+
+// LoopNest is the full mapping description of one layer: the ordered
+// directive levels plus the innermost compute body, annotated with the
+// paper's R/C/W/save/resume process steps.
+type LoopNest struct {
+	Layer  string
+	Levels []LoopLevel
+	Body   []string
+}
+
+// BuildLoopNest derives the Fig. 4 loop nest for a layer under a
+// mapping: the outermost InterTempMap level carries the checkpoint
+// tiling, a SpatialMap level spreads work across PEs, and TemporalMap
+// levels cover the remaining dimensions.
+func BuildLoopNest(l dnn.Layer, m Mapping) LoopNest {
+	n := m.NTile
+	if ext := partitionExtent(l, m.Partition); n > ext {
+		n = ext
+	}
+	if n < 1 {
+		n = 1
+	}
+
+	ckptDim, ckptExt := interTempDim(l, m.Partition)
+	size := ckptExt / n
+	if size < 1 {
+		size = 1
+	}
+
+	nest := LoopNest{Layer: l.Name}
+	nest.Levels = append(nest.Levels, LoopLevel{
+		Directive: "InterTempMap", Dim: ckptDim, Size: size, Count: n,
+	})
+
+	// The spatial dimension depends on the dataflow: OS spreads output
+	// pixels across PEs; WS/IS spread output channels so the stationary
+	// operand stays put.
+	switch {
+	case l.Kind == dnn.Dense:
+		nest.Levels = append(nest.Levels,
+			LoopLevel{Directive: "SpatialMap", Dim: "C_out", Size: 1, Count: l.OutC},
+			LoopLevel{Directive: "TemporalMap", Dim: "C_in", Size: 1, Count: l.InC},
+		)
+	case l.Kind == dnn.MatMul:
+		nest.Levels = append(nest.Levels,
+			LoopLevel{Directive: "SpatialMap", Dim: "N", Size: 1, Count: l.N},
+			LoopLevel{Directive: "TemporalMap", Dim: "M", Size: 1, Count: l.M},
+			LoopLevel{Directive: "TemporalMap", Dim: "K", Size: 1, Count: l.K},
+		)
+	default: // convolutions and pooling
+		spatialDim, spatialCount := "Y'", l.OutH
+		if m.Dataflow != OS {
+			spatialDim, spatialCount = "C_out", l.OutC
+		}
+		nest.Levels = append(nest.Levels,
+			LoopLevel{Directive: "SpatialMap", Dim: spatialDim, Size: 1, Count: spatialCount},
+			LoopLevel{Directive: "TemporalMap", Dim: "X'", Size: 1, Count: l.OutW},
+			LoopLevel{Directive: "TemporalMap", Dim: "C_in", Size: 1, Count: l.InC},
+			LoopLevel{Directive: "TemporalMap", Dim: "R", Size: 1, Count: l.KH},
+			LoopLevel{Directive: "TemporalMap", Dim: "S", Size: 1, Count: l.KW},
+		)
+	}
+
+	nest.Body = []string{
+		"① read tile data NVM→VM",
+		"② fetch operands VM→PE",
+		fmt.Sprintf("③ compute partial sums (%s)", m.Dataflow),
+		"④ write partials PE→VM",
+		"⑤ write tile outputs VM→NVM",
+		"⑥ save ckpt (on low energy) / ⑦ resume after power-up",
+	}
+	return nest
+}
+
+// Render prints the nest as indented pseudo-code, matching the paper's
+// Figure 4 loop-nest panel.
+func (n LoopNest) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "// layer %s\n", n.Layer)
+	indent := ""
+	for _, lv := range n.Levels {
+		fmt.Fprintf(&b, "%sfor %s in 0..%d step %d:  // %s(%d,%d)\n",
+			indent, lv.Dim, lv.Count*lv.Size, lv.Size, lv.Directive, lv.Size, lv.Size)
+		indent += "  "
+	}
+	for _, line := range n.Body {
+		b.WriteString(indent + line + "\n")
+	}
+	return b.String()
+}
+
+// interTempDim names the checkpoint-tiling dimension and its extent.
+func interTempDim(l dnn.Layer, p Partition) (string, int) {
+	switch {
+	case l.Kind == dnn.Dense:
+		return "C_out", l.OutC
+	case l.Kind == dnn.MatMul:
+		if p == ByChannel {
+			return "N", l.N
+		}
+		return "M", l.M
+	case p == ByChannel:
+		return "C_out", l.OutC
+	default:
+		if l.OutH > 1 {
+			return "Y·X", l.OutH * l.OutW
+		}
+		return "X", l.OutW
+	}
+}

@@ -1,0 +1,129 @@
+package dataflow
+
+import (
+	"strings"
+	"testing"
+
+	"chrysalis/internal/dnn"
+	"chrysalis/internal/units"
+)
+
+func TestBuildLoopNestConv(t *testing.T) {
+	l := convLayer(t) // 16->32 channels, 16x16
+	nest := BuildLoopNest(l, Mapping{Dataflow: OS, Partition: ByChannel, NTile: 4})
+	if nest.Layer != l.Name {
+		t.Fatalf("layer = %q", nest.Layer)
+	}
+	if nest.Levels[0].Directive != "InterTempMap" || nest.Levels[0].Dim != "C_out" {
+		t.Fatalf("outer level = %+v", nest.Levels[0])
+	}
+	if nest.Levels[0].Count != 4 || nest.Levels[0].Size != 8 {
+		t.Fatalf("ckpt tiling = %+v, want 4 tiles of 8 channels", nest.Levels[0])
+	}
+	if nest.Levels[1].Directive != "SpatialMap" || nest.Levels[1].Dim != "Y'" {
+		t.Fatalf("OS should spread output rows: %+v", nest.Levels[1])
+	}
+	// WS spreads output channels instead.
+	ws := BuildLoopNest(l, Mapping{Dataflow: WS, Partition: ByChannel, NTile: 4})
+	if ws.Levels[1].Dim != "C_out" {
+		t.Fatalf("WS spatial dim = %q", ws.Levels[1].Dim)
+	}
+}
+
+func TestBuildLoopNestDenseAndMatMul(t *testing.T) {
+	d, _ := dnn.NewDense("fc", 100, 40)
+	nest := BuildLoopNest(d, Mapping{Dataflow: OS, Partition: ByChannel, NTile: 5})
+	if nest.Levels[0].Size != 8 {
+		t.Fatalf("dense ckpt size = %d, want 8 neurons/tile", nest.Levels[0].Size)
+	}
+	if nest.Levels[1].Dim != "C_out" || nest.Levels[2].Dim != "C_in" {
+		t.Fatalf("dense dims = %+v", nest.Levels)
+	}
+	m, _ := dnn.NewMatMul("mm", 32, 768, 64, false)
+	mn := BuildLoopNest(m, Mapping{Dataflow: WS, Partition: ByChannel, NTile: 8})
+	if mn.Levels[0].Dim != "N" || mn.Levels[0].Count != 8 {
+		t.Fatalf("matmul ckpt = %+v", mn.Levels[0])
+	}
+}
+
+func TestLoopNestClampsTiles(t *testing.T) {
+	l := convLayer(t) // OutC = 32
+	nest := BuildLoopNest(l, Mapping{Dataflow: OS, Partition: ByChannel, NTile: 999})
+	if nest.Levels[0].Count != 32 {
+		t.Fatalf("tile count should clamp to extent: %d", nest.Levels[0].Count)
+	}
+	zero := BuildLoopNest(l, Mapping{Dataflow: OS, Partition: ByChannel, NTile: 0})
+	if zero.Levels[0].Count != 1 {
+		t.Fatalf("zero tiles should clamp to 1: %d", zero.Levels[0].Count)
+	}
+}
+
+func TestLoopNestRender(t *testing.T) {
+	l := convLayer(t)
+	out := BuildLoopNest(l, Mapping{Dataflow: OS, Partition: BySpatial, NTile: 2}).Render()
+	for _, want := range []string{"InterTempMap", "SpatialMap", "TemporalMap", "for Y·X", "①", "⑤", "compute partial sums (OS)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	// Indentation must deepen with nesting.
+	lines := strings.Split(out, "\n")
+	if !strings.HasPrefix(lines[2], "  for") {
+		t.Fatalf("second loop not indented: %q", lines[2])
+	}
+}
+
+func TestLoopNest1DLayer(t *testing.T) {
+	c1, _ := dnn.NewConv1D("c1", 4, 64, 8, 3, 1, 0)
+	nest := BuildLoopNest(c1, Mapping{Dataflow: OS, Partition: BySpatial, NTile: 2})
+	if nest.Levels[0].Dim != "X" {
+		t.Fatalf("1-D ckpt dim = %q, want X", nest.Levels[0].Dim)
+	}
+}
+
+func TestAnalyze(t *testing.T) {
+	hw := testHW()
+	hw.VMBytes = 256 * units.KB
+	rows, err := Analyze(dnn.CIFAR10(), OS, hw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(dnn.CIFAR10().Layers) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	var eShare, tShare float64
+	for _, r := range rows {
+		if r.MACs <= 0 || r.Energy <= 0 || r.Time <= 0 {
+			t.Fatalf("degenerate row %+v", r)
+		}
+		if r.ArithmeticIntensity <= 0 {
+			t.Fatalf("no arithmetic intensity for %s", r.Layer)
+		}
+		eShare += r.EnergyShare
+		tShare += r.TimeShare
+	}
+	if eShare < 0.999 || eShare > 1.001 || tShare < 0.999 || tShare > 1.001 {
+		t.Fatalf("shares should sum to 1: %v / %v", eShare, tShare)
+	}
+	// Convolutions reuse data far more than dense layers.
+	var convAI, denseAI float64
+	for _, r := range rows {
+		switch r.Kind {
+		case "conv2d":
+			if r.ArithmeticIntensity > convAI {
+				convAI = r.ArithmeticIntensity
+			}
+		case "dense":
+			if r.ArithmeticIntensity > denseAI {
+				denseAI = r.ArithmeticIntensity
+			}
+		}
+	}
+	if convAI <= denseAI {
+		t.Fatalf("conv AI %v should exceed dense AI %v", convAI, denseAI)
+	}
+	// Invalid workload is rejected.
+	if _, err := Analyze(dnn.Workload{}, OS, hw); err == nil {
+		t.Fatal("invalid workload should fail")
+	}
+}

@@ -1,0 +1,39 @@
+package dnn
+
+import "testing"
+
+// FuzzParseJSON hardens the workload parser: arbitrary input must never
+// panic, and any accepted workload must be internally consistent.
+func FuzzParseJSON(f *testing.F) {
+	f.Add([]byte(sampleJSON))
+	f.Add([]byte(`{"name":"x","input":[1,1,1],"layers":[{"type":"dense","out":1}]}`))
+	f.Add([]byte(`{"name":"m","input":[1,1,4],"layers":[{"type":"matmul","m":2,"k":2,"n":2}]}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(`{"name":"p","input":[2,8,8],"layers":[{"type":"pool","kernel":2}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		w, err := ParseJSON(data)
+		if err != nil {
+			return
+		}
+		// Accepted workloads must validate and have sane counts.
+		if err := w.Validate(); err != nil {
+			t.Fatalf("accepted workload fails validation: %v", err)
+		}
+		if w.TotalMACs() < 0 || w.TotalParams() < 0 {
+			t.Fatalf("negative counts: %d MACs, %d params", w.TotalMACs(), w.TotalParams())
+		}
+		// And must round-trip through the serializer.
+		out, err := w.ToJSON()
+		if err != nil {
+			t.Fatalf("accepted workload fails to serialize: %v", err)
+		}
+		back, err := ParseJSON(out)
+		if err != nil {
+			t.Fatalf("serialized workload fails to parse: %v\n%s", err, out)
+		}
+		if back.TotalMACs() != w.TotalMACs() {
+			t.Fatalf("round trip changed MACs: %d -> %d", w.TotalMACs(), back.TotalMACs())
+		}
+	})
+}

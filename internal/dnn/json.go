@@ -1,0 +1,184 @@
+package dnn
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// JSON workload schema. Users describe a network as an input shape plus
+// an ordered layer list; input shapes of each layer are inferred by
+// chaining from the previous layer's output, so entries carry only the
+// layer's own hyperparameters:
+//
+//	{
+//	  "name": "mynet",
+//	  "input": [3, 32, 32],
+//	  "elem_bytes": 2,
+//	  "layers": [
+//	    {"type": "conv2d", "out_channels": 16, "kernel": 3, "stride": 1, "pad": 1},
+//	    {"type": "pool",   "kernel": 2},
+//	    {"type": "dwconv2d", "kernel": 3, "stride": 2, "pad": 1},
+//	    {"type": "dense",  "out": 10}
+//	  ]
+//	}
+//
+// Supported types: conv2d, conv1d, dwconv2d, dense, pool, matmul.
+// Branch (residual shortcut) layers are not expressible in JSON; define
+// such networks in Go.
+
+// jsonWorkload is the top-level schema.
+type jsonWorkload struct {
+	Name        string      `json:"name"`
+	Input       [3]int      `json:"input"`
+	ElemBytes   int         `json:"elem_bytes"`
+	ExtraParams int64       `json:"extra_params,omitempty"`
+	Layers      []jsonLayer `json:"layers"`
+}
+
+// jsonLayer is one layer entry; fields are type-dependent.
+type jsonLayer struct {
+	Type string `json:"type"`
+	Name string `json:"name,omitempty"`
+
+	OutChannels int `json:"out_channels,omitempty"`
+	Kernel      int `json:"kernel,omitempty"`
+	Stride      int `json:"stride,omitempty"`
+	Pad         int `json:"pad,omitempty"`
+
+	Out int `json:"out,omitempty"` // dense
+
+	M           int  `json:"m,omitempty"` // matmul
+	K           int  `json:"k,omitempty"`
+	N           int  `json:"n,omitempty"`
+	Activation2 bool `json:"activation2,omitempty"`
+}
+
+// ParseJSON builds a Workload from its JSON description, inferring each
+// layer's input shape from the chain and validating the result.
+func ParseJSON(data []byte) (Workload, error) {
+	var jw jsonWorkload
+	if err := json.Unmarshal(data, &jw); err != nil {
+		return Workload{}, fmt.Errorf("dnn: invalid workload JSON: %w", err)
+	}
+	if jw.Name == "" {
+		return Workload{}, fmt.Errorf("dnn: workload JSON needs a name")
+	}
+	if jw.ElemBytes == 0 {
+		jw.ElemBytes = 1
+	}
+	c, h, wd := jw.Input[0], jw.Input[1], jw.Input[2]
+	if c <= 0 || h <= 0 || wd <= 0 {
+		return Workload{}, fmt.Errorf("dnn: workload %q: input shape must be positive, got %v", jw.Name, jw.Input)
+	}
+
+	layers := make([]Layer, 0, len(jw.Layers))
+	for i, jl := range jw.Layers {
+		name := jl.Name
+		if name == "" {
+			name = fmt.Sprintf("%s%d", jl.Type, i+1)
+		}
+		stride := jl.Stride
+		if stride == 0 {
+			stride = 1
+		}
+		var (
+			l   Layer
+			err error
+		)
+		switch jl.Type {
+		case "conv2d":
+			if jl.OutChannels <= 0 {
+				return Workload{}, fmt.Errorf("dnn: layer %d (%s): conv2d needs out_channels", i, name)
+			}
+			l, err = NewConv2D(name, c, h, wd, jl.OutChannels, jl.Kernel, stride, jl.Pad)
+		case "conv1d":
+			if h != 1 {
+				return Workload{}, fmt.Errorf("dnn: layer %d (%s): conv1d needs a 1-D input, have height %d", i, name, h)
+			}
+			if jl.OutChannels <= 0 {
+				return Workload{}, fmt.Errorf("dnn: layer %d (%s): conv1d needs out_channels", i, name)
+			}
+			l, err = NewConv1D(name, c, wd, jl.OutChannels, jl.Kernel, stride, jl.Pad)
+		case "dwconv2d":
+			l, err = NewDWConv2D(name, c, h, wd, jl.Kernel, stride, jl.Pad)
+		case "dense":
+			if jl.Out <= 0 {
+				return Workload{}, fmt.Errorf("dnn: layer %d (%s): dense needs out", i, name)
+			}
+			l, err = NewDense(name, c*h*wd, jl.Out)
+		case "pool":
+			if h == 1 {
+				l, err = NewPool1D(name, c, wd, jl.Kernel, jl.Stride)
+			} else {
+				l, err = NewPool(name, c, h, wd, jl.Kernel, jl.Stride)
+			}
+		case "matmul":
+			l, err = NewMatMul(name, jl.M, jl.K, jl.N, jl.Activation2)
+		default:
+			return Workload{}, fmt.Errorf("dnn: layer %d: unknown type %q", i, jl.Type)
+		}
+		if err != nil {
+			return Workload{}, err
+		}
+		layers = append(layers, l)
+		c, h, wd = l.OutC, l.OutH, l.OutW
+	}
+
+	w := Workload{
+		Name:        jw.Name,
+		Input:       jw.Input,
+		Layers:      layers,
+		ElemBytes:   jw.ElemBytes,
+		ExtraParams: jw.ExtraParams,
+	}
+	if err := w.Validate(); err != nil {
+		return Workload{}, err
+	}
+	return w, nil
+}
+
+// ToJSON renders a workload back into the JSON schema (Branch layers
+// are rejected: the schema cannot express them).
+func (w Workload) ToJSON() ([]byte, error) {
+	jw := jsonWorkload{
+		Name:        w.Name,
+		Input:       w.Input,
+		ElemBytes:   w.ElemBytes,
+		ExtraParams: w.ExtraParams,
+	}
+	for _, l := range w.Layers {
+		if l.Branch {
+			return nil, fmt.Errorf("dnn: workload %q: branch layer %q is not expressible in JSON", w.Name, l.Name)
+		}
+		jl := jsonLayer{Name: l.Name}
+		switch l.Kind {
+		case Conv2D:
+			jl.Type = "conv2d"
+			jl.OutChannels, jl.Kernel, jl.Stride, jl.Pad = l.OutC, l.KH, l.Stride, l.Pad
+		case Conv1D:
+			jl.Type = "conv1d"
+			jl.OutChannels, jl.Kernel, jl.Stride, jl.Pad = l.OutC, l.KW, l.Stride, l.Pad
+		case DWConv2D:
+			jl.Type = "dwconv2d"
+			jl.Kernel, jl.Stride, jl.Pad = l.KH, l.Stride, l.Pad
+		case Dense:
+			jl.Type = "dense"
+			jl.Out = l.OutC
+		case Pool:
+			jl.Type = "pool"
+			if l.InH == 1 {
+				jl.Kernel = l.KW
+			} else {
+				jl.Kernel = l.KH
+			}
+			jl.Stride = l.Stride
+		case MatMul:
+			jl.Type = "matmul"
+			jl.M, jl.K, jl.N, jl.Activation2 = l.M, l.K, l.N, l.Activation2
+		default:
+			return nil, fmt.Errorf("dnn: workload %q: layer %q has unknown kind", w.Name, l.Name)
+		}
+		jw.Layers = append(jw.Layers, jl)
+	}
+	return json.MarshalIndent(jw, "", "  ")
+}

@@ -1,0 +1,139 @@
+package dnn
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleJSON = `{
+  "name": "custom-cnn",
+  "input": [3, 32, 32],
+  "elem_bytes": 2,
+  "layers": [
+    {"type": "conv2d", "out_channels": 8, "kernel": 3, "stride": 1, "pad": 1},
+    {"type": "pool", "kernel": 2},
+    {"type": "dwconv2d", "kernel": 3, "stride": 1, "pad": 1},
+    {"type": "conv2d", "out_channels": 16, "kernel": 1},
+    {"type": "dense", "out": 10}
+  ]
+}`
+
+func TestParseJSON(t *testing.T) {
+	w, err := ParseJSON([]byte(sampleJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Name != "custom-cnn" || len(w.Layers) != 5 {
+		t.Fatalf("parsed %q with %d layers", w.Name, len(w.Layers))
+	}
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Shape chain: conv keeps 32x32 (pad 1), pool halves to 16, dwconv
+	// keeps channels, 1x1 conv expands to 16 channels, dense flattens.
+	if w.Layers[1].OutH != 16 {
+		t.Fatalf("pool out = %d", w.Layers[1].OutH)
+	}
+	if w.Layers[2].OutC != 8 {
+		t.Fatalf("dwconv out channels = %d", w.Layers[2].OutC)
+	}
+	if w.Layers[4].InC != 16*16*16 {
+		t.Fatalf("dense input = %d", w.Layers[4].InC)
+	}
+	if w.TotalMACs() <= 0 || w.TotalParams() <= 0 {
+		t.Fatal("degenerate counts")
+	}
+}
+
+func TestParseJSONDefaults(t *testing.T) {
+	w, err := ParseJSON([]byte(`{"name":"mlp","input":[16,1,1],
+		"layers":[{"type":"dense","out":4}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.ElemBytes != 1 {
+		t.Fatalf("default elem bytes = %d, want 1", w.ElemBytes)
+	}
+	if w.Layers[0].Name != "dense1" {
+		t.Fatalf("synthesized name = %q", w.Layers[0].Name)
+	}
+}
+
+func TestParseJSONErrors(t *testing.T) {
+	cases := []struct {
+		name, data, wantErr string
+	}{
+		{"bad json", `{`, "invalid workload JSON"},
+		{"no name", `{"input":[1,1,1],"layers":[{"type":"dense","out":2}]}`, "needs a name"},
+		{"bad input", `{"name":"x","input":[0,1,1],"layers":[{"type":"dense","out":2}]}`, "input shape"},
+		{"unknown type", `{"name":"x","input":[1,1,1],"layers":[{"type":"lstm"}]}`, "unknown type"},
+		{"conv2d no channels", `{"name":"x","input":[3,8,8],"layers":[{"type":"conv2d","kernel":3}]}`, "out_channels"},
+		{"conv1d on 2d", `{"name":"x","input":[3,8,8],"layers":[{"type":"conv1d","out_channels":4,"kernel":3}]}`, "1-D input"},
+		{"dense no out", `{"name":"x","input":[3,8,8],"layers":[{"type":"dense"}]}`, "needs out"},
+		{"kernel too big", `{"name":"x","input":[3,4,4],"layers":[{"type":"conv2d","out_channels":4,"kernel":9}]}`, "exceeds"},
+	}
+	for _, tc := range cases {
+		_, err := ParseJSON([]byte(tc.data))
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: err = %v, want containing %q", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	orig, err := ParseJSON([]byte(sampleJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := orig.ToJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseJSON(data)
+	if err != nil {
+		t.Fatalf("round trip: %v\n%s", err, data)
+	}
+	if back.TotalMACs() != orig.TotalMACs() || back.TotalParams() != orig.TotalParams() {
+		t.Fatalf("round trip changed counts: %d/%d vs %d/%d",
+			back.TotalMACs(), back.TotalParams(), orig.TotalMACs(), orig.TotalParams())
+	}
+}
+
+func TestCatalogJSONRoundTrip(t *testing.T) {
+	// Every catalog workload without Branch layers must round-trip.
+	for _, name := range Names() {
+		w, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hasBranch := false
+		for _, l := range w.Layers {
+			if l.Branch {
+				hasBranch = true
+				break
+			}
+		}
+		data, err := w.ToJSON()
+		if hasBranch {
+			if err == nil {
+				t.Errorf("%s: branch layers should not serialize", name)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		back, err := ParseJSON(data)
+		if err != nil {
+			t.Errorf("%s: parse back: %v", name, err)
+			continue
+		}
+		if back.TotalMACs() != w.TotalMACs() {
+			t.Errorf("%s: MACs changed %d -> %d", name, w.TotalMACs(), back.TotalMACs())
+		}
+		if back.TotalParams() != w.TotalParams() {
+			t.Errorf("%s: params changed %d -> %d", name, w.TotalParams(), back.TotalParams())
+		}
+	}
+}

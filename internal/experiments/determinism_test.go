@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestExperimentsDeterministic ensures the recorded transcripts are
+// reproducible: running a generator twice with the same options yields
+// byte-identical output. The search-heavy generators are covered at
+// bench budgets.
+func TestExperimentsDeterministic(t *testing.T) {
+	o := Options{Budget: 60, ParetoSamples: 60, Fast: true, Seed: 3, Workers: 4}
+	for _, id := range []string{"fig2a", "fig2b", "table4", "fig6", "fig9", "fig10"} {
+		g, err := ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var a, b bytes.Buffer
+		if err := g.Run(&a, o); err != nil {
+			t.Fatalf("%s (first): %v", id, err)
+		}
+		if err := g.Run(&b, o); err != nil {
+			t.Fatalf("%s (second): %v", id, err)
+		}
+		if a.String() != b.String() {
+			t.Errorf("%s: output differs between identical runs", id)
+		}
+	}
+}
+
+func TestByIDUnknown(t *testing.T) {
+	if _, err := ByID("fig99"); err == nil {
+		t.Fatal("unknown experiment should fail")
+	}
+}
+
+func TestGeneratorsHaveUniqueIDs(t *testing.T) {
+	seen := map[string]bool{}
+	for _, g := range Generators() {
+		if g.ID == "" || g.Desc == "" || g.Run == nil {
+			t.Fatalf("incomplete generator %+v", g)
+		}
+		if seen[g.ID] {
+			t.Fatalf("duplicate id %q", g.ID)
+		}
+		seen[g.ID] = true
+	}
+	if len(seen) != 20 {
+		t.Fatalf("generator count = %d, want 20", len(seen))
+	}
+}

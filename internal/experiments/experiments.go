@@ -1,0 +1,158 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Sec. V): the Figure 2 motivation, the Figure 6 Pareto
+// search, the Figure 7 platform validation, the Figure 8/9 rationality
+// sweeps, the Figure 10 baseline comparison, the Figure 11 energy
+// efficiency analysis, and the headline improvement number. Each
+// generator writes human-readable tables/series to an io.Writer;
+// cmd/experiments is a thin CLI over this package, and the repository's
+// benchmarks call the same functions so that "the code that regenerates
+// the paper" is exactly the code that is continuously exercised.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+
+	"chrysalis/internal/dnn"
+	"chrysalis/internal/explore"
+	"chrysalis/internal/search"
+	"chrysalis/internal/solar"
+	"chrysalis/internal/units"
+)
+
+// Options tunes experiment fidelity against runtime.
+type Options struct {
+	// Budget is the approximate evaluation budget per search
+	// (0 ⇒ 400; the paper used 10^4+ points per search on a
+	// workstation-hours scale).
+	Budget int
+	// ParetoSamples is the random-scan size for Figure 6 (0 ⇒ 600).
+	ParetoSamples int
+	// Seed makes every experiment deterministic.
+	Seed int64
+	// Fast trims workload sets to keep benchmark iterations short.
+	Fast bool
+	// Workers runs independent searches (and GA evaluations)
+	// concurrently when > 1 (0 ⇒ runtime.NumCPU()).
+	Workers int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Budget == 0 {
+		o.Budget = 400
+	}
+	if o.ParetoSamples == 0 {
+		o.ParetoSamples = 600
+	}
+	if o.Workers == 0 {
+		o.Workers = runtime.NumCPU()
+	}
+	return o
+}
+
+func (o Options) ga(seed int64) search.GAConfig {
+	cfg := search.DefaultGA(o.Seed*1000 + seed)
+	pop := 20
+	gens := o.Budget / pop
+	if gens < 2 {
+		gens = 2
+	}
+	cfg.Population = pop
+	cfg.Generations = gens
+	return cfg
+}
+
+// existingApps returns the Table IV workload list, trimmed under Fast.
+func (o Options) existingApps() []dnn.Workload {
+	if o.Fast {
+		return []dnn.Workload{dnn.SimpleConv(), dnn.HAR()}
+	}
+	return dnn.ExistingAuT()
+}
+
+// futureApps returns the Table V workload list, trimmed under Fast.
+func (o Options) futureApps() []dnn.Workload {
+	if o.Fast {
+		return []dnn.Workload{dnn.HAR(), dnn.ResNet18()}
+	}
+	return dnn.FutureAuT()
+}
+
+// fmtLat renders a latency with infinity handling.
+func fmtLat(l units.Seconds) string {
+	if l != l || l > 1e18 {
+		return "unavailable"
+	}
+	return l.String()
+}
+
+// fmtVal renders an objective value.
+func fmtVal(v float64) string {
+	return fmt.Sprintf("%.3g", v)
+}
+
+// Generator is one experiment regeneration entry point.
+type Generator struct {
+	ID   string
+	Desc string
+	Run  func(w io.Writer, o Options) error
+}
+
+// Generators lists every table/figure generator in paper order.
+func Generators() []Generator {
+	return []Generator{
+		{"table1", "Qualitative platform survey (Table I)", Table1},
+		{"fig2a", "MSP430 vs Eyeriss V1 non-intermittent comparison (Fig. 2a)", Fig2a},
+		{"fig2b", "HAWAII-style capacitor sensitivity (Fig. 2b)", Fig2b},
+		{"table3", "Supported component setups (Table III)", Table3},
+		{"table4", "Existing-AuT design space and applications (Table IV)", Table4},
+		{"table5", "Future-AuT design space and applications (Table V)", Table5},
+		{"fig6", "Pareto search for existing MSP-based AuT (Fig. 6)", Fig6},
+		{"fig7", "Platform validation vs iNAS-style design (Fig. 7)", Fig7},
+		{"fig8", "Solar-panel sizing rationality sweep (Fig. 8)", Fig8},
+		{"fig9", "Capacitor sizing rationality sweep (Fig. 9)", Fig9},
+		{"fig10", "Baseline comparison across networks/archs/objectives (Fig. 10)", Fig10},
+		{"fig11", "Energy-efficiency comparison (Fig. 11)", Fig11},
+		{"headline", "Average improvement of full co-design (headline 56.4%)", Headline},
+		{"ext-policy", "Extension: checkpoint-policy comparison", ExtPolicy},
+		{"ext-day", "Extension: day-scale deployment under diurnal light", ExtDayRun},
+		{"ext-thermal", "Extension: ambient-temperature coupling", ExtThermal},
+		{"ext-robust", "Extension: search robustness across seeds", ExtRobustness},
+		{"ext-storage", "Extension: capacitor technology comparison", ExtStorage},
+		{"ext-space", "Extension: design-space cardinality", ExtSpace},
+		{"ext-lea", "Extension: LEA accelerator ablation", ExtLEA},
+	}
+}
+
+// ByID finds a generator.
+func ByID(id string) (Generator, error) {
+	for _, g := range Generators() {
+		if g.ID == id {
+			return g, nil
+		}
+	}
+	return Generator{}, fmt.Errorf("experiments: unknown experiment %q", id)
+}
+
+// All runs every generator in order.
+func All(w io.Writer, o Options) error {
+	for _, g := range Generators() {
+		fmt.Fprintf(w, "\n########## %s — %s ##########\n\n", g.ID, g.Desc)
+		if err := g.Run(w, o); err != nil {
+			return fmt.Errorf("experiments: %s: %w", g.ID, err)
+		}
+	}
+	return nil
+}
+
+// brightOnly is the single-environment list used by sweeps that the
+// paper runs under one light condition.
+func brightOnly() []solar.Environment { return []solar.Environment{solar.Bright()} }
+
+// iNASCandidate is the reference design the paper compares against in
+// Figures 6 and 7: the iNAS operating point (P_in = 6 mW ⇒ 6 cm²
+// bright, C = 1 mF) without hardware search.
+func iNASCandidate() explore.Candidate {
+	return explore.Candidate{PanelArea: explore.FixedPanel, Cap: explore.FixedCap}
+}

@@ -1,0 +1,17 @@
+package experiments
+
+import (
+	"os"
+	"testing"
+)
+
+func TestSmokeAll(t *testing.T) {
+	o := Options{Budget: 60, ParetoSamples: 80, Fast: true, Seed: 1}
+	for _, g := range Generators() {
+		t.Run(g.ID, func(t *testing.T) {
+			if err := g.Run(os.Stdout, o); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

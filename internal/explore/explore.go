@@ -1,0 +1,676 @@
+// Package explore implements the CHRYSALIS Explorer: the bi-level
+// search of Sec. III-C. The outer HW-level optimizer (a genetic
+// algorithm over panel area, capacitor size and — for accelerator
+// platforms — architecture, PE count and PE cache) proposes hardware
+// configurations; for each, the inner SW-level optimizer searches the
+// mapping space (dataflow × partition × tile count per layer) and
+// returns the best achievable objective, which the outer loop then
+// optimizes. Table VI's ablation baselines (wo/Cap … wo/IA) are the
+// same search with the corresponding dimensions pinned to fixed
+// defaults.
+package explore
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"chrysalis/internal/accel"
+	"chrysalis/internal/dataflow"
+	"chrysalis/internal/dnn"
+	"chrysalis/internal/energy"
+	"chrysalis/internal/intermittent"
+	"chrysalis/internal/msp430"
+	"chrysalis/internal/search"
+	"chrysalis/internal/sim"
+	"chrysalis/internal/solar"
+	"chrysalis/internal/storage"
+	"chrysalis/internal/units"
+)
+
+// Objective selects the design target (Sec. IV): minimize latency under
+// a solar-panel bound, minimize panel size under a latency bound, or
+// minimize their product (space-time cost).
+type Objective int
+
+const (
+	// Lat minimizes average latency subject to MaxPanel.
+	Lat Objective = iota
+	// SP minimizes panel area subject to MaxLatency.
+	SP
+	// LatSP minimizes latency × panel area.
+	LatSP
+)
+
+// String implements fmt.Stringer.
+func (o Objective) String() string {
+	switch o {
+	case Lat:
+		return "lat"
+	case SP:
+		return "sp"
+	case LatSP:
+		return "lat*sp"
+	default:
+		return fmt.Sprintf("objective(%d)", int(o))
+	}
+}
+
+// Objectives lists all objectives in paper order.
+func Objectives() []Objective { return []Objective{Lat, SP, LatSP} }
+
+// ParseObjective converts a name to an Objective.
+func ParseObjective(s string) (Objective, error) {
+	switch s {
+	case "lat":
+		return Lat, nil
+	case "sp":
+		return SP, nil
+	case "lat*sp", "latsp":
+		return LatSP, nil
+	default:
+		return 0, fmt.Errorf("explore: unknown objective %q (want lat, sp or lat*sp)", s)
+	}
+}
+
+// PlatformKind selects the inference-hardware family.
+type PlatformKind int
+
+const (
+	// MSP is the existing-AuT platform (MSP430FR5994 + LEA, Table IV).
+	MSP PlatformKind = iota
+	// Accel is the future-AuT reconfigurable accelerator (Table V).
+	Accel
+)
+
+// String implements fmt.Stringer.
+func (p PlatformKind) String() string {
+	if p == MSP {
+		return "msp430"
+	}
+	return "accel"
+}
+
+// Baseline identifies a Table VI search-space ablation.
+type Baseline int
+
+const (
+	// Full is CHRYSALIS: every dimension searched.
+	Full Baseline = iota
+	// WoCap pins the capacitor size.
+	WoCap
+	// WoSP pins the solar-panel area (the iNAS design approach).
+	WoSP
+	// WoEA pins the whole energy subsystem (SONIC/HAWAII-style).
+	WoEA
+	// WoPE pins the PE count.
+	WoPE
+	// WoCache pins the PE cache size.
+	WoCache
+	// WoIA pins the whole inference subsystem.
+	WoIA
+)
+
+// String implements fmt.Stringer.
+func (b Baseline) String() string {
+	switch b {
+	case Full:
+		return "chrysalis"
+	case WoCap:
+		return "wo/Cap"
+	case WoSP:
+		return "wo/SP"
+	case WoEA:
+		return "wo/EA"
+	case WoPE:
+		return "wo/PE"
+	case WoCache:
+		return "wo/Cache"
+	case WoIA:
+		return "wo/IA"
+	default:
+		return fmt.Sprintf("baseline(%d)", int(b))
+	}
+}
+
+// Baselines lists the Table VI rows in paper order (CHRYSALIS last).
+func Baselines() []Baseline {
+	return []Baseline{WoCap, WoSP, WoEA, WoPE, WoCache, WoIA, Full}
+}
+
+// Fixed defaults used when a baseline pins a dimension. The panel and
+// capacitor values reproduce the iNAS reference operating point the
+// paper replicates in Figure 7 (P_in = 6 mW ⇒ 6 cm² bright, C = 1 mF);
+// the inference defaults are mid-range values a designer might pick
+// without search.
+const (
+	FixedPanel units.AreaCM2     = 6
+	FixedCap   units.Capacitance = 1e-3
+	FixedNPE                     = 16
+	FixedCache units.Bytes       = 256
+)
+
+// Scenario describes one design problem.
+type Scenario struct {
+	Workload dnn.Workload
+	Platform PlatformKind
+	// Envs are the solar environments to average over; nil selects the
+	// paper's bright+dark pair.
+	Envs      []solar.Environment
+	Objective Objective
+	// MaxPanel bounds the panel for the Lat objective (0 ⇒ 30 cm²).
+	MaxPanel units.AreaCM2
+	// MaxLatency bounds latency for the SP objective (0 ⇒ 30 s).
+	MaxLatency units.Seconds
+	// Rexc is the energy-exception rate (<0 ⇒ default).
+	Rexc float64
+	// Arch, when non-nil, pins the accelerator architecture instead of
+	// searching it (the per-architecture columns of Figure 10).
+	Arch *accel.Arch
+	// Mapper selects the SW-level optimizer realization (greedy
+	// analytical planner by default, or the CHRYSALIS-GAMMA genetic
+	// mapper).
+	Mapper Mapper
+}
+
+func (s Scenario) withDefaults() Scenario {
+	if s.Envs == nil {
+		s.Envs = []solar.Environment{solar.Bright(), solar.Dark()}
+	}
+	if s.MaxPanel == 0 {
+		s.MaxPanel = solar.MaxPanelArea
+	}
+	if s.MaxLatency == 0 {
+		s.MaxLatency = 30
+	}
+	if s.Rexc < 0 {
+		s.Rexc = intermittent.DefaultExceptionRate
+	}
+	return s
+}
+
+// Validate checks the scenario.
+func (s Scenario) Validate() error {
+	if err := s.Workload.Validate(); err != nil {
+		return err
+	}
+	if s.Platform != MSP && s.Platform != Accel {
+		return fmt.Errorf("explore: unknown platform %d", int(s.Platform))
+	}
+	switch s.Objective {
+	case Lat, SP, LatSP:
+	default:
+		return fmt.Errorf("explore: unknown objective %d", int(s.Objective))
+	}
+	if s.MaxPanel < 0 || s.MaxPanel > solar.MaxPanelArea {
+		return fmt.Errorf("explore: MaxPanel %v outside (0, %v]", s.MaxPanel, solar.MaxPanelArea)
+	}
+	return nil
+}
+
+// Candidate is one hardware design point.
+type Candidate struct {
+	PanelArea units.AreaCM2
+	Cap       units.Capacitance
+	// Accel is set for the Accel platform; MSP candidates leave it nil.
+	Accel *accel.Config
+}
+
+// String renders the candidate for reports.
+func (c Candidate) String() string {
+	if c.Accel != nil {
+		return fmt.Sprintf("sp=%v cap=%v arch=%v pe=%d cache=%v",
+			c.PanelArea, c.Cap, c.Accel.Arch, c.Accel.NPE, c.Accel.CacheBytes)
+	}
+	return fmt.Sprintf("sp=%v cap=%v msp430", c.PanelArea, c.Cap)
+}
+
+// LayerChoice records the mapping the inner optimizer chose for one layer.
+type LayerChoice struct {
+	Layer   string
+	Mapping dataflow.Mapping
+	Plan    intermittent.Plan
+}
+
+// EnvResult is the evaluation under one environment.
+type EnvResult struct {
+	Env        string
+	Latency    units.Seconds
+	Energy     units.Energy
+	CkptEnergy units.Energy
+	Efficiency float64
+	Feasible   bool
+}
+
+// Evaluation is the full assessment of one candidate.
+type Evaluation struct {
+	Candidate Candidate
+	Mappings  []LayerChoice
+	PerEnv    []EnvResult
+	// AvgLatency averages the per-environment latencies (the paper's
+	// search metric for dual-environment robustness).
+	AvgLatency units.Seconds
+	// LatSP is AvgLatency × PanelArea (cm²·s).
+	LatSP    float64
+	Feasible bool
+}
+
+// platformLoad returns the inference subsystem's active power draw.
+func platformLoad(sc Scenario, cand Candidate, df dataflow.Dataflow) (units.Power, error) {
+	if sc.Platform == MSP {
+		return msp430.Config{}.ActivePower(), nil
+	}
+	return cand.Accel.ActivePower(df)
+}
+
+// platformHW returns the dataflow cost constants.
+func platformHW(sc Scenario, cand Candidate, df dataflow.Dataflow) (dataflow.HW, error) {
+	if sc.Platform == MSP {
+		return msp430.Config{}.HW(), nil
+	}
+	return cand.Accel.HW(df)
+}
+
+// dataflowChoices returns the dataflows the inner optimizer explores.
+func dataflowChoices(sc Scenario) []dataflow.Dataflow {
+	if sc.Platform == MSP {
+		// Single-PE device: the taxonomy degenerates; OS matches how
+		// the LEA accumulates.
+		return []dataflow.Dataflow{dataflow.OS}
+	}
+	return dataflow.Dataflows()
+}
+
+// budgetMargin leaves headroom between the planned tile energy and the
+// cycle budget so jitter does not starve tiles at the boundary.
+const budgetMargin = 0.9
+
+// innerSearch is the SW-level optimizer: for a fixed candidate it
+// chooses, per layer, the (dataflow, partition, N_tile) minimizing the
+// layer's total energy, subject to every tile fitting the tightest
+// per-cycle budget across environments (Eq. 8).
+func innerSearch(sc Scenario, cand Candidate) ([]LayerChoice, error) {
+	w := sc.Workload
+	choices := make([]LayerChoice, 0, len(w.Layers))
+
+	// Budget closure: the minimum cycle budget across environments at
+	// the querying tile's own power draw (Eq. 8 with the Eq. 3 T term).
+	subsystems := make([]*energy.Subsystem, 0, len(sc.Envs))
+	for _, env := range sc.Envs {
+		es, err := energy.NewSolar(energy.Spec{PanelArea: cand.PanelArea, Cap: cand.Cap}, env)
+		if err != nil {
+			return nil, err
+		}
+		subsystems = append(subsystems, es)
+	}
+	budget := func(load units.Power) units.Energy {
+		minB := units.Energy(math.Inf(1))
+		for _, es := range subsystems {
+			b, _ := es.CycleBudget(load)
+			if b < minB {
+				minB = b
+			}
+		}
+		if math.IsInf(float64(minB), 1) {
+			return 1e6 // always-on: effectively unbounded
+		}
+		return units.Energy(float64(minB) * budgetMargin)
+	}
+
+	// Precompute the hardware constants once per dataflow; they do not
+	// depend on the layer.
+	type dfCtx struct {
+		df dataflow.Dataflow
+		hw dataflow.HW
+	}
+	ctxs := make([]dfCtx, 0, 3)
+	for _, df := range dataflowChoices(sc) {
+		hw, err := platformHW(sc, cand, df)
+		if err != nil {
+			return nil, err
+		}
+		ctxs = append(ctxs, dfCtx{df: df, hw: hw})
+	}
+
+	for _, l := range w.Layers {
+		var (
+			best     LayerChoice
+			bestE    = units.Energy(math.Inf(1))
+			lastErr  error
+			foundAny bool
+		)
+		for _, ctx := range ctxs {
+			df, hw := ctx.df, ctx.hw
+			for _, part := range []dataflow.Partition{dataflow.ByChannel, dataflow.BySpatial} {
+				p, err := intermittent.MinFeasibleTiles(l, w.ElemBytes, df, part, hw, sc.Rexc, budget)
+				if err != nil {
+					lastErr = err
+					continue
+				}
+				if p.Energy < bestE {
+					bestE = p.Energy
+					best = LayerChoice{Layer: l.Name, Mapping: p.Cost.Mapping, Plan: p}
+					foundAny = true
+				}
+			}
+		}
+		if !foundAny {
+			return nil, fmt.Errorf("explore: layer %s infeasible on %s: %w", l.Name, cand, lastErr)
+		}
+		choices = append(choices, best)
+	}
+	return choices, nil
+}
+
+// EvaluateCandidate runs the inner mapping search and the analytic
+// evaluator under every environment.
+func EvaluateCandidate(sc Scenario, cand Candidate) (Evaluation, error) {
+	sc = sc.withDefaults()
+	if err := sc.Validate(); err != nil {
+		return Evaluation{}, err
+	}
+	if sc.Platform == Accel {
+		if cand.Accel == nil {
+			return Evaluation{}, fmt.Errorf("explore: accel platform needs an accelerator config")
+		}
+		if err := cand.Accel.Validate(); err != nil {
+			return Evaluation{}, err
+		}
+	} else if cand.Accel != nil {
+		return Evaluation{}, fmt.Errorf("explore: MSP platform must not carry an accelerator config")
+	}
+
+	ev := Evaluation{Candidate: cand}
+	var choices []LayerChoice
+	var err2 error
+	if sc.Mapper == MapperGA {
+		choices, err2 = innerSearchGA(sc, cand)
+	} else {
+		choices, err2 = innerSearch(sc, cand)
+	}
+	if err2 != nil {
+		return ev, err2
+	}
+	ev.Mappings = choices
+	plans := make([]intermittent.Plan, len(choices))
+	for i, c := range choices {
+		plans[i] = c.Plan
+	}
+
+	var latSum float64
+	feasible := true
+	for _, env := range sc.Envs {
+		es, err := energy.NewSolar(energy.Spec{PanelArea: cand.PanelArea, Cap: cand.Cap}, env)
+		if err != nil {
+			return ev, err
+		}
+		r := sim.Analytic(es, plans)
+		er := EnvResult{
+			Env:        env.Name(),
+			Latency:    r.E2ELatency,
+			Energy:     r.Breakdown.Delivered(),
+			CkptEnergy: r.Breakdown.Ckpt,
+			Efficiency: r.SystemEfficiency,
+			Feasible:   r.Completed,
+		}
+		ev.PerEnv = append(ev.PerEnv, er)
+		if !r.Completed {
+			feasible = false
+			continue
+		}
+		latSum += float64(r.E2ELatency)
+	}
+	ev.Feasible = feasible
+	if feasible {
+		ev.AvgLatency = units.Seconds(latSum / float64(len(sc.Envs)))
+		ev.LatSP = float64(ev.AvgLatency) * float64(cand.PanelArea)
+	} else {
+		ev.AvgLatency = units.Seconds(math.Inf(1))
+		ev.LatSP = math.Inf(1)
+	}
+	return ev, nil
+}
+
+// objectiveValue scores an evaluation (lower is better, +Inf infeasible).
+func objectiveValue(sc Scenario, ev Evaluation) float64 {
+	if !ev.Feasible {
+		return math.Inf(1)
+	}
+	switch sc.Objective {
+	case Lat:
+		if ev.Candidate.PanelArea > sc.MaxPanel {
+			return math.Inf(1)
+		}
+		return float64(ev.AvgLatency)
+	case SP:
+		v := float64(ev.Candidate.PanelArea)
+		if ev.AvgLatency > sc.MaxLatency {
+			// Smooth penalty keeps the GA gradient toward feasibility.
+			excess := float64(ev.AvgLatency-sc.MaxLatency) / float64(sc.MaxLatency)
+			v += float64(solar.MaxPanelArea) * (1 + excess)
+		}
+		return v
+	default: // LatSP
+		return ev.LatSP
+	}
+}
+
+// genomeSpec describes which dimensions the baseline searches.
+type genomeSpec struct {
+	sp, cap, arch, npe, cache bool
+}
+
+func spec(sc Scenario, b Baseline) genomeSpec {
+	g := genomeSpec{sp: true, cap: true}
+	if sc.Platform == Accel {
+		g.arch, g.npe, g.cache = true, true, true
+		if sc.Arch != nil {
+			g.arch = false
+		}
+	}
+	switch b {
+	case WoCap:
+		g.cap = false
+	case WoSP:
+		g.sp = false
+	case WoEA:
+		g.sp, g.cap = false, false
+	case WoPE:
+		g.npe = false
+	case WoCache:
+		g.cache = false
+	case WoIA:
+		g.arch, g.npe, g.cache = false, false, false
+	}
+	return g
+}
+
+func (g genomeSpec) dim() int {
+	n := 0
+	for _, b := range []bool{g.sp, g.cap, g.arch, g.npe, g.cache} {
+		if b {
+			n++
+		}
+	}
+	if n == 0 {
+		n = 1 // degenerate space still needs a genome for the optimizer
+	}
+	return n
+}
+
+// decode maps a genome to a candidate under the scenario's bounds.
+func decode(sc Scenario, g genomeSpec, genome []float64) Candidate {
+	i := 0
+	next := func() float64 {
+		v := genome[i%len(genome)]
+		i++
+		return v
+	}
+	cand := Candidate{PanelArea: FixedPanel, Cap: FixedCap}
+	maxSP := float64(sc.MaxPanel)
+	if g.sp {
+		cand.PanelArea = units.AreaCM2(search.MapFloat(next(), float64(solar.MinPanelArea), maxSP, false))
+	}
+	if g.cap {
+		cand.Cap = units.Capacitance(search.MapFloat(next(),
+			float64(storage.MinCapacitance), float64(storage.MaxCapacitance), true))
+	}
+	if sc.Platform == Accel {
+		ac := accel.Config{Arch: accel.TPU, NPE: FixedNPE, CacheBytes: FixedCache}
+		if sc.Arch != nil {
+			ac.Arch = *sc.Arch
+		}
+		if g.arch {
+			ac.Arch = accel.Arches()[search.MapChoice(next(), len(accel.Arches()))]
+		}
+		if g.npe {
+			ac.NPE = search.MapInt(next(), accel.MinPE, accel.MaxPE)
+		}
+		if g.cache {
+			ac.CacheBytes = units.Bytes(search.MapFloat(next(),
+				float64(accel.MinCacheBytes), float64(accel.MaxCacheBytes), true))
+		}
+		cand.Accel = &ac
+	}
+	return cand
+}
+
+// Outcome is the result of one Explore run.
+type Outcome struct {
+	Scenario Scenario
+	Baseline Baseline
+	Best     Evaluation
+	// Value is the best objective value (lower is better).
+	Value float64
+	// Evals is the number of candidate evaluations spent.
+	Evals int
+}
+
+// Explore runs the bi-level search for a scenario under a baseline's
+// search space. cfg seeds and sizes the outer GA.
+func Explore(sc Scenario, b Baseline, cfg search.GAConfig) (Outcome, error) {
+	sc = sc.withDefaults()
+	if err := sc.Validate(); err != nil {
+		return Outcome{}, err
+	}
+	g := spec(sc, b)
+
+	var (
+		mu    sync.Mutex
+		best  Evaluation
+		bestV = math.Inf(1)
+	)
+	problem := search.Problem{
+		Dim: g.dim(),
+		Eval: func(genome []float64) float64 {
+			cand := decode(sc, g, genome)
+			ev, err := EvaluateCandidate(sc, cand)
+			if err != nil {
+				return math.Inf(1)
+			}
+			v := objectiveValue(sc, ev)
+			mu.Lock()
+			if v < bestV {
+				bestV = v
+				best = ev
+			}
+			mu.Unlock()
+			return v
+		},
+	}
+	res, err := search.RunGA(problem, cfg)
+	if err != nil {
+		return Outcome{}, err
+	}
+	if math.IsInf(bestV, 1) {
+		return Outcome{}, fmt.Errorf("explore: no feasible design for %s/%s under %s",
+			sc.Workload.Name, sc.Platform, b)
+	}
+	return Outcome{Scenario: sc, Baseline: b, Best: best, Value: bestV, Evals: res.Evals}, nil
+}
+
+// ParetoPoint pairs a candidate with its (panel, latency) coordinates.
+type ParetoPoint struct {
+	Candidate Candidate
+	PanelArea units.AreaCM2
+	Latency   units.Seconds
+	LatSP     float64
+}
+
+// ParetoScan samples the design space at random and returns all
+// feasible points plus the Pareto front over (panel area, latency) —
+// the Figure 6 analysis.
+func ParetoScan(sc Scenario, n int, seed int64) (points, front []ParetoPoint, err error) {
+	sc = sc.withDefaults()
+	if err := sc.Validate(); err != nil {
+		return nil, nil, err
+	}
+	g := spec(sc, Full)
+
+	var all []ParetoPoint
+	problem := search.Problem{
+		Dim: g.dim(),
+		Eval: func(genome []float64) float64 {
+			cand := decode(sc, g, genome)
+			ev, evalErr := EvaluateCandidate(sc, cand)
+			if evalErr != nil || !ev.Feasible {
+				return math.Inf(1)
+			}
+			all = append(all, ParetoPoint{
+				Candidate: cand,
+				PanelArea: cand.PanelArea,
+				Latency:   ev.AvgLatency,
+				LatSP:     ev.LatSP,
+			})
+			return ev.LatSP
+		},
+	}
+	if _, err := search.RunRandom(problem, n, seed, false); err != nil {
+		return nil, nil, err
+	}
+	pts := make([]search.Point2, len(all))
+	for i, p := range all {
+		pts[i] = search.Point2{X: float64(p.PanelArea), Y: float64(p.Latency), Tag: i}
+	}
+	for _, fp := range search.ParetoFront(pts) {
+		front = append(front, all[fp.Tag])
+	}
+	return all, front, nil
+}
+
+// ParetoSearch runs a true multi-objective search (NSGA-II) over the
+// hardware space for the (panel area, average latency) front — a
+// stronger generator for the paper's Figure 6 curve than the random
+// scan, at the same evaluation budget.
+func ParetoSearch(sc Scenario, cfg search.GAConfig) (front []ParetoPoint, evals int, err error) {
+	sc = sc.withDefaults()
+	if err := sc.Validate(); err != nil {
+		return nil, 0, err
+	}
+	g := spec(sc, Full)
+	problem := search.BiProblem{
+		Dim: g.dim(),
+		Eval: func(genome []float64) (float64, float64) {
+			cand := decode(sc, g, genome)
+			ev, evalErr := EvaluateCandidate(sc, cand)
+			if evalErr != nil || !ev.Feasible {
+				return math.Inf(1), math.Inf(1)
+			}
+			return float64(cand.PanelArea), float64(ev.AvgLatency)
+		},
+	}
+	raw, evals, err := search.RunNSGA2(problem, cfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	for _, p := range raw {
+		cand := decode(sc, g, p.Genome)
+		front = append(front, ParetoPoint{
+			Candidate: cand,
+			PanelArea: units.AreaCM2(p.F1),
+			Latency:   units.Seconds(p.F2),
+			LatSP:     p.F1 * p.F2,
+		})
+	}
+	return front, evals, nil
+}

@@ -1,0 +1,141 @@
+package explore
+
+import (
+	"fmt"
+	"math"
+
+	"chrysalis/internal/dataflow"
+	"chrysalis/internal/energy"
+	"chrysalis/internal/intermittent"
+	"chrysalis/internal/search"
+	"chrysalis/internal/units"
+)
+
+// Mapper selects the SW-level optimizer realization (Table III lists
+// two: the iNAS-like tile searcher and CHRYSALIS-GAMMA, a genetic
+// mapping search).
+type Mapper int
+
+const (
+	// MapperGreedy is the default analytical planner: per layer, the
+	// cheapest feasible (dataflow, partition, N_tile) via Eq. 8/9. The
+	// per-layer costs are independent, so greedy per-layer choice is
+	// exact for the energy objective.
+	MapperGreedy Mapper = iota
+	// MapperGA is the CHRYSALIS-GAMMA realization: a genetic search
+	// over the joint per-layer mapping genome. It exists to validate
+	// the greedy planner and to support cost models with cross-layer
+	// coupling.
+	MapperGA
+)
+
+// String implements fmt.Stringer.
+func (m Mapper) String() string {
+	if m == MapperGA {
+		return "gamma-ga"
+	}
+	return "greedy"
+}
+
+// gaMapperBudget sizes the inner GA. The genome has 3 genes per layer;
+// budgets scale with depth.
+func gaMapperConfig(layers int, seed int64) search.GAConfig {
+	cfg := search.DefaultGA(seed)
+	cfg.Population = 16
+	cfg.Generations = 6 + layers/2
+	if cfg.Generations > 40 {
+		cfg.Generations = 40
+	}
+	return cfg
+}
+
+// innerSearchGA is the CHRYSALIS-GAMMA mapping search: one genome
+// holds (dataflow, partition, tile-count index) for every layer and a
+// GA minimizes the summed Eq. 5 energy subject to per-layer Eq. 8
+// feasibility.
+func innerSearchGA(sc Scenario, cand Candidate) ([]LayerChoice, error) {
+	w := sc.Workload
+
+	// Budget closure shared with the greedy mapper.
+	subsystems := make([]*energy.Subsystem, 0, len(sc.Envs))
+	for _, env := range sc.Envs {
+		es, err := energy.NewSolar(energy.Spec{PanelArea: cand.PanelArea, Cap: cand.Cap}, env)
+		if err != nil {
+			return nil, err
+		}
+		subsystems = append(subsystems, es)
+	}
+	budget := func(load units.Power) units.Energy {
+		minB := units.Energy(math.Inf(1))
+		for _, es := range subsystems {
+			b, _ := es.CycleBudget(load)
+			if b < minB {
+				minB = b
+			}
+		}
+		if math.IsInf(float64(minB), 1) {
+			return 1e6
+		}
+		return units.Energy(float64(minB) * budgetMargin)
+	}
+
+	dfs := dataflowChoices(sc)
+	hws := make([]dataflow.HW, len(dfs))
+	for i, df := range dfs {
+		hw, err := platformHW(sc, cand, df)
+		if err != nil {
+			return nil, err
+		}
+		hws[i] = hw
+	}
+
+	// Candidate tile counts per layer per partition (precomputed).
+	type layerSpace struct {
+		ntiles [2][]int // indexed by partition
+	}
+	spaces := make([]layerSpace, len(w.Layers))
+	for i, l := range w.Layers {
+		spaces[i].ntiles[dataflow.ByChannel] = dataflow.CandidateNTiles(l, dataflow.ByChannel)
+		spaces[i].ntiles[dataflow.BySpatial] = dataflow.CandidateNTiles(l, dataflow.BySpatial)
+	}
+
+	decode := func(genome []float64) ([]LayerChoice, float64) {
+		choices := make([]LayerChoice, len(w.Layers))
+		var total float64
+		for i, l := range w.Layers {
+			dfi := search.MapChoice(genome[3*i], len(dfs))
+			part := dataflow.Partition(search.MapChoice(genome[3*i+1], 2))
+			nt := spaces[i].ntiles[part]
+			n := nt[search.MapChoice(genome[3*i+2], len(nt))]
+			m := dataflow.Mapping{Dataflow: dfs[dfi], Partition: part, NTile: n}
+			p, err := intermittent.PlanLayer(l, w.ElemBytes, m, hws[dfi], sc.Rexc)
+			if err != nil {
+				return nil, math.Inf(1) // tile does not fit VM
+			}
+			if avail := budget(p.TilePower()); avail <= 0 || p.TileEnergy > avail {
+				return nil, math.Inf(1) // Eq. 8 violated
+			}
+			choices[i] = LayerChoice{Layer: l.Name, Mapping: p.Cost.Mapping, Plan: p}
+			total += float64(p.Energy)
+		}
+		return choices, total
+	}
+
+	problem := search.Problem{
+		Dim: 3 * len(w.Layers),
+		Eval: func(genome []float64) float64 {
+			_, v := decode(genome)
+			return v
+		},
+	}
+	seed := int64(float64(cand.PanelArea)*1e3) ^ int64(float64(cand.Cap)*1e9)
+	res, err := search.RunGA(problem, gaMapperConfig(len(w.Layers), seed))
+	if err != nil {
+		return nil, err
+	}
+	if math.IsInf(res.BestValue, 1) {
+		return nil, fmt.Errorf("explore: gamma mapper found no feasible mapping for %s on %s", w.Name, cand)
+	}
+	choices, _ := decode(res.Best)
+	return choices, nil
+}

@@ -1,0 +1,78 @@
+package explore
+
+import (
+	"testing"
+
+	"chrysalis/internal/accel"
+	"chrysalis/internal/dnn"
+)
+
+func TestMapperString(t *testing.T) {
+	if MapperGreedy.String() != "greedy" || MapperGA.String() != "gamma-ga" {
+		t.Fatal("mapper names")
+	}
+}
+
+func TestGAMapperFeasibleAndNearGreedy(t *testing.T) {
+	// The greedy planner is exact for the per-layer-decomposable energy
+	// objective, so CHRYSALIS-GAMMA must land on feasible mappings
+	// within a modest factor of greedy (it validates the planner).
+	for _, wl := range []dnn.Workload{dnn.HAR(), dnn.KWS()} {
+		scGreedy := Scenario{Workload: wl, Platform: MSP, Objective: LatSP}
+		scGA := scGreedy
+		scGA.Mapper = MapperGA
+		cand := Candidate{PanelArea: 8, Cap: 470e-6}
+
+		evGreedy, err := EvaluateCandidate(scGreedy, cand)
+		if err != nil {
+			t.Fatalf("%s greedy: %v", wl.Name, err)
+		}
+		evGA, err := EvaluateCandidate(scGA, cand)
+		if err != nil {
+			t.Fatalf("%s gamma: %v", wl.Name, err)
+		}
+		if !evGreedy.Feasible || !evGA.Feasible {
+			t.Fatalf("%s: both mappers should be feasible", wl.Name)
+		}
+		ratio := float64(evGA.AvgLatency) / float64(evGreedy.AvgLatency)
+		if ratio < 0.99 {
+			t.Errorf("%s: GA mapper (%v) beat the exact greedy planner (%v)?",
+				wl.Name, evGA.AvgLatency, evGreedy.AvgLatency)
+		}
+		if ratio > 1.5 {
+			t.Errorf("%s: GA mapper (%v) much worse than greedy (%v)",
+				wl.Name, evGA.AvgLatency, evGreedy.AvgLatency)
+		}
+	}
+}
+
+func TestGAMapperOnAccelerator(t *testing.T) {
+	ac := accel.Config{Arch: accel.Eyeriss, NPE: 64, CacheBytes: 512}
+	sc := Scenario{Workload: dnn.HAR(), Platform: Accel, Objective: LatSP, Mapper: MapperGA}
+	ev, err := EvaluateCandidate(sc, Candidate{PanelArea: 16, Cap: 1e-3, Accel: &ac})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ev.Feasible {
+		t.Fatal("gamma mapper should find a feasible accelerator mapping")
+	}
+	if len(ev.Mappings) != len(dnn.HAR().Layers) {
+		t.Fatalf("mappings = %d", len(ev.Mappings))
+	}
+}
+
+func TestGAMapperDeterministicPerCandidate(t *testing.T) {
+	sc := Scenario{Workload: dnn.KWS(), Platform: MSP, Objective: LatSP, Mapper: MapperGA}
+	cand := Candidate{PanelArea: 8, Cap: 470e-6}
+	a, err := EvaluateCandidate(sc, cand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EvaluateCandidate(sc, cand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.AvgLatency != b.AvgLatency {
+		t.Fatal("gamma mapper must be deterministic per candidate")
+	}
+}

@@ -1,0 +1,196 @@
+// Package intermittent models checkpointed intermittent execution — the
+// paper's InterTempMap semantics (Sec. III-B.2): a layer is divided into
+// N_tile tiles; after each tile the volatile state is persisted to NVM
+// ("save"), and after a power interruption it is restored ("resume").
+// Equation 5 charges each tile (1 + r_exc)·N_ckpt·(e_r + e_w) of
+// checkpoint energy, where r_exc is the scenario's energy-exception
+// rate; Equations 8–9 bound the minimum tile count so that one tile
+// (plus its checkpoint) fits the energy available in one cycle.
+package intermittent
+
+import (
+	"fmt"
+
+	"chrysalis/internal/dataflow"
+	"chrysalis/internal/dnn"
+	"chrysalis/internal/units"
+)
+
+// DefaultExceptionRate is the paper's static r_exc simplification: the
+// probability that a tile is interrupted and must be re-executed.
+const DefaultExceptionRate = 0.05
+
+// SaveEnergy returns the energy to persist b bytes of volatile state.
+func SaveEnergy(hw dataflow.HW, b units.Bytes) units.Energy {
+	return units.Energy(float64(hw.ENVMWritePerByte) * float64(b))
+}
+
+// ResumeEnergy returns the energy to restore b bytes from NVM.
+func ResumeEnergy(hw dataflow.HW, b units.Bytes) units.Energy {
+	return units.Energy(float64(hw.ENVMReadPerByte) * float64(b))
+}
+
+// CheckpointEnergy is the paper's per-checkpoint cost N_ckpt·(e_r+e_w):
+// one save plus the matching resume.
+func CheckpointEnergy(hw dataflow.HW, b units.Bytes) units.Energy {
+	return SaveEnergy(hw, b) + ResumeEnergy(hw, b)
+}
+
+// CheckpointTime returns the time to stream b bytes to or from NVM.
+// Unbounded-bandwidth hardware checkpoints "instantly" (the energy cost
+// still applies).
+func CheckpointTime(hw dataflow.HW, b units.Bytes) units.Seconds {
+	if hw.NVMBytesPerSec <= 0 {
+		return 0
+	}
+	return units.Seconds(float64(b) / hw.NVMBytesPerSec)
+}
+
+// Plan is the intermittent execution plan for one layer: the dataflow
+// cost plus checkpoint accounting per Eq. 4–5.
+type Plan struct {
+	Layer     dnn.Layer
+	Cost      dataflow.Cost
+	Rexc      float64
+	CkptBytes units.Bytes
+
+	// TileEnergy is the full per-cycle budget a tile needs: compute and
+	// data movement, static energy during the tile, and the expected
+	// checkpoint cost (1+r_exc)·N_ckpt·(e_r+e_w).
+	TileEnergy units.Energy
+	// TileTime is the powered time per tile including the checkpoint
+	// save and the amortized resume.
+	TileTime units.Seconds
+
+	// Energy is the layer's total E_all (Eq. 5).
+	Energy units.Energy
+	// Time is the layer's total powered execution time.
+	Time units.Seconds
+	// CkptEnergy is the checkpoint component of Energy, reported
+	// separately for the Figure 8/9 breakdowns.
+	CkptEnergy units.Energy
+	// StaticEnergy is the T·N_mem·p_mem (+idle) component of Energy.
+	StaticEnergy units.Energy
+}
+
+// PlanLayer evaluates a layer under a mapping and adds intermittent
+// checkpoint accounting. rexc < 0 selects DefaultExceptionRate.
+func PlanLayer(l dnn.Layer, elemBytes int, m dataflow.Mapping, hw dataflow.HW, rexc float64) (Plan, error) {
+	if rexc < 0 {
+		rexc = DefaultExceptionRate
+	}
+	if rexc >= 1 {
+		return Plan{}, fmt.Errorf("intermittent: exception rate %g must be below 1", rexc)
+	}
+	c, err := dataflow.Evaluate(l, elemBytes, m, hw)
+	if err != nil {
+		return Plan{}, err
+	}
+	// The checkpoint captures the tile's volatile working set (paper
+	// Fig. 4 step ⑥: "all data in VM and the processing hardware").
+	ckptB := c.TileWorkingSet
+	perCkpt := CheckpointEnergy(hw, ckptB)
+	n := float64(c.NTileEffective)
+
+	tileStaticT := c.TileTime + units.Seconds(float64(CheckpointTime(hw, ckptB))*(1+rexc))
+	tileStatic := dataflow.StaticEnergy(hw, tileStaticT)
+	tileE := c.TileEnergy + tileStatic + units.Energy((1+rexc)*float64(perCkpt))
+	tileT := tileStaticT
+
+	p := Plan{
+		Layer:        l,
+		Cost:         c,
+		Rexc:         rexc,
+		CkptBytes:    ckptB,
+		TileEnergy:   tileE,
+		TileTime:     tileT,
+		Energy:       units.Energy(float64(tileE) * n),
+		Time:         units.Seconds(float64(tileT) * n),
+		CkptEnergy:   units.Energy(n * (1 + rexc) * float64(perCkpt)),
+		StaticEnergy: units.Energy(n * float64(tileStatic)),
+	}
+	return p, nil
+}
+
+// BudgetFunc returns the energy one power cycle can deliver to a tile
+// whose average power draw while executing is load. The budget depends
+// on the draw because a hungrier tile drains the capacitor faster and
+// gets a shorter powered phase (the T term of Eq. 3).
+type BudgetFunc func(load units.Power) units.Energy
+
+// FixedBudget adapts a constant per-cycle energy to a BudgetFunc, for
+// callers that precomputed the budget at a representative load.
+func FixedBudget(e units.Energy) BudgetFunc {
+	return func(units.Power) units.Energy { return e }
+}
+
+// TilePower returns a plan's average power draw during one tile,
+// including amortized static and checkpoint costs.
+func (p Plan) TilePower() units.Power {
+	return units.DivET(p.TileEnergy, p.TileTime)
+}
+
+// MinFeasibleTiles implements Eq. 8–9: the smallest tile count (over the
+// candidate divisors of the partition dimension) whose per-tile energy
+// fits the cycle budget at the tile's own power draw. More tiles mean
+// smaller per-tile energy but more checkpoint overhead, so the smallest
+// feasible count is also the cheapest.
+func MinFeasibleTiles(l dnn.Layer, elemBytes int, df dataflow.Dataflow, part dataflow.Partition,
+	hw dataflow.HW, rexc float64, budget BudgetFunc) (Plan, error) {
+	if budget == nil {
+		return Plan{}, fmt.Errorf("intermittent: nil budget function")
+	}
+	for _, n := range dataflow.CandidateNTiles(l, part) {
+		m := dataflow.Mapping{Dataflow: df, Partition: part, NTile: n}
+		p, err := PlanLayer(l, elemBytes, m, hw, rexc)
+		if err != nil {
+			continue // tile does not fit VM at this count
+		}
+		if avail := budget(p.TilePower()); avail > 0 && p.TileEnergy <= avail {
+			return p, nil
+		}
+	}
+	return Plan{}, fmt.Errorf("intermittent: layer %s cannot fit any tile within one energy cycle (Eq. 8 infeasible)",
+		l.Name)
+}
+
+// PlanWorkload plans every layer of a workload with a fixed dataflow,
+// choosing per-layer partitions and tile counts via MinFeasibleTiles.
+// It returns the per-layer plans in network order.
+func PlanWorkload(w dnn.Workload, df dataflow.Dataflow, hw dataflow.HW, rexc float64, budget BudgetFunc) ([]Plan, error) {
+	plans := make([]Plan, 0, len(w.Layers))
+	for _, l := range w.Layers {
+		p, err := MinFeasibleTiles(l, w.ElemBytes, df, dataflow.ByChannel, hw, rexc, budget)
+		if err != nil {
+			// Fall back to the spatial partition before giving up.
+			p, err = MinFeasibleTiles(l, w.ElemBytes, df, dataflow.BySpatial, hw, rexc, budget)
+			if err != nil {
+				return nil, fmt.Errorf("intermittent: workload %s: %w", w.Name, err)
+			}
+		}
+		plans = append(plans, p)
+	}
+	return plans, nil
+}
+
+// Totals aggregates a set of layer plans.
+type Totals struct {
+	Energy       units.Energy
+	Time         units.Seconds
+	CkptEnergy   units.Energy
+	StaticEnergy units.Energy
+	Tiles        int
+}
+
+// Sum aggregates plans into workload totals.
+func Sum(plans []Plan) Totals {
+	var t Totals
+	for _, p := range plans {
+		t.Energy += p.Energy
+		t.Time += p.Time
+		t.CkptEnergy += p.CkptEnergy
+		t.StaticEnergy += p.StaticEnergy
+		t.Tiles += p.Cost.NTileEffective
+	}
+	return t
+}

@@ -1,0 +1,219 @@
+package intermittent
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"chrysalis/internal/dataflow"
+	"chrysalis/internal/dnn"
+	"chrysalis/internal/msp430"
+	"chrysalis/internal/units"
+)
+
+func hwMSP() dataflow.HW { return msp430.Config{}.HW() }
+
+func convLayer(t *testing.T) dnn.Layer {
+	t.Helper()
+	l, err := dnn.NewConv2D("c", 8, 12, 12, 16, 3, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestCheckpointEnergySymmetry(t *testing.T) {
+	hw := hwMSP()
+	b := units.Bytes(1024)
+	save := SaveEnergy(hw, b)
+	resume := ResumeEnergy(hw, b)
+	if save <= 0 || resume <= 0 {
+		t.Fatal("checkpoint costs must be positive")
+	}
+	if CheckpointEnergy(hw, b) != save+resume {
+		t.Fatal("checkpoint = save + resume")
+	}
+	// FRAM writes cost more than reads.
+	if save <= resume {
+		t.Fatal("save (writes) should cost more than resume (reads)")
+	}
+}
+
+func TestCheckpointTime(t *testing.T) {
+	hw := hwMSP()
+	got := CheckpointTime(hw, 4096)
+	want := 4096.0 / hw.NVMBytesPerSec
+	if !units.ApproxEqual(float64(got), want, 1e-12) {
+		t.Fatalf("time = %v, want %v", got, want)
+	}
+	hw.NVMBytesPerSec = 0
+	if CheckpointTime(hw, 4096) != 0 {
+		t.Fatal("unbounded bandwidth checkpoints take no modeled time")
+	}
+}
+
+func TestPlanLayerEquationFive(t *testing.T) {
+	l := convLayer(t)
+	hw := hwMSP()
+	m := dataflow.Mapping{Dataflow: dataflow.OS, Partition: dataflow.ByChannel, NTile: 4}
+	p, err := PlanLayer(l, 2, m, hw, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Eq. 5 checkpoint term: N_tile·(1+r_exc)·N_ckpt·(e_r+e_w).
+	n := float64(p.Cost.NTileEffective)
+	wantCkpt := n * 1.05 * float64(CheckpointEnergy(hw, p.CkptBytes))
+	if !units.ApproxEqual(float64(p.CkptEnergy), wantCkpt, 1e-9) {
+		t.Fatalf("ckpt energy %v, want %v", p.CkptEnergy, wantCkpt)
+	}
+	// Total = E_df + static + ckpt.
+	want := float64(p.Cost.EDf) + float64(p.StaticEnergy) + float64(p.CkptEnergy)
+	if !units.ApproxEqual(float64(p.Energy), want, 1e-9) {
+		t.Fatalf("energy %v, want %v", p.Energy, want)
+	}
+	if p.Time <= p.Cost.TDf {
+		t.Fatal("checkpointing must lengthen execution")
+	}
+}
+
+func TestPlanLayerDefaultsAndValidation(t *testing.T) {
+	l := convLayer(t)
+	m := dataflow.Mapping{Dataflow: dataflow.OS, NTile: 2}
+	p, err := PlanLayer(l, 2, m, hwMSP(), -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Rexc != DefaultExceptionRate {
+		t.Fatalf("rexc = %v, want default", p.Rexc)
+	}
+	if _, err := PlanLayer(l, 2, m, hwMSP(), 1.0); err == nil {
+		t.Fatal("rexc >= 1 should be rejected")
+	}
+	if _, err := PlanLayer(l, 0, m, hwMSP(), 0.05); err == nil {
+		t.Fatal("bad elem bytes should propagate")
+	}
+}
+
+func TestHigherExceptionRateCostsMore(t *testing.T) {
+	l := convLayer(t)
+	m := dataflow.Mapping{Dataflow: dataflow.OS, NTile: 4}
+	lo, err := PlanLayer(l, 2, m, hwMSP(), 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := PlanLayer(l, 2, m, hwMSP(), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi.Energy <= lo.Energy {
+		t.Fatal("higher exception rate must cost more energy")
+	}
+}
+
+func TestMoreTilesMoreCheckpointEnergy(t *testing.T) {
+	// The Figure 9 "small capacitor" premise: finer tiling inflates
+	// checkpoint overhead.
+	l := convLayer(t)
+	var prev units.Energy
+	for i, n := range []int{1, 2, 4, 8, 16} {
+		m := dataflow.Mapping{Dataflow: dataflow.OS, NTile: n}
+		p, err := PlanLayer(l, 2, m, hwMSP(), 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && p.CkptEnergy <= prev {
+			t.Fatalf("NTile=%d: ckpt energy %v did not grow past %v", n, p.CkptEnergy, prev)
+		}
+		prev = p.CkptEnergy
+	}
+}
+
+func TestMinFeasibleTilesPicksSmallest(t *testing.T) {
+	l := convLayer(t)
+	hw := hwMSP()
+	// Generous budget: one tile should do.
+	pBig, err := MinFeasibleTiles(l, 2, dataflow.OS, dataflow.ByChannel, hw, 0.05, FixedBudget(1 /*J*/))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pBig.Cost.NTileEffective != 1 {
+		t.Fatalf("generous budget chose %d tiles, want 1", pBig.Cost.NTileEffective)
+	}
+	// Tight budget: needs more tiles.
+	pTight, err := MinFeasibleTiles(l, 2, dataflow.OS, dataflow.ByChannel, hw, 0.05, FixedBudget(pBig.TileEnergy/3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pTight.Cost.NTileEffective <= 1 {
+		t.Fatal("tight budget should require more tiles")
+	}
+	if pTight.TileEnergy > pBig.TileEnergy/3 {
+		t.Fatalf("chosen tile energy %v exceeds budget %v", pTight.TileEnergy, pBig.TileEnergy/3)
+	}
+}
+
+func TestMinFeasibleTilesInfeasible(t *testing.T) {
+	l := convLayer(t)
+	_, err := MinFeasibleTiles(l, 2, dataflow.OS, dataflow.ByChannel, hwMSP(), 0.05, FixedBudget(1e-9))
+	if err == nil || !strings.Contains(err.Error(), "Eq. 8") {
+		t.Fatalf("expected Eq. 8 infeasibility, got %v", err)
+	}
+	if _, err := MinFeasibleTiles(l, 2, dataflow.OS, dataflow.ByChannel, hwMSP(), 0.05, nil); err == nil {
+		t.Fatal("nil budget should fail fast")
+	}
+}
+
+func TestPlanWorkloadAllTableIV(t *testing.T) {
+	hw := hwMSP()
+	// A 100uF cycle plus 6mW harvesting over ~1s delivers on the order
+	// of millijoules; all Table IV workloads must be plannable.
+	for _, w := range dnn.ExistingAuT() {
+		plans, err := PlanWorkload(w, dataflow.OS, hw, 0.05, FixedBudget(3e-3))
+		if err != nil {
+			t.Errorf("%s: %v", w.Name, err)
+			continue
+		}
+		if len(plans) != len(w.Layers) {
+			t.Errorf("%s: %d plans for %d layers", w.Name, len(plans), len(w.Layers))
+		}
+		tot := Sum(plans)
+		if tot.Energy <= 0 || tot.Time <= 0 || tot.Tiles < len(w.Layers) {
+			t.Errorf("%s: degenerate totals %+v", w.Name, tot)
+		}
+		if tot.CkptEnergy <= 0 {
+			t.Errorf("%s: checkpointing should cost energy", w.Name)
+		}
+	}
+}
+
+func TestPlanWorkloadImpossibleBudget(t *testing.T) {
+	if _, err := PlanWorkload(dnn.CIFAR10(), dataflow.OS, hwMSP(), 0.05, FixedBudget(1e-12)); err == nil {
+		t.Fatal("impossible budget should fail")
+	}
+}
+
+func TestTileEnergyFitsBudgetProperty(t *testing.T) {
+	// Property: whenever MinFeasibleTiles succeeds, the chosen per-tile
+	// energy is within budget and the tile count is a candidate divisor.
+	layers := dnn.CIFAR10().Layers
+	f := func(li uint8, budgetSel uint8) bool {
+		l := layers[int(li)%len(layers)]
+		budget := units.Energy(float64(budgetSel)+1) * 0.2e-3
+		p, err := MinFeasibleTiles(l, 2, dataflow.OS, dataflow.BySpatial, hwMSP(), 0.05, FixedBudget(budget))
+		if err != nil {
+			return true // infeasibility is legal
+		}
+		if p.TileEnergy > budget {
+			return false
+		}
+		for _, n := range dataflow.CandidateNTiles(l, dataflow.BySpatial) {
+			if n == p.Cost.NTileEffective {
+				return true
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,152 @@
+// Package pmic models the power-management IC of an AuT energy
+// subsystem — the BQ25570-class part referenced by the paper (Table III)
+// that sits between the harvester, the storage capacitor and the load.
+// It implements the threshold logic that produces intermittent
+// execution: the load is gated on when the capacitor reaches U_on and
+// gated off when it falls to U_off, with hysteresis in between.
+package pmic
+
+import (
+	"fmt"
+
+	"chrysalis/internal/units"
+)
+
+// State is the power gate state seen by the computing subsystem.
+type State int
+
+const (
+	// Off means the load is unpowered and the capacitor is charging.
+	Off State = iota
+	// On means the load is powered.
+	On
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	if s == On {
+		return "on"
+	}
+	return "off"
+}
+
+// Config describes a power management IC.
+type Config struct {
+	// UOn is the turn-on threshold voltage (paper: U_on).
+	UOn units.Voltage
+	// UOff is the brown-out threshold voltage (paper: U_off).
+	UOff units.Voltage
+	// HarvestEff is the boost-converter efficiency applied to harvested
+	// power before it reaches the capacitor (BQ25570 boost stage).
+	HarvestEff float64
+	// LoadEff is the buck-converter efficiency applied when delivering
+	// power to the load (capacitor must supply load/LoadEff).
+	LoadEff float64
+	// Quiescent is the PMIC's own standby power draw.
+	Quiescent units.Power
+	// DisableMPPT turns off maximum-power-point tracking: without it
+	// the panel operates away from its optimum and loses roughly 20%
+	// of the available power (the BQ25570 tracks a fractional-VOC
+	// set point; related work surveys MPPT algorithms at length).
+	DisableMPPT bool
+}
+
+// mpptLoss is the harvest fraction lost when MPPT is disabled.
+const mpptLoss = 0.20
+
+// Default returns a BQ25570-like configuration for an MSP430-class
+// system rail: turn on at 3.0 V, brown out at 1.8 V, ~90% boost and
+// ~85% buck efficiency, 15 uW quiescent (datasheet-order values).
+func Default() Config {
+	return Config{
+		UOn:        3.0,
+		UOff:       1.8,
+		HarvestEff: 0.90,
+		LoadEff:    0.85,
+		Quiescent:  15e-6,
+	}
+}
+
+// Validate checks the configuration invariants.
+func (c Config) Validate() error {
+	if c.UOn <= c.UOff {
+		return fmt.Errorf("pmic: U_on (%v) must exceed U_off (%v)", c.UOn, c.UOff)
+	}
+	if c.UOff <= 0 {
+		return fmt.Errorf("pmic: U_off must be positive, got %v", c.UOff)
+	}
+	if c.HarvestEff <= 0 || c.HarvestEff > 1 {
+		return fmt.Errorf("pmic: harvest efficiency must be in (0,1], got %g", c.HarvestEff)
+	}
+	if c.LoadEff <= 0 || c.LoadEff > 1 {
+		return fmt.Errorf("pmic: load efficiency must be in (0,1], got %g", c.LoadEff)
+	}
+	if c.Quiescent < 0 {
+		return fmt.Errorf("pmic: quiescent power must be non-negative, got %v", c.Quiescent)
+	}
+	return nil
+}
+
+// Controller is the stateful threshold comparator. The zero value is not
+// usable; construct with NewController.
+type Controller struct {
+	cfg   Config
+	state State
+}
+
+// NewController validates cfg and returns a controller starting in the
+// Off (charging) state.
+func NewController(cfg Config) (*Controller, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Controller{cfg: cfg}, nil
+}
+
+// Config returns the controller's configuration.
+func (c *Controller) Config() Config { return c.cfg }
+
+// State returns the current gate state.
+func (c *Controller) State() State { return c.state }
+
+// Update advances the hysteresis comparator for the given capacitor
+// voltage and returns the new state plus whether a transition occurred.
+func (c *Controller) Update(v units.Voltage) (State, bool) {
+	switch c.state {
+	case Off:
+		if v >= c.cfg.UOn {
+			c.state = On
+			return c.state, true
+		}
+	case On:
+		if v <= c.cfg.UOff {
+			c.state = Off
+			return c.state, true
+		}
+	}
+	return c.state, false
+}
+
+// HarvestToCap converts raw harvester power to the power that actually
+// reaches the capacitor (boost efficiency minus quiescent draw, floored
+// at zero: a PMIC cannot un-harvest).
+func (c *Controller) HarvestToCap(raw units.Power) units.Power {
+	eff := c.cfg.HarvestEff
+	if c.cfg.DisableMPPT {
+		eff *= 1 - mpptLoss
+	}
+	p := units.Power(float64(raw)*eff) - c.cfg.Quiescent
+	if p < 0 {
+		return 0
+	}
+	return p
+}
+
+// LoadOnCap converts the load's power demand to the power drawn from the
+// capacitor through the buck converter.
+func (c *Controller) LoadOnCap(load units.Power) units.Power {
+	return units.Power(float64(load) / c.cfg.LoadEff)
+}
+
+// Reset forces the controller back to the Off state.
+func (c *Controller) Reset() { c.state = Off }

@@ -1,0 +1,162 @@
+package pmic
+
+import (
+	"testing"
+	"testing/quick"
+
+	"chrysalis/internal/units"
+)
+
+func TestDefaultValid(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"UOn<=UOff", func(c *Config) { c.UOn = 1.8 }},
+		{"UOff<=0", func(c *Config) { c.UOff = 0; c.UOn = 1 }},
+		{"HarvestEff=0", func(c *Config) { c.HarvestEff = 0 }},
+		{"HarvestEff>1", func(c *Config) { c.HarvestEff = 1.1 }},
+		{"LoadEff=0", func(c *Config) { c.LoadEff = 0 }},
+		{"LoadEff>1", func(c *Config) { c.LoadEff = 1.2 }},
+		{"Quiescent<0", func(c *Config) { c.Quiescent = -1 }},
+	}
+	for _, tc := range cases {
+		cfg := Default()
+		tc.mut(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", tc.name)
+		}
+	}
+}
+
+func TestNewControllerRejectsInvalid(t *testing.T) {
+	bad := Default()
+	bad.UOn = bad.UOff
+	if _, err := NewController(bad); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestHysteresis(t *testing.T) {
+	c, err := NewController(Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.State() != Off {
+		t.Fatal("must start Off")
+	}
+	// Rising through mid-band keeps Off.
+	if s, tr := c.Update(2.5); s != Off || tr {
+		t.Fatal("mid-band rising should stay Off")
+	}
+	// Reaching U_on turns On.
+	if s, tr := c.Update(3.0); s != On || !tr {
+		t.Fatal("reaching U_on should transition to On")
+	}
+	// Falling through mid-band keeps On (hysteresis).
+	if s, tr := c.Update(2.0); s != On || tr {
+		t.Fatal("mid-band falling should stay On")
+	}
+	// Reaching U_off turns Off.
+	if s, tr := c.Update(1.8); s != Off || !tr {
+		t.Fatal("reaching U_off should transition to Off")
+	}
+	// Repeated updates at the same voltage do not re-transition.
+	if _, tr := c.Update(1.8); tr {
+		t.Fatal("no repeated transition at same voltage")
+	}
+}
+
+func TestStateString(t *testing.T) {
+	if On.String() != "on" || Off.String() != "off" {
+		t.Fatal("unexpected state strings")
+	}
+}
+
+func TestHarvestToCap(t *testing.T) {
+	c, _ := NewController(Default())
+	// 1mW raw: 0.9mW boosted minus 15uW quiescent = 885uW.
+	got := c.HarvestToCap(1e-3)
+	if !units.ApproxEqual(float64(got), 885e-6, 1e-9) {
+		t.Fatalf("HarvestToCap = %v, want 885uW", got)
+	}
+	// Tiny harvest is swallowed by quiescent draw, floored at 0.
+	if got := c.HarvestToCap(10e-6); got != 0 {
+		t.Fatalf("HarvestToCap(10uW) = %v, want 0", got)
+	}
+}
+
+func TestLoadOnCap(t *testing.T) {
+	c, _ := NewController(Default())
+	got := c.LoadOnCap(8.5e-3)
+	if !units.ApproxEqual(float64(got), 10e-3, 1e-9) {
+		t.Fatalf("LoadOnCap = %v, want 10mW", got)
+	}
+}
+
+func TestReset(t *testing.T) {
+	c, _ := NewController(Default())
+	c.Update(3.5)
+	if c.State() != On {
+		t.Fatal("setup failed")
+	}
+	c.Reset()
+	if c.State() != Off {
+		t.Fatal("Reset should force Off")
+	}
+}
+
+func TestHysteresisNeverChatters(t *testing.T) {
+	// Property: for any voltage sequence, transitions only happen at the
+	// threshold crossings dictated by the state machine — an On->On or
+	// Off->Off update never reports a transition, and state only flips
+	// when the respective threshold is met.
+	f := func(raw []uint8) bool {
+		c, err := NewController(Default())
+		if err != nil {
+			return false
+		}
+		prev := c.State()
+		for _, r := range raw {
+			v := units.Voltage(float64(r) / 255 * 4)
+			s, tr := c.Update(v)
+			if tr == (s == prev) {
+				return false // transition flag must match state change
+			}
+			if tr && s == On && v < c.Config().UOn {
+				return false
+			}
+			if tr && s == Off && v > c.Config().UOff {
+				return false
+			}
+			prev = s
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMPPTDisabledLosesHarvest(t *testing.T) {
+	withCfg := Default()
+	without := Default()
+	without.DisableMPPT = true
+	a, _ := NewController(withCfg)
+	b, _ := NewController(without)
+	pa := a.HarvestToCap(5e-3)
+	pb := b.HarvestToCap(5e-3)
+	if pb >= pa {
+		t.Fatalf("MPPT off (%v) should harvest less than on (%v)", pb, pa)
+	}
+	ratio := float64(pb+b.Config().Quiescent) / float64(pa+a.Config().Quiescent)
+	if !units.ApproxEqual(ratio, 0.8, 1e-9) {
+		t.Fatalf("MPPT-off ratio = %v, want 0.8", ratio)
+	}
+}

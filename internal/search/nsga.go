@@ -1,0 +1,212 @@
+package search
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// BiProblem is a bi-objective minimization problem over [0,1]^Dim —
+// the latency-vs-panel-size tradeoff of the paper's Figure 6.
+type BiProblem struct {
+	Dim int
+	// Eval returns the two objective values (both minimized). Either
+	// may be +Inf for infeasible points.
+	Eval func(genome []float64) (f1, f2 float64)
+}
+
+// Validate checks the problem definition.
+func (p BiProblem) Validate() error {
+	if p.Dim <= 0 {
+		return fmt.Errorf("search: dimension must be positive, got %d", p.Dim)
+	}
+	if p.Eval == nil {
+		return fmt.Errorf("search: Eval must not be nil")
+	}
+	return nil
+}
+
+// nsgaIndividual carries a genome, its objectives, and NSGA-II bookkeeping.
+type nsgaIndividual struct {
+	genome   []float64
+	f1, f2   float64
+	rank     int
+	crowding float64
+}
+
+func (a nsgaIndividual) dominates(b nsgaIndividual) bool {
+	return a.f1 <= b.f1 && a.f2 <= b.f2 && (a.f1 < b.f1 || a.f2 < b.f2)
+}
+
+// FrontPoint is a member of the final non-dominated front.
+type FrontPoint struct {
+	Genome []float64
+	F1, F2 float64
+}
+
+// RunNSGA2 runs a compact NSGA-II: non-dominated sorting, crowding
+// distance, binary tournament on (rank, crowding), uniform crossover
+// and Gaussian mutation. It returns the final population's first
+// (non-dominated) front sorted by F1.
+func RunNSGA2(p BiProblem, cfg GAConfig) ([]FrontPoint, int, error) {
+	if err := p.Validate(); err != nil {
+		return nil, 0, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, 0, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	evals := 0
+	eval := func(g []float64) (float64, float64) {
+		evals++
+		return p.Eval(g)
+	}
+
+	pop := make([]nsgaIndividual, cfg.Population)
+	for i := range pop {
+		g := randomGenome(rng, p.Dim)
+		f1, f2 := eval(g)
+		pop[i] = nsgaIndividual{genome: g, f1: f1, f2: f2}
+	}
+	rankAndCrowd(pop)
+
+	for gen := 0; gen < cfg.Generations; gen++ {
+		// Offspring.
+		children := make([]nsgaIndividual, 0, cfg.Population)
+		for len(children) < cfg.Population {
+			a := nsgaTournament(rng, pop)
+			b := nsgaTournament(rng, pop)
+			child := crossover(rng, a.genome, b.genome)
+			mutate(rng, child, cfg.MutRate, cfg.MutSigma)
+			f1, f2 := eval(child)
+			children = append(children, nsgaIndividual{genome: child, f1: f1, f2: f2})
+		}
+		// Environmental selection over parents ∪ children.
+		union := append(pop, children...)
+		rankAndCrowd(union)
+		sort.SliceStable(union, func(i, j int) bool {
+			if union[i].rank != union[j].rank {
+				return union[i].rank < union[j].rank
+			}
+			return union[i].crowding > union[j].crowding
+		})
+		pop = append([]nsgaIndividual(nil), union[:cfg.Population]...)
+	}
+
+	rankAndCrowd(pop)
+	var front []FrontPoint
+	for _, ind := range pop {
+		if ind.rank == 0 && !math.IsInf(ind.f1, 1) && !math.IsInf(ind.f2, 1) {
+			front = append(front, FrontPoint{
+				Genome: append([]float64(nil), ind.genome...),
+				F1:     ind.f1, F2: ind.f2,
+			})
+		}
+	}
+	sort.Slice(front, func(i, j int) bool { return front[i].F1 < front[j].F1 })
+	// Drop duplicates that crowd the same point.
+	front = dedupeFront(front)
+	return front, evals, nil
+}
+
+// rankAndCrowd assigns Pareto ranks (0 = non-dominated) and crowding
+// distances in place.
+func rankAndCrowd(pop []nsgaIndividual) {
+	n := len(pop)
+	dominatedBy := make([]int, n)
+	dominatesList := make([][]int, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			if pop[i].dominates(pop[j]) {
+				dominatesList[i] = append(dominatesList[i], j)
+			} else if pop[j].dominates(pop[i]) {
+				dominatedBy[i]++
+			}
+		}
+	}
+	// Peel fronts.
+	var current []int
+	for i := 0; i < n; i++ {
+		pop[i].rank = -1
+		if dominatedBy[i] == 0 {
+			pop[i].rank = 0
+			current = append(current, i)
+		}
+	}
+	for rank := 0; len(current) > 0; rank++ {
+		var next []int
+		for _, i := range current {
+			for _, j := range dominatesList[i] {
+				dominatedBy[j]--
+				if dominatedBy[j] == 0 {
+					pop[j].rank = rank + 1
+					next = append(next, j)
+				}
+			}
+		}
+		crowd(pop, current)
+		current = next
+	}
+}
+
+// crowd computes crowding distance within one front (given by indices).
+func crowd(pop []nsgaIndividual, front []int) {
+	if len(front) == 0 {
+		return
+	}
+	for _, i := range front {
+		pop[i].crowding = 0
+	}
+	for _, objective := range []func(nsgaIndividual) float64{
+		func(x nsgaIndividual) float64 { return x.f1 },
+		func(x nsgaIndividual) float64 { return x.f2 },
+	} {
+		idx := append([]int(nil), front...)
+		sort.Slice(idx, func(a, b int) bool { return objective(pop[idx[a]]) < objective(pop[idx[b]]) })
+		lo, hi := objective(pop[idx[0]]), objective(pop[idx[len(idx)-1]])
+		pop[idx[0]].crowding = math.Inf(1)
+		pop[idx[len(idx)-1]].crowding = math.Inf(1)
+		if span := hi - lo; span > 0 && !math.IsInf(span, 1) {
+			for k := 1; k < len(idx)-1; k++ {
+				gap := objective(pop[idx[k+1]]) - objective(pop[idx[k-1]])
+				pop[idx[k]].crowding += gap / span
+			}
+		}
+	}
+}
+
+// nsgaTournament selects by (rank, crowding) between two random members.
+func nsgaTournament(rng *rand.Rand, pop []nsgaIndividual) nsgaIndividual {
+	a := pop[rng.Intn(len(pop))]
+	b := pop[rng.Intn(len(pop))]
+	if a.rank != b.rank {
+		if a.rank < b.rank {
+			return a
+		}
+		return b
+	}
+	if a.crowding >= b.crowding {
+		return a
+	}
+	return b
+}
+
+// dedupeFront removes near-identical consecutive points.
+func dedupeFront(front []FrontPoint) []FrontPoint {
+	if len(front) < 2 {
+		return front
+	}
+	out := front[:1]
+	for _, p := range front[1:] {
+		last := out[len(out)-1]
+		if math.Abs(p.F1-last.F1) < 1e-12 && math.Abs(p.F2-last.F2) < 1e-12 {
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
+}

@@ -1,0 +1,408 @@
+// Package search provides the black-box optimizers behind the
+// CHRYSALIS Explorer: a genetic algorithm (the paper implements its
+// explorer "based on the open-source library Optuna and a genetic
+// algorithm"), plus random and grid samplers used as ablation baselines,
+// and Pareto-front utilities for the Figure 6 analyses.
+//
+// Optimizers work on genomes: vectors in [0,1]^dim that problem
+// definitions decode into typed parameters with the Map* helpers.
+// Objective values are minimized; +Inf marks infeasible points.
+package search
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+)
+
+// Problem is a black-box minimization problem over [0,1]^Dim.
+type Problem struct {
+	Dim  int
+	Eval func(genome []float64) float64
+}
+
+// Validate checks the problem definition.
+func (p Problem) Validate() error {
+	if p.Dim <= 0 {
+		return fmt.Errorf("search: dimension must be positive, got %d", p.Dim)
+	}
+	if p.Eval == nil {
+		return fmt.Errorf("search: Eval must not be nil")
+	}
+	return nil
+}
+
+// Result is the outcome of an optimization run.
+type Result struct {
+	Best      []float64
+	BestValue float64
+	// Evals is the number of objective evaluations performed.
+	Evals int
+	// History records the best value after each generation (GA) or
+	// sample batch (random), for convergence ablations.
+	History []float64
+	// Visited holds every evaluated (genome, value) pair when the
+	// optimizer is asked to keep them (for Pareto analyses).
+	Visited []Sample
+}
+
+// Sample is one evaluated point.
+type Sample struct {
+	Genome []float64
+	Value  float64
+}
+
+// GAConfig parameterizes the genetic algorithm.
+type GAConfig struct {
+	Population  int
+	Generations int
+	// MutRate is the per-gene mutation probability.
+	MutRate float64
+	// MutSigma is the Gaussian mutation step.
+	MutSigma float64
+	// TournamentK is the tournament selection size.
+	TournamentK int
+	// Elite is how many best individuals survive unchanged.
+	Elite int
+	Seed  int64
+	// KeepVisited retains all evaluated samples in Result.Visited.
+	KeepVisited bool
+	// Workers evaluates candidates concurrently when > 1. The search
+	// trajectory is unchanged (candidate generation stays sequential and
+	// seeded); only objective evaluations run in parallel, so Eval must
+	// be safe for concurrent use.
+	Workers int
+}
+
+// DefaultGA returns a reasonable configuration for the AuT design
+// spaces (a few thousand evaluations).
+func DefaultGA(seed int64) GAConfig {
+	return GAConfig{
+		Population:  40,
+		Generations: 30,
+		MutRate:     0.25,
+		MutSigma:    0.2,
+		TournamentK: 3,
+		Elite:       2,
+		Seed:        seed,
+	}
+}
+
+// Validate checks GA hyperparameters.
+func (c GAConfig) Validate() error {
+	if c.Population < 2 {
+		return fmt.Errorf("search: population must be >= 2, got %d", c.Population)
+	}
+	if c.Generations < 1 {
+		return fmt.Errorf("search: generations must be >= 1, got %d", c.Generations)
+	}
+	if c.MutRate < 0 || c.MutRate > 1 {
+		return fmt.Errorf("search: mutation rate %g outside [0,1]", c.MutRate)
+	}
+	if c.MutSigma <= 0 {
+		return fmt.Errorf("search: mutation sigma must be positive, got %g", c.MutSigma)
+	}
+	if c.TournamentK < 1 || c.TournamentK > c.Population {
+		return fmt.Errorf("search: tournament size %d outside [1, population]", c.TournamentK)
+	}
+	if c.Elite < 0 || c.Elite >= c.Population {
+		return fmt.Errorf("search: elite count %d outside [0, population)", c.Elite)
+	}
+	return nil
+}
+
+type individual struct {
+	genome []float64
+	value  float64
+}
+
+// RunGA minimizes the problem with a (μ+λ)-style generational GA using
+// tournament selection, uniform crossover and Gaussian mutation.
+func RunGA(p Problem, cfg GAConfig) (Result, error) {
+	if err := p.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	var res Result
+	record := func(batch []individual) {
+		res.Evals += len(batch)
+		if cfg.KeepVisited {
+			for _, ind := range batch {
+				cp := append([]float64(nil), ind.genome...)
+				res.Visited = append(res.Visited, Sample{Genome: cp, Value: ind.value})
+			}
+		}
+	}
+	evalBatch := func(batch []individual) {
+		evaluateBatch(p, batch, cfg.Workers)
+		record(batch)
+	}
+
+	pop := make([]individual, cfg.Population)
+	for i := range pop {
+		pop[i] = individual{genome: randomGenome(rng, p.Dim)}
+	}
+	evalBatch(pop)
+	sortPop(pop)
+
+	for gen := 0; gen < cfg.Generations; gen++ {
+		next := make([]individual, 0, cfg.Population)
+		// Elitism (already evaluated).
+		for i := 0; i < cfg.Elite; i++ {
+			next = append(next, pop[i])
+		}
+		// Candidate generation stays sequential so the trajectory is
+		// identical regardless of worker count.
+		fresh := make([]individual, 0, cfg.Population-cfg.Elite)
+		for len(next)+len(fresh) < cfg.Population {
+			a := tournament(rng, pop, cfg.TournamentK)
+			b := tournament(rng, pop, cfg.TournamentK)
+			child := crossover(rng, a.genome, b.genome)
+			mutate(rng, child, cfg.MutRate, cfg.MutSigma)
+			fresh = append(fresh, individual{genome: child})
+		}
+		evalBatch(fresh)
+		pop = append(next, fresh...)
+		sortPop(pop)
+		res.History = append(res.History, pop[0].value)
+	}
+
+	res.Best = append([]float64(nil), pop[0].genome...)
+	res.BestValue = pop[0].value
+	return res, nil
+}
+
+// evaluateBatch fills in the values of a batch, optionally across
+// workers.
+func evaluateBatch(p Problem, batch []individual, workers int) {
+	if workers <= 1 || len(batch) < 2 {
+		for i := range batch {
+			batch[i].value = p.Eval(batch[i].genome)
+		}
+		return
+	}
+	if workers > len(batch) {
+		workers = len(batch)
+	}
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				batch[i].value = p.Eval(batch[i].genome)
+			}
+		}()
+	}
+	for i := range batch {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+}
+
+// RunRandom minimizes by uniform random sampling (the wo/search
+// ablation baseline).
+func RunRandom(p Problem, n int, seed int64, keepVisited bool) (Result, error) {
+	if err := p.Validate(); err != nil {
+		return Result{}, err
+	}
+	if n < 1 {
+		return Result{}, fmt.Errorf("search: sample count must be >= 1, got %d", n)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var res Result
+	res.BestValue = math.Inf(1)
+	for i := 0; i < n; i++ {
+		g := randomGenome(rng, p.Dim)
+		v := p.Eval(g)
+		res.Evals++
+		if keepVisited {
+			res.Visited = append(res.Visited, Sample{Genome: g, Value: v})
+		}
+		if v < res.BestValue {
+			res.BestValue = v
+			res.Best = append([]float64(nil), g...)
+		}
+		res.History = append(res.History, res.BestValue)
+	}
+	return res, nil
+}
+
+// RunGrid minimizes by exhaustive grid sampling with k points per
+// dimension. Practical only for low-dimensional spaces; used for
+// sampler-quality ablations.
+func RunGrid(p Problem, k int) (Result, error) {
+	if err := p.Validate(); err != nil {
+		return Result{}, err
+	}
+	if k < 2 {
+		return Result{}, fmt.Errorf("search: grid needs >= 2 points per dim, got %d", k)
+	}
+	total := 1
+	for i := 0; i < p.Dim; i++ {
+		total *= k
+		if total > 1_000_000 {
+			return Result{}, fmt.Errorf("search: grid of %d^%d points is too large", k, p.Dim)
+		}
+	}
+	var res Result
+	res.BestValue = math.Inf(1)
+	g := make([]float64, p.Dim)
+	idx := make([]int, p.Dim)
+	for {
+		for d, i := range idx {
+			g[d] = float64(i) / float64(k-1)
+		}
+		v := p.Eval(g)
+		res.Evals++
+		if v < res.BestValue {
+			res.BestValue = v
+			res.Best = append([]float64(nil), g...)
+		}
+		// Odometer increment.
+		d := 0
+		for ; d < p.Dim; d++ {
+			idx[d]++
+			if idx[d] < k {
+				break
+			}
+			idx[d] = 0
+		}
+		if d == p.Dim {
+			break
+		}
+	}
+	res.History = []float64{res.BestValue}
+	return res, nil
+}
+
+func randomGenome(rng *rand.Rand, dim int) []float64 {
+	g := make([]float64, dim)
+	for i := range g {
+		g[i] = rng.Float64()
+	}
+	return g
+}
+
+func sortPop(pop []individual) {
+	sort.SliceStable(pop, func(i, j int) bool { return pop[i].value < pop[j].value })
+}
+
+func tournament(rng *rand.Rand, pop []individual, k int) individual {
+	best := pop[rng.Intn(len(pop))]
+	for i := 1; i < k; i++ {
+		c := pop[rng.Intn(len(pop))]
+		if c.value < best.value {
+			best = c
+		}
+	}
+	return best
+}
+
+func crossover(rng *rand.Rand, a, b []float64) []float64 {
+	child := make([]float64, len(a))
+	for i := range child {
+		if rng.Float64() < 0.5 {
+			child[i] = a[i]
+		} else {
+			child[i] = b[i]
+		}
+	}
+	return child
+}
+
+func mutate(rng *rand.Rand, g []float64, rate, sigma float64) {
+	for i := range g {
+		if rng.Float64() < rate {
+			g[i] += rng.NormFloat64() * sigma
+			if g[i] < 0 {
+				g[i] = 0
+			}
+			if g[i] > 1 {
+				g[i] = 1
+			}
+		}
+	}
+}
+
+// --- Genome decoding helpers ---
+
+// MapFloat decodes u in [0,1] to [min,max], optionally log-scaled (for
+// parameters spanning decades, like the 1 µF – 10 mF capacitor range).
+func MapFloat(u, min, max float64, log bool) float64 {
+	if u < 0 {
+		u = 0
+	}
+	if u > 1 {
+		u = 1
+	}
+	if log {
+		return min * math.Pow(max/min, u)
+	}
+	return min + u*(max-min)
+}
+
+// MapInt decodes u to an integer in [min,max] inclusive.
+func MapInt(u float64, min, max int) int {
+	if max < min {
+		min, max = max, min
+	}
+	v := min + int(math.Floor(MapFloat(u, 0, float64(max-min+1), false)))
+	if v > max {
+		v = max
+	}
+	return v
+}
+
+// MapChoice decodes u to an index in [0,n).
+func MapChoice(u float64, n int) int {
+	return MapInt(u, 0, n-1)
+}
+
+// --- Pareto utilities ---
+
+// Point2 is a bi-objective sample (both minimized), carrying an opaque
+// tag so callers can recover the configuration behind a front member.
+type Point2 struct {
+	X, Y float64
+	Tag  int
+}
+
+// ParetoFront returns the non-dominated subset of pts (minimizing both
+// coordinates), sorted by X ascending. A point dominates another when
+// it is no worse in both coordinates and strictly better in at least
+// one.
+func ParetoFront(pts []Point2) []Point2 {
+	if len(pts) == 0 {
+		return nil
+	}
+	sorted := append([]Point2(nil), pts...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].X != sorted[j].X {
+			return sorted[i].X < sorted[j].X
+		}
+		return sorted[i].Y < sorted[j].Y
+	})
+	var front []Point2
+	bestY := math.Inf(1)
+	for _, p := range sorted {
+		if p.Y < bestY {
+			front = append(front, p)
+			bestY = p.Y
+		}
+	}
+	return front
+}
+
+// Dominates reports whether a dominates b (minimization).
+func Dominates(a, b Point2) bool {
+	return a.X <= b.X && a.Y <= b.Y && (a.X < b.X || a.Y < b.Y)
+}

@@ -1,0 +1,159 @@
+package sim
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"chrysalis/internal/solar"
+)
+
+func TestPolicyString(t *testing.T) {
+	if PolicyEveryTile.String() != "every-tile" ||
+		PolicyAdaptive.String() != "adaptive" ||
+		PolicyNone.String() != "none" {
+		t.Fatal("policy names")
+	}
+	if !strings.Contains(Policy(9).String(), "9") {
+		t.Fatal("unknown policy name")
+	}
+}
+
+func TestPolicyValidation(t *testing.T) {
+	cfg := harSetup(t, 8, 100e-6, solar.Bright())
+	cfg.Policy = Policy(9)
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("unknown policy should fail validation")
+	}
+	cfg = harSetup(t, 8, 100e-6, solar.Bright())
+	cfg.AdaptiveHeadroom = -1
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("negative headroom should fail validation")
+	}
+}
+
+func TestAdaptiveSavesFewerCheckpoints(t *testing.T) {
+	// Under stable bright power the adaptive policy should skip most
+	// saves (ample headroom), spend less checkpoint energy, and still
+	// complete.
+	eager := harSetup(t, 8, 470e-6, solar.Bright())
+	re, err := Run(eager)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lazy := harSetup(t, 8, 470e-6, solar.Bright())
+	lazy.Policy = PolicyAdaptive
+	rl, err := Run(lazy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !re.Completed || !rl.Completed {
+		t.Fatal("both policies should complete")
+	}
+	if rl.Checkpoints >= re.Checkpoints {
+		t.Fatalf("adaptive (%d saves) should save less than every-tile (%d)",
+			rl.Checkpoints, re.Checkpoints)
+	}
+	if rl.Breakdown.Ckpt >= re.Breakdown.Ckpt {
+		t.Fatalf("adaptive ckpt energy %v should be below every-tile %v",
+			rl.Breakdown.Ckpt, re.Breakdown.Ckpt)
+	}
+}
+
+func TestAdaptiveCompletesUnderChoppyPower(t *testing.T) {
+	// Dark environment forces several brownouts; adaptive must still
+	// make forward progress (it saves when headroom shrinks).
+	cfg := harSetup(t, 8, 100e-6, solar.Dark())
+	cfg.Policy = PolicyAdaptive
+	cfg.Step = 0.2e-3
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatalf("adaptive should complete under intermittent power: %+v", res)
+	}
+	if res.PowerCycles < 2 {
+		t.Skip("scenario did not produce multiple cycles")
+	}
+}
+
+func TestPolicyNoneFailsUnderIntermittentPower(t *testing.T) {
+	// Without checkpoints, a workload whose energy exceeds one cycle's
+	// budget restarts forever — the motivating failure of non-
+	// intermittent designs.
+	cfg := harSetup(t, 8, 100e-6, solar.Dark())
+	cfg.Policy = PolicyNone
+	cfg.MaxTime = 120
+	cfg.Step = 0.5e-3
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed {
+		t.Fatal("checkpoint-free execution should not survive power cycling")
+	}
+	if !math.IsInf(float64(res.E2ELatency), 1) {
+		t.Fatal("latency should be infinite")
+	}
+	if res.TileRetries == 0 {
+		t.Fatal("retries should be recorded")
+	}
+}
+
+func TestPolicyNoneSucceedsWithinOneCycle(t *testing.T) {
+	// With a big capacitor and bright light the whole inference fits a
+	// single energy cycle — then skipping checkpoints is strictly
+	// cheaper.
+	eager := harSetup(t, 20, 10e-3, solar.Bright())
+	re, err := Run(eager)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lazy := harSetup(t, 20, 10e-3, solar.Bright())
+	lazy.Policy = PolicyNone
+	rl, err := Run(lazy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !re.Completed || !rl.Completed {
+		t.Fatal("both should complete within one cycle")
+	}
+	if rl.Checkpoints != 0 {
+		t.Fatalf("policy none saved %d checkpoints", rl.Checkpoints)
+	}
+	if rl.Breakdown.Ckpt > re.Breakdown.Ckpt {
+		t.Fatal("checkpoint-free should not spend more ckpt energy")
+	}
+}
+
+func TestRollbackAccountingStaysConsistent(t *testing.T) {
+	// Under adaptive with rollbacks, TilesDone must end at the full
+	// count and no breakdown category may be negative.
+	cfg := harSetup(t, 8, 100e-6, solar.Dark())
+	cfg.Policy = PolicyAdaptive
+	cfg.Step = 0.2e-3
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Skip("scenario unexpectedly infeasible")
+	}
+	want := 0
+	for _, p := range cfg.Plans {
+		want += p.Cost.NTileEffective
+	}
+	if res.TilesDone != want {
+		t.Fatalf("tiles done %d, want %d", res.TilesDone, want)
+	}
+	b := res.Breakdown
+	for name, v := range map[string]float64{
+		"infer": float64(b.Infer), "nvmio": float64(b.NVMIO),
+		"static": float64(b.Static), "ckpt": float64(b.Ckpt), "wasted": float64(b.Wasted),
+	} {
+		if v < 0 {
+			t.Errorf("%s went negative: %v", name, v)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"chrysalis/internal/energy"
+	"chrysalis/internal/solar"
+	"chrysalis/internal/units"
+)
+
+func TestRunSeriesValidation(t *testing.T) {
+	cfg := harSetup(t, 8, 100e-6, solar.Bright())
+	if _, err := RunSeries(cfg, 0, 0); err == nil {
+		t.Error("n=0 should fail")
+	}
+	if _, err := RunSeries(cfg, 2, -1); err == nil {
+		t.Error("negative idle should fail")
+	}
+	bad := cfg
+	bad.Energy = nil
+	if _, err := RunSeries(bad, 2, 0); err == nil {
+		t.Error("invalid config should fail")
+	}
+}
+
+func TestRunSeriesBackToBack(t *testing.T) {
+	cfg := harSetup(t, 8, 100e-6, solar.Bright())
+	sr, err := RunSeries(cfg, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Completed != 5 {
+		t.Fatalf("completed %d/5", sr.Completed)
+	}
+	if len(sr.PerInference) != 5 {
+		t.Fatalf("results = %d", len(sr.PerInference))
+	}
+	if sr.ThroughputPerHour <= 0 {
+		t.Fatalf("throughput = %v", sr.ThroughputPerHour)
+	}
+	// Later inferences skip the cold-start charge and should not be
+	// dramatically slower than the first.
+	first := sr.PerInference[0].E2ELatency
+	for i, r := range sr.PerInference {
+		if !r.Completed {
+			t.Fatalf("inference %d did not complete", i)
+		}
+		if r.E2ELatency > first*3 {
+			t.Fatalf("inference %d latency %v way beyond first %v", i, r.E2ELatency, first)
+		}
+	}
+	// Aggregate harvest must cover the aggregate load consumption.
+	if sr.Energy.Harvested <= 0 || sr.Energy.Delivered() <= 0 {
+		t.Fatal("aggregate energy accounting missing")
+	}
+}
+
+func TestRunSeriesIdleGapsExtendTime(t *testing.T) {
+	tight, err := RunSeries(harSetup(t, 8, 100e-6, solar.Bright()), 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spaced, err := RunSeries(harSetup(t, 8, 100e-6, solar.Bright()), 3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spaced.TotalTime <= tight.TotalTime+15 {
+		t.Fatalf("idle gaps should add ~20s: tight %v vs spaced %v", tight.TotalTime, spaced.TotalTime)
+	}
+	if spaced.ThroughputPerHour >= tight.ThroughputPerHour {
+		t.Fatal("idle gaps must reduce throughput")
+	}
+}
+
+func TestRunSeriesDiurnalNightStopsWork(t *testing.T) {
+	// A day that ends after 60 seconds of "sunlight": inferences run
+	// while light lasts, then the series stalls on the first inference
+	// that cannot complete in the dark.
+	day, err := solar.NewDiurnal(solar.KehBright, 0, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := harSetup(t, 8, 100e-6, solar.Bright())
+	// Rebuild the subsystem under the short-day environment.
+	es, err := rebuildEnv(cfg, day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Energy = es
+	cfg.MaxTime = 120
+	sr, err := RunSeries(cfg, 1000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Completed == 0 {
+		t.Fatal("daylight phase should complete some inferences")
+	}
+	if sr.Completed >= 1000 {
+		t.Fatal("night must eventually stop the series")
+	}
+	last := sr.PerInference[len(sr.PerInference)-1]
+	if last.Completed {
+		t.Fatal("the series should end on an incomplete inference")
+	}
+	if !math.IsInf(float64(last.E2ELatency), 1) {
+		t.Fatal("the stalled inference should report infinite latency")
+	}
+}
+
+// rebuildEnv swaps the environment of a test config's energy subsystem.
+func rebuildEnv(cfg Config, env solar.Environment) (*energy.Subsystem, error) {
+	spec := cfg.Energy.Spec()
+	return energy.NewSolar(energy.Spec{PanelArea: spec.PanelArea, Cap: spec.Cap}, env)
+}
+
+func TestRunSeriesThroughputMatchesLatency(t *testing.T) {
+	cfg := harSetup(t, 8, 100e-6, solar.Bright())
+	sr, err := RunSeries(cfg, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum units.Seconds
+	for _, r := range sr.PerInference {
+		sum += r.E2ELatency
+	}
+	if !units.ApproxEqual(float64(sum), float64(sr.TotalTime), 0.05) {
+		t.Fatalf("sum of latencies %v vs total %v", sum, sr.TotalTime)
+	}
+}

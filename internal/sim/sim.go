@@ -1,0 +1,539 @@
+// Package sim implements the CHRYSALIS Evaluator (Sec. III-C/D): a
+// step-based co-simulation of the energy subsystem and the inference
+// subsystem. Unlike statistical simulators that "simply sum up the
+// energy or time of individual components", the step simulator advances
+// both subsystems together in discrete time steps, so energy
+// fluctuations affect inference in real time: tiles restart when power
+// browns out mid-tile, checkpoints are saved at tile boundaries, and
+// resume costs are paid after every interruption.
+//
+// The package also provides the analytic fast path (Eq. 5 + Eq. 7) that
+// the Explorer uses for search, and cross-checks between the two are
+// part of the test suite.
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"chrysalis/internal/dataflow"
+	"chrysalis/internal/energy"
+	"chrysalis/internal/intermittent"
+	"chrysalis/internal/pmic"
+	"chrysalis/internal/units"
+)
+
+// DefaultStep is the default simulation step. The paper divides the
+// process into steps "each lasting several seconds (adjustable based on
+// requirements)"; we default much finer so that single energy cycles
+// are resolved.
+const DefaultStep units.Seconds = 1e-3
+
+// DefaultMaxTime bounds a simulation that cannot complete (e.g. leakage
+// exceeds harvest — Figure 2(b)'s unavailability region).
+const DefaultMaxTime units.Seconds = 20_000
+
+// Config describes one simulation run: an energy subsystem, the
+// inference hardware constants, and the per-layer intermittent plans
+// produced by the mapper.
+type Config struct {
+	Energy *energy.Subsystem
+	HW     dataflow.HW
+	Plans  []intermittent.Plan
+
+	// Step is the simulation step (0 selects DefaultStep).
+	Step units.Seconds
+	// MaxTime aborts runs that make no progress (0 selects
+	// DefaultMaxTime).
+	MaxTime units.Seconds
+	// StartCharged starts the capacitor at U_on instead of U_off,
+	// skipping the initial cold-start charge.
+	StartCharged bool
+	// Jitter adds deterministic pseudo-random variation (±fraction) to
+	// per-tile energy draw, emulating measurement noise on a physical
+	// platform (used by the Figure 7 hardware-in-the-loop stand-in).
+	Jitter float64
+	// Seed drives the jitter stream.
+	Seed uint64
+	// Trace, when non-nil, receives the run's events (power cycles,
+	// tile starts/completions, checkpoints, resumes, retries) in time
+	// order.
+	Trace Tracer
+	// SampleEvery records the capacitor voltage at this interval into
+	// Result.VoltageTrace (0 disables; at most maxVoltageSamples are
+	// kept).
+	SampleEvery units.Seconds
+	// Policy selects the checkpoint strategy (default PolicyEveryTile).
+	Policy Policy
+	// AdaptiveHeadroom tunes PolicyAdaptive: a checkpoint is skipped
+	// while the capacitor's usable energy exceeds this multiple of the
+	// next tile's energy (0 selects 2.0).
+	AdaptiveHeadroom float64
+}
+
+// Policy is the checkpointing strategy of the inference controller —
+// the design axis separating HAWAII-style footprints from SONIC-style
+// restart-everything and adaptive JAPARI-style schemes (Table I's
+// platform rows).
+type Policy int
+
+const (
+	// PolicyEveryTile persists a checkpoint after every InterTempMap
+	// tile — the paper's Eq. 5 accounting and the default.
+	PolicyEveryTile Policy = iota
+	// PolicyAdaptive skips the save while the capacitor holds ample
+	// headroom; a brownout then loses every tile since the last save.
+	PolicyAdaptive
+	// PolicyNone never checkpoints: any interruption restarts the whole
+	// inference (the classic argument for intermittent-aware design).
+	PolicyNone
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case PolicyEveryTile:
+		return "every-tile"
+	case PolicyAdaptive:
+		return "adaptive"
+	case PolicyNone:
+		return "none"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// Breakdown itemizes where energy went during a run, load-side and
+// energy-side. The load-side categories mirror Eq. 4–5; the energy-side
+// ones support the Figure 8/9 and Figure 11 analyses.
+type Breakdown struct {
+	// Load side.
+	Infer  units.Energy // compute + VM traffic (E_infer of Eq. 4)
+	NVMIO  units.Energy // tile reads/writes from/to NVM (E_read+E_write)
+	Static units.Energy // T·N_mem·p_mem + idle (E_static)
+	Ckpt   units.Energy // checkpoint saves + resumes
+	Wasted units.Energy // energy spent on tiles that were interrupted
+
+	// Energy side.
+	Harvested      units.Energy // raw transducer output
+	ConversionLoss units.Energy // PMIC boost loss + quiescent
+	CapLeakage     units.Energy // k_cap·C·U² integral
+	SpilledHarvest units.Energy // rejected when the capacitor was full
+}
+
+// Delivered is the total energy the load consumed.
+func (b Breakdown) Delivered() units.Energy {
+	return b.Infer + b.NVMIO + b.Static + b.Ckpt + b.Wasted
+}
+
+// VoltageSample is one point of the capacitor-voltage waveform.
+type VoltageSample struct {
+	Time    units.Seconds
+	Voltage units.Voltage
+}
+
+// maxVoltageSamples bounds waveform memory for long runs.
+const maxVoltageSamples = 100_000
+
+// Result summarizes one simulated inference.
+type Result struct {
+	Completed bool
+	// E2ELatency is the wall-clock time from power-on (cold start) to
+	// inference completion, charging included (Eq. 7's quantity).
+	E2ELatency units.Seconds
+	// ActiveTime is the powered execution time.
+	ActiveTime units.Seconds
+	Breakdown  Breakdown
+
+	PowerCycles int // number of Off→On transitions
+	Checkpoints int // checkpoint saves performed
+	Resumes     int // checkpoint restores performed
+	TileRetries int // tiles re-executed after mid-tile brownout
+	TilesDone   int
+
+	// SystemEfficiency is the paper's E_infer/E_eh metric (Fig. 8, 11):
+	// useful inference energy over harvested energy.
+	SystemEfficiency float64
+
+	// VoltageTrace holds the sampled capacitor waveform when
+	// Config.SampleEvery is set.
+	VoltageTrace []VoltageSample
+}
+
+// tile is the flattened unit of execution.
+type tile struct {
+	energy units.Energy // dynamic energy the tile consumes (EDf share)
+	time   units.Seconds
+	ckptB  units.Bytes
+	layer  int
+}
+
+// flatten expands layer plans into the tile schedule.
+func flatten(plans []intermittent.Plan) []tile {
+	var ts []tile
+	for li, p := range plans {
+		for i := 0; i < p.Cost.NTileEffective; i++ {
+			ts = append(ts, tile{
+				energy: p.Cost.TileEnergy,
+				time:   p.Cost.TileTime,
+				ckptB:  p.CkptBytes,
+				layer:  li,
+			})
+		}
+	}
+	return ts
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Energy == nil {
+		return fmt.Errorf("sim: energy subsystem must not be nil")
+	}
+	if err := c.HW.Validate(); err != nil {
+		return err
+	}
+	if len(c.Plans) == 0 {
+		return fmt.Errorf("sim: no layer plans")
+	}
+	if c.Step < 0 || c.MaxTime < 0 {
+		return fmt.Errorf("sim: negative step or max time")
+	}
+	if c.Jitter < 0 || c.Jitter >= 1 {
+		return fmt.Errorf("sim: jitter %g must be in [0,1)", c.Jitter)
+	}
+	switch c.Policy {
+	case PolicyEveryTile, PolicyAdaptive, PolicyNone:
+	default:
+		return fmt.Errorf("sim: unknown checkpoint policy %d", int(c.Policy))
+	}
+	if c.AdaptiveHeadroom < 0 {
+		return fmt.Errorf("sim: negative adaptive headroom %g", c.AdaptiveHeadroom)
+	}
+	return nil
+}
+
+// Run executes the step-based simulation of one inference.
+func Run(cfg Config) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	es := cfg.Energy
+	es.Reset()
+	if cfg.StartCharged {
+		es.Cap.SetVoltage(es.Spec().PMIC.UOn)
+	} else {
+		es.Cap.SetVoltage(es.Spec().PMIC.UOff)
+	}
+	res, _ := runOnce(cfg, 0)
+	return res, nil
+}
+
+// runOnce simulates one inference starting at time start without
+// resetting the subsystem state, returning the result and the end time.
+// The caller is responsible for validation and initial conditions.
+func runOnce(cfg Config, start units.Seconds) (Result, units.Seconds) {
+	dt := cfg.Step
+	if dt == 0 {
+		dt = DefaultStep
+	}
+	maxT := start + cfg.MaxTime
+	if cfg.MaxTime == 0 {
+		maxT = start + DefaultMaxTime
+	}
+
+	es := cfg.Energy
+
+	tiles := flatten(cfg.Plans)
+	staticP := units.Power(float64(cfg.HW.PMemPerByte)*float64(cfg.HW.VMBytes) + float64(cfg.HW.PIdle))
+
+	var (
+		res       Result
+		tm        = start
+		idx       int     // current tile
+		progress  float64 // energy fraction of current tile completed
+		inTile    bool    // tile partially executed (volatile state live)
+		needsResu bool    // must pay resume cost before next tile
+		rngState  = cfg.Seed ^ 0x9e3779b97f4a7c15
+	)
+
+	jitterMult := func() float64 {
+		if cfg.Jitter == 0 {
+			return 1
+		}
+		rngState = rngState*6364136223846793005 + 1442695040888963407
+		u := float64(rngState>>11) / float64(1<<53)
+		return 1 + cfg.Jitter*(2*u-1)
+	}
+
+	tileEnergy := func(i int) units.Energy {
+		return units.Energy(float64(tiles[i].energy) * jitterMult())
+	}
+	curNeed := tileEnergy(idx)
+
+	// tileSpent tracks the Infer/NVMIO energy already credited to the
+	// in-flight tile so a brownout can reclassify it as Wasted.
+	var tileSpentInfer, tileSpentIO units.Energy
+
+	// Checkpoint policy state: committed is the tile index execution
+	// rolls back to on brownout; uncommitted* track the Infer/NVMIO
+	// energy of completed-but-unsaved tiles (lost on rollback).
+	headroom := cfg.AdaptiveHeadroom
+	if headroom == 0 {
+		headroom = 2.0
+	}
+	committed := 0
+	var uncommittedInfer, uncommittedIO units.Energy
+
+	emit := func(kind EventKind, tileIdx int) {
+		if cfg.Trace == nil {
+			return
+		}
+		layer := -1
+		if tileIdx >= 0 && tileIdx < len(tiles) {
+			layer = tiles[tileIdx].layer
+		}
+		cfg.Trace(Event{Kind: kind, Time: tm, Tile: tileIdx, Layer: layer, Voltage: es.Cap.Voltage()})
+	}
+
+	var nextSample units.Seconds = tm
+	sample := func() {
+		if cfg.SampleEvery <= 0 || tm < nextSample || len(res.VoltageTrace) >= maxVoltageSamples {
+			return
+		}
+		res.VoltageTrace = append(res.VoltageTrace, VoltageSample{Time: tm, Voltage: es.Cap.Voltage()})
+		nextSample = tm + cfg.SampleEvery
+	}
+
+	wasOn := false
+	for tm < maxT {
+		// Load demand while powered: current activity's power draw.
+		var load units.Power
+		if wasOn {
+			t := tiles[idx]
+			dyn := units.DivET(curNeed, t.time)
+			load = dyn + staticP
+		}
+		rep := es.Step(tm, load, dt)
+		tm += dt
+
+		res.Breakdown.Harvested += rep.Harvested
+		res.Breakdown.ConversionLoss += rep.ConversionLoss
+		res.Breakdown.CapLeakage += rep.Leaked
+		res.Breakdown.SpilledHarvest += rep.Spilled
+		sample()
+
+		// 1. Account energy delivered during this step (load was active).
+		if wasOn {
+			res.ActiveTime += dt
+			if rep.Delivered > 0 {
+				staticShare := units.MulPT(staticP, dt)
+				if staticShare > rep.Delivered {
+					staticShare = rep.Delivered
+				}
+				res.Breakdown.Static += staticShare
+				if work := rep.Delivered - staticShare; work > 0 {
+					if !inTile {
+						emit(EvTileStart, idx)
+					}
+					inTile = true
+					progress += float64(work) / float64(curNeed)
+					p := cfg.Plans[tiles[idx].layer]
+					ioFrac := nvmFraction(p, cfg.HW)
+					io := units.Energy(float64(work) * ioFrac)
+					inf := units.Energy(float64(work)) - io
+					res.Breakdown.NVMIO += io
+					res.Breakdown.Infer += inf
+					tileSpentIO += io
+					tileSpentInfer += inf
+				}
+			}
+			if progress >= 1 {
+				// Tile complete. Whether its volatile state is persisted
+				// depends on the checkpoint policy.
+				emit(EvTileDone, idx)
+				t := tiles[idx]
+				res.TilesDone++
+				inTile = false
+				progress = 0
+
+				save := false
+				switch cfg.Policy {
+				case PolicyEveryTile:
+					save = true
+				case PolicyAdaptive:
+					// Save only when the remaining usable energy is low
+					// relative to the next tile's demand.
+					next := curNeed
+					if idx+1 < len(tiles) {
+						next = tiles[idx+1].energy
+					}
+					usable := es.Cap.UsableAbove(es.Spec().PMIC.UOff)
+					save = float64(usable) < headroom*float64(next)
+				case PolicyNone:
+					save = false
+				}
+				if save {
+					saveE := intermittent.SaveEnergy(cfg.HW, t.ckptB)
+					res.Breakdown.Ckpt += saveE
+					drainExtra(es, saveE)
+					res.Checkpoints++
+					emit(EvCheckpoint, idx)
+					committed = idx + 1
+					uncommittedInfer, uncommittedIO = 0, 0
+				} else {
+					uncommittedInfer += tileSpentInfer
+					uncommittedIO += tileSpentIO
+				}
+				tileSpentInfer, tileSpentIO = 0, 0
+				idx++
+				if idx >= len(tiles) {
+					res.Completed = true
+					emit(EvDone, -1)
+					break
+				}
+				curNeed = tileEnergy(idx)
+			}
+		}
+
+		// 2. Handle gate transitions.
+		on := rep.State == pmic.On
+		if on && !wasOn {
+			res.PowerCycles++
+			emit(EvPowerOn, idx)
+			if needsResu {
+				// Pay the resume cost out of the fresh cycle.
+				t := tiles[idx]
+				resE := intermittent.ResumeEnergy(cfg.HW, t.ckptB)
+				res.Breakdown.Ckpt += resE
+				drainExtra(es, resE)
+				res.Resumes++
+				emit(EvResume, idx)
+				needsResu = false
+			}
+		}
+		if !on && wasOn {
+			// Brownout. Everything since the last durable point is
+			// lost: the in-flight tile's partial energy plus any
+			// completed-but-unsaved tiles under lazy policies.
+			emit(EvPowerOff, idx)
+			lost := tileSpentInfer + tileSpentIO
+			if inTile && progress > 0 {
+				res.TileRetries++
+				emit(EvRetry, idx)
+			}
+			if idx > committed {
+				// Roll back to the last checkpoint.
+				res.TileRetries += idx - committed
+				res.TilesDone -= idx - committed
+				lost += uncommittedInfer + uncommittedIO
+				idx = committed
+			}
+			if lost > 0 {
+				res.Breakdown.Infer -= tileSpentInfer + uncommittedInfer
+				res.Breakdown.NVMIO -= tileSpentIO + uncommittedIO
+				res.Breakdown.Wasted += lost
+			}
+			progress = 0
+			curNeed = tileEnergy(idx)
+			inTile = false
+			tileSpentInfer, tileSpentIO = 0, 0
+			uncommittedInfer, uncommittedIO = 0, 0
+			// A restore is needed whenever execution was interrupted:
+			// even with no checkpoint yet, the runtime re-initializes
+			// its state from NVM on the next power-up.
+			needsResu = true
+		}
+		wasOn = on
+	}
+
+	res.E2ELatency = tm - start
+	if !res.Completed {
+		res.E2ELatency = units.Seconds(math.Inf(1))
+	}
+	if res.Breakdown.Harvested > 0 {
+		res.SystemEfficiency = float64(res.Breakdown.Infer+res.Breakdown.NVMIO) / float64(res.Breakdown.Harvested)
+	}
+	return res, tm
+}
+
+// drainExtra removes energy directly from the capacitor for discrete
+// events (checkpoint save/resume) that happen inside one step.
+func drainExtra(es *energy.Subsystem, e units.Energy) {
+	spec := es.Spec()
+	capSide := units.Energy(float64(e) / spec.PMIC.LoadEff)
+	stored := es.Cap.Stored()
+	if capSide > stored {
+		capSide = stored
+	}
+	es.Cap.SetVoltage(units.VoltageForEnergy(spec.Cap, stored-capSide))
+}
+
+// nvmFraction estimates the share of a plan's dynamic tile energy that
+// is NVM traffic rather than compute.
+func nvmFraction(p intermittent.Plan, hw dataflow.HW) float64 {
+	io := float64(hw.ENVMReadPerByte)*float64(p.Cost.TileReadBytes) +
+		float64(hw.ENVMWritePerByte)*float64(p.Cost.TileWriteBytes)
+	total := float64(p.Cost.TileEnergy)
+	if total <= 0 {
+		return 0
+	}
+	f := io / total
+	if f > 1 {
+		return 1
+	}
+	return f
+}
+
+// Analytic computes the closed-form estimate the Explorer uses during
+// search: total energy per Eq. 5 (summed over layer plans) and
+// end-to-end latency per Eq. 7, E2ELat = E_all / P_eh, where P_eh is
+// the net charging power (harvest minus leakage, after conversion).
+// It reports Completed=false when the net charging power is
+// non-positive — Figure 2(b)'s unavailability condition.
+func Analytic(es *energy.Subsystem, plans []intermittent.Plan) Result {
+	tot := intermittent.Sum(plans)
+	spec := es.Spec()
+
+	pNet := float64(es.HarvestPower(0)) -
+		spec.Kcap*float64(spec.Cap)*float64(spec.PMIC.UOn)*float64(spec.PMIC.UOn)
+	var res Result
+	res.ActiveTime = tot.Time
+	res.Breakdown.Ckpt = tot.CkptEnergy
+	res.Breakdown.Static = tot.StaticEnergy
+	res.Breakdown.Infer = tot.Energy - tot.CkptEnergy - tot.StaticEnergy
+	res.TilesDone = tot.Tiles
+	res.Checkpoints = tot.Tiles
+
+	if pNet <= 0 {
+		res.E2ELatency = units.Seconds(math.Inf(1))
+		return res
+	}
+	// E2E latency decomposes as: the initial charge from U_off to U_on
+	// (execution cannot start earlier), then the charging time for the
+	// energy beyond what that first fill delivers — bounded below by the
+	// powered execution time when harvest outruns consumption.
+	capSide := float64(tot.Energy) / spec.PMIC.LoadEff
+	initCharge := float64(es.ChargeLatency())
+	if math.IsInf(initCharge, 1) {
+		res.E2ELatency = units.Seconds(math.Inf(1))
+		return res
+	}
+	usable := float64(units.CapacitorEnergy(spec.Cap, spec.PMIC.UOn, spec.PMIC.UOff))
+	remaining := capSide - usable
+	if remaining < 0 {
+		remaining = 0
+	}
+	tail := remaining / pNet
+	if tail < float64(tot.Time) {
+		// Harvest outruns consumption: execution time dominates.
+		tail = float64(tot.Time)
+	}
+	lat := initCharge + tail
+	res.E2ELatency = units.Seconds(lat)
+	res.Completed = true
+	res.Breakdown.Harvested = units.MulPT(es.Harvester.Power(0), res.E2ELatency)
+	if res.Breakdown.Harvested > 0 {
+		res.SystemEfficiency = float64(res.Breakdown.Infer) / float64(res.Breakdown.Harvested)
+	}
+	return res
+}

@@ -1,0 +1,235 @@
+package solar
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"chrysalis/internal/units"
+)
+
+func TestConstantEnvironment(t *testing.T) {
+	b := Bright()
+	if b.Keh(0) != KehBright || b.Keh(1e6) != KehBright {
+		t.Fatal("bright environment should be time-invariant")
+	}
+	if b.Name() != "bright" {
+		t.Fatalf("Name = %q", b.Name())
+	}
+	d := Dark()
+	if d.Keh(0) >= b.Keh(0) {
+		t.Fatal("dark must harvest less than bright")
+	}
+	anon := Constant{K: 5e-4}
+	if anon.Name() == "" {
+		t.Fatal("anonymous constant should synthesize a name")
+	}
+}
+
+func TestNewPanelBounds(t *testing.T) {
+	if _, err := NewPanel(0.5); err == nil {
+		t.Error("area below 1cm² should be rejected")
+	}
+	if _, err := NewPanel(31); err == nil {
+		t.Error("area above 30cm² should be rejected")
+	}
+	p, err := NewPanel(8)
+	if err != nil {
+		t.Fatalf("NewPanel(8): %v", err)
+	}
+	if p.Area != 8 {
+		t.Fatalf("area = %v", p.Area)
+	}
+}
+
+func TestPanelPowerEq1(t *testing.T) {
+	// Paper Eq. 1: P_eh = A_eh * k_eh. 6 cm² bright => 6 mW, the iNAS
+	// reference operating point from Fig. 7.
+	p, _ := NewPanel(6)
+	got := p.Power(Bright(), 0)
+	if !units.ApproxEqual(float64(got), 6e-3, 1e-12) {
+		t.Fatalf("P_eh = %v, want 6mW", got)
+	}
+}
+
+func TestHarvestEnergyConstant(t *testing.T) {
+	p, _ := NewPanel(10)
+	e := p.HarvestEnergy(Bright(), 0, 2)
+	want := 2 * 10 * float64(KehBright)
+	if !units.ApproxEqual(float64(e), want, 1e-12) {
+		t.Fatalf("harvest = %v, want %v", e, want)
+	}
+}
+
+func TestDiurnalShape(t *testing.T) {
+	d, err := NewDiurnal(KehBright, 6*3600, 18*3600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Keh(0) != 0 {
+		t.Error("night before sunrise should be 0")
+	}
+	if d.Keh(20*3600) != 0 {
+		t.Error("night after sunset should be 0")
+	}
+	noon := d.Keh(12 * 3600)
+	if !units.ApproxEqual(float64(noon), float64(KehBright), 1e-9) {
+		t.Errorf("noon = %v, want peak %v", noon, KehBright)
+	}
+	morning := d.Keh(8 * 3600)
+	if morning <= 0 || morning >= noon {
+		t.Errorf("morning %v should be between 0 and noon %v", morning, noon)
+	}
+	// Symmetry about noon.
+	if !units.ApproxEqual(float64(d.Keh(9*3600)), float64(d.Keh(15*3600)), 1e-9) {
+		t.Error("diurnal profile should be symmetric about noon")
+	}
+}
+
+func TestNewDiurnalValidation(t *testing.T) {
+	if _, err := NewDiurnal(0, 0, 10); err == nil {
+		t.Error("zero peak should be rejected")
+	}
+	if _, err := NewDiurnal(1e-3, 10, 10); err == nil {
+		t.Error("sunset == sunrise should be rejected")
+	}
+	if _, err := NewDiurnal(1e-3, 20, 10); err == nil {
+		t.Error("sunset before sunrise should be rejected")
+	}
+}
+
+func TestCloudyValidation(t *testing.T) {
+	if _, err := NewCloudy(nil, 0.3, 60, 1); err == nil {
+		t.Error("nil base should be rejected")
+	}
+	if _, err := NewCloudy(Bright(), 1.0, 60, 1); err == nil {
+		t.Error("depth 1.0 should be rejected")
+	}
+	if _, err := NewCloudy(Bright(), -0.1, 60, 1); err == nil {
+		t.Error("negative depth should be rejected")
+	}
+	if _, err := NewCloudy(Bright(), 0.3, 0, 1); err == nil {
+		t.Error("zero period should be rejected")
+	}
+}
+
+func TestCloudyBoundsAndDeterminism(t *testing.T) {
+	c, err := NewCloudy(Bright(), 0.4, 120, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := float64(KehBright)
+	for i := 0; i < 1000; i++ {
+		tm := units.Seconds(float64(i) * 3.7)
+		v := float64(c.Keh(tm))
+		if v > base || v < base*(1-0.4)-1e-15 {
+			t.Fatalf("cloudy value %v at t=%v outside [%v, %v]", v, tm, base*0.6, base)
+		}
+	}
+	c2, _ := NewCloudy(Bright(), 0.4, 120, 42)
+	for i := 0; i < 100; i++ {
+		tm := units.Seconds(float64(i) * 11.3)
+		if c.Keh(tm) != c2.Keh(tm) {
+			t.Fatal("same seed must give identical attenuation")
+		}
+	}
+	c3, _ := NewCloudy(Bright(), 0.4, 120, 43)
+	same := true
+	for i := 0; i < 100; i++ {
+		tm := units.Seconds(float64(i) * 11.3)
+		if c.Keh(tm) != c3.Keh(tm) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds should give different attenuation")
+	}
+	if c.Name() != "cloudy(bright)" {
+		t.Fatalf("Name = %q", c.Name())
+	}
+}
+
+func TestCloudyZeroDepthPassthrough(t *testing.T) {
+	c, _ := NewCloudy(Dark(), 0, 60, 7)
+	for i := 0; i < 10; i++ {
+		tm := units.Seconds(i)
+		if c.Keh(tm) != Dark().Keh(tm) {
+			t.Fatal("zero depth must pass the base through unchanged")
+		}
+	}
+}
+
+func TestHarvestMonotonicInArea(t *testing.T) {
+	// Property: a bigger panel never harvests less (paper's size/perf
+	// tradeoff direction).
+	f := func(a, b uint8) bool {
+		areaA := units.AreaCM2(float64(a%29) + 1)
+		areaB := units.AreaCM2(float64(b%29) + 1)
+		pa, _ := NewPanel(areaA)
+		pb, _ := NewPanel(areaB)
+		ea := pa.HarvestEnergy(Bright(), 0, 10)
+		eb := pb.HarvestEnergy(Bright(), 0, 10)
+		if areaA <= areaB {
+			return ea <= eb+1e-18
+		}
+		return eb <= ea+1e-18
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHarvestMidpointAccuracy(t *testing.T) {
+	// Integrating a diurnal half-sine across the whole day with small
+	// steps should approach the analytic integral peak*(2/pi)*daylen.
+	d, _ := NewDiurnal(KehBright, 0, 12*3600)
+	p, _ := NewPanel(1)
+	var sum units.Energy
+	const dt = 60
+	for t0 := units.Seconds(0); t0 < 12*3600; t0 += dt {
+		sum += p.HarvestEnergy(d, t0, dt)
+	}
+	analytic := float64(KehBright) * (2 / math.Pi) * 12 * 3600
+	if !units.ApproxEqual(float64(sum), analytic, 1e-4) {
+		t.Fatalf("integrated %v, analytic %v", sum, analytic)
+	}
+}
+
+func TestTraceEnv(t *testing.T) {
+	if _, err := NewTraceEnv([]units.Power{1e-3}, 1, ""); err == nil {
+		t.Error("single sample should fail")
+	}
+	if _, err := NewTraceEnv([]units.Power{1e-3, 2e-3}, 0, ""); err == nil {
+		t.Error("zero interval should fail")
+	}
+	if _, err := NewTraceEnv([]units.Power{1e-3, -1}, 1, ""); err == nil {
+		t.Error("negative sample should fail")
+	}
+	tr, err := NewTraceEnv([]units.Power{0, 1e-3, 0.5e-3}, 10, "field")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Name() != "field" {
+		t.Fatalf("name = %q", tr.Name())
+	}
+	// Endpoints clamp.
+	if tr.Keh(-5) != 0 {
+		t.Error("before start should clamp to first sample")
+	}
+	if tr.Keh(1e6) != 0.5e-3 {
+		t.Error("after end should clamp to last sample")
+	}
+	// Midpoint of first segment interpolates to 0.5 mW/cm².
+	if got := tr.Keh(5); !units.ApproxEqual(float64(got), 0.5e-3, 1e-9) {
+		t.Fatalf("interpolated = %v, want 0.5mW", got)
+	}
+	// Exactly on a sample.
+	if got := tr.Keh(10); !units.ApproxEqual(float64(got), 1e-3, 1e-9) {
+		t.Fatalf("at sample = %v", got)
+	}
+	anon, _ := NewTraceEnv([]units.Power{0, 1e-3}, 1, "")
+	if anon.Name() == "" {
+		t.Error("anonymous trace should synthesize a name")
+	}
+}

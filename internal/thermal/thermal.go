@@ -1,0 +1,141 @@
+// Package thermal models ambient-temperature effects on an AuT — one of
+// the component extensions the paper names explicitly (Sec. III-D:
+// "considerations such as temperature ... can be incorporated to
+// explore specific scenarios"). Two physical couplings matter for
+// energy-autonomous devices:
+//
+//   - Electrolytic capacitor leakage roughly doubles for every 10 °C of
+//     temperature rise (the Arrhenius rule of thumb for aluminum
+//     electrolytics), inflating the paper's k_cap.
+//   - Photovoltaic output derates with cell temperature, typically
+//     −0.4%/°C above the 25 °C rating point.
+//
+// The package provides temperature profiles and adapters that fold
+// these effects into the existing solar and storage models, so thermal
+// scenarios run through the unchanged evaluator and explorer.
+package thermal
+
+import (
+	"fmt"
+	"math"
+
+	"chrysalis/internal/solar"
+	"chrysalis/internal/storage"
+	"chrysalis/internal/units"
+)
+
+// ReferenceC is the rating temperature for both couplings.
+const ReferenceC = 25.0
+
+// Profile supplies the ambient temperature over scenario time.
+type Profile interface {
+	// TempC returns the temperature in degrees Celsius at time t.
+	TempC(t units.Seconds) float64
+	// Name identifies the profile in traces.
+	Name() string
+}
+
+// Constant is a fixed-temperature profile.
+type Constant struct {
+	C     float64
+	Label string
+}
+
+// TempC implements Profile.
+func (c Constant) TempC(units.Seconds) float64 { return c.C }
+
+// Name implements Profile.
+func (c Constant) Name() string {
+	if c.Label != "" {
+		return c.Label
+	}
+	return fmt.Sprintf("%g°C", c.C)
+}
+
+// DayNight is a sinusoidal day/night temperature swing.
+type DayNight struct {
+	// MeanC is the daily mean temperature.
+	MeanC float64
+	// SwingC is the peak-to-mean amplitude.
+	SwingC float64
+	// PeakAt is the time of day (seconds) of maximum temperature.
+	PeakAt units.Seconds
+	// Period is the cycle length (0 selects 24 h).
+	Period units.Seconds
+}
+
+// TempC implements Profile.
+func (d DayNight) TempC(t units.Seconds) float64 {
+	period := d.Period
+	if period == 0 {
+		period = 24 * 3600
+	}
+	phase := 2 * math.Pi * float64(t-d.PeakAt) / float64(period)
+	return d.MeanC + d.SwingC*math.Cos(phase)
+}
+
+// Name implements Profile.
+func (d DayNight) Name() string {
+	return fmt.Sprintf("day/night %g±%g°C", d.MeanC, d.SwingC)
+}
+
+// LeakageFactor returns the multiplier on the capacitor leakage
+// coefficient k_cap at temperature tempC: 2^((T−25)/10).
+func LeakageFactor(tempC float64) float64 {
+	return math.Pow(2, (tempC-ReferenceC)/10)
+}
+
+// AdjustedKcap returns the effective k_cap for a base coefficient at a
+// given temperature. A base of 0 selects storage.DefaultKcap.
+func AdjustedKcap(base, tempC float64) float64 {
+	if base == 0 {
+		base = storage.DefaultKcap
+	}
+	return base * LeakageFactor(tempC)
+}
+
+// pvDeratePerC is the photovoltaic power temperature coefficient.
+const pvDeratePerC = 0.004
+
+// PVFactor returns the multiplier on photovoltaic output at cell
+// temperature tempC: 1 − 0.4%/°C above 25 °C (clamped at 10% floor so
+// pathological profiles stay physical).
+func PVFactor(tempC float64) float64 {
+	f := 1 - pvDeratePerC*(tempC-ReferenceC)
+	if f < 0.1 {
+		return 0.1
+	}
+	if f > 1.2 {
+		return 1.2 // cold cells are slightly better than rated
+	}
+	return f
+}
+
+// DeratedEnvironment wraps a solar environment with temperature
+// derating: the effective k_eh at time t is scaled by PVFactor of the
+// profile's temperature at t.
+type DeratedEnvironment struct {
+	Base    solar.Environment
+	Thermal Profile
+}
+
+// NewDeratedEnvironment validates and builds the wrapper.
+func NewDeratedEnvironment(base solar.Environment, p Profile) (DeratedEnvironment, error) {
+	if base == nil {
+		return DeratedEnvironment{}, fmt.Errorf("thermal: base environment must not be nil")
+	}
+	if p == nil {
+		return DeratedEnvironment{}, fmt.Errorf("thermal: temperature profile must not be nil")
+	}
+	return DeratedEnvironment{Base: base, Thermal: p}, nil
+}
+
+// Keh implements solar.Environment.
+func (d DeratedEnvironment) Keh(t units.Seconds) units.Power {
+	return units.Power(float64(d.Base.Keh(t)) * PVFactor(d.Thermal.TempC(t)))
+}
+
+// Name implements solar.Environment.
+func (d DeratedEnvironment) Name() string {
+	return d.Base.Name() + "@" + d.Thermal.Name()
+}

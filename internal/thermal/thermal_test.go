@@ -1,0 +1,148 @@
+package thermal
+
+import (
+	"testing"
+	"testing/quick"
+
+	"chrysalis/internal/energy"
+	"chrysalis/internal/solar"
+	"chrysalis/internal/storage"
+	"chrysalis/internal/units"
+)
+
+func TestLeakageFactor(t *testing.T) {
+	if got := LeakageFactor(25); got != 1 {
+		t.Fatalf("25°C factor = %v, want 1", got)
+	}
+	if got := LeakageFactor(35); !units.ApproxEqual(got, 2, 1e-9) {
+		t.Fatalf("35°C factor = %v, want 2", got)
+	}
+	if got := LeakageFactor(15); !units.ApproxEqual(got, 0.5, 1e-9) {
+		t.Fatalf("15°C factor = %v, want 0.5", got)
+	}
+	if got := LeakageFactor(45); !units.ApproxEqual(got, 4, 1e-9) {
+		t.Fatalf("45°C factor = %v, want 4", got)
+	}
+}
+
+func TestAdjustedKcap(t *testing.T) {
+	if got := AdjustedKcap(0, 25); got != storage.DefaultKcap {
+		t.Fatalf("zero base should default: %v", got)
+	}
+	if got := AdjustedKcap(0.02, 35); !units.ApproxEqual(got, 0.04, 1e-9) {
+		t.Fatalf("doubling at +10°C: %v", got)
+	}
+}
+
+func TestPVFactor(t *testing.T) {
+	if got := PVFactor(25); got != 1 {
+		t.Fatalf("rated point = %v", got)
+	}
+	if got := PVFactor(50); !units.ApproxEqual(got, 0.9, 1e-9) {
+		t.Fatalf("50°C derate = %v, want 0.9", got)
+	}
+	if got := PVFactor(0); got <= 1 || got > 1.2 {
+		t.Fatalf("cold bonus = %v", got)
+	}
+	if got := PVFactor(1000); got != 0.1 {
+		t.Fatalf("floor = %v", got)
+	}
+	if got := PVFactor(-1000); got != 1.2 {
+		t.Fatalf("ceiling = %v", got)
+	}
+}
+
+func TestProfiles(t *testing.T) {
+	c := Constant{C: 40}
+	if c.TempC(0) != 40 || c.TempC(1e6) != 40 {
+		t.Fatal("constant profile must be flat")
+	}
+	if c.Name() != "40°C" {
+		t.Fatalf("name = %q", c.Name())
+	}
+	if (Constant{C: 40, Label: "oven"}).Name() != "oven" {
+		t.Fatal("label should win")
+	}
+
+	d := DayNight{MeanC: 20, SwingC: 10, PeakAt: 14 * 3600}
+	if got := d.TempC(14 * 3600); !units.ApproxEqual(got, 30, 1e-9) {
+		t.Fatalf("peak temp = %v, want 30", got)
+	}
+	if got := d.TempC(2 * 3600); !units.ApproxEqual(got, 10, 1e-9) {
+		t.Fatalf("trough temp = %v, want 10", got)
+	}
+	if d.Name() == "" {
+		t.Fatal("day/night name")
+	}
+	// Mean over a full period equals MeanC.
+	var sum float64
+	const n = 1000
+	for i := 0; i < n; i++ {
+		sum += d.TempC(units.Seconds(i) * 24 * 3600 / n)
+	}
+	if !units.ApproxEqual(sum/n, 20, 1e-3) {
+		t.Fatalf("mean = %v, want 20", sum/n)
+	}
+}
+
+func TestDeratedEnvironment(t *testing.T) {
+	if _, err := NewDeratedEnvironment(nil, Constant{C: 25}); err == nil {
+		t.Error("nil base should fail")
+	}
+	if _, err := NewDeratedEnvironment(solar.Bright(), nil); err == nil {
+		t.Error("nil profile should fail")
+	}
+	hot, err := NewDeratedEnvironment(solar.Bright(), Constant{C: 65})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := solar.Bright().Keh(0)
+	got := hot.Keh(0)
+	want := float64(base) * 0.84 // 1 − 0.004·40
+	if !units.ApproxEqual(float64(got), want, 1e-9) {
+		t.Fatalf("derated keh = %v, want %v", got, want)
+	}
+	if hot.Name() != "bright@65°C" {
+		t.Fatalf("name = %q", hot.Name())
+	}
+}
+
+func TestHotScenarioChargesSlower(t *testing.T) {
+	// End-to-end coupling: a hot scenario (derated PV + inflated
+	// leakage) must lengthen the charge time of the same design.
+	cool, err := energy.NewSolar(energy.Spec{PanelArea: 8, Cap: 1e-3}, solar.Bright())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hotEnv, err := NewDeratedEnvironment(solar.Bright(), Constant{C: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot, err := energy.NewSolar(energy.Spec{
+		PanelArea: 8, Cap: 1e-3,
+		Kcap: AdjustedKcap(0, 60),
+	}, hotEnv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hot.ChargeLatency() <= cool.ChargeLatency() {
+		t.Fatalf("hot charge %v should exceed cool %v", hot.ChargeLatency(), cool.ChargeLatency())
+	}
+}
+
+func TestLeakageFactorMonotone(t *testing.T) {
+	f := func(a, b int8) bool {
+		ta, tb := float64(a), float64(b)
+		fa, fb := LeakageFactor(ta), LeakageFactor(tb)
+		if ta < tb {
+			return fa < fb
+		}
+		if ta > tb {
+			return fa > fb
+		}
+		return fa == fb
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
