@@ -2,9 +2,12 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench experiments examples fuzz cover clean
+.PHONY: all ci build vet test race bench experiments examples fuzz cover clean serve-smoke
 
 all: build vet test
+
+# Everything the CI workflow runs.
+ci: build vet test race
 
 build:
 	$(GO) build ./...
@@ -34,6 +37,11 @@ examples:
 
 fuzz:
 	$(GO) test ./internal/dnn/ -fuzz FuzzParseJSON -fuzztime 30s
+
+# End-to-end chrysalisd check: boot on a random port, run a design job
+# to completion, assert the resubmission is a cache hit.
+serve-smoke:
+	$(GO) test ./internal/serve/ -run TestServeSmoke -v
 
 cover:
 	$(GO) test -cover ./...

@@ -80,7 +80,12 @@ const (
 // constraints (the paper's Table II inputs).
 type Spec = core.Spec
 
-// SearchConfig sizes the HW-level optimizer.
+// SearchConfig sizes the HW-level optimizer. Its Progress field, when
+// set, receives a callback after every outer-GA generation (generation
+// index, cumulative evaluations, best objective value so far), and its
+// Stop field is polled between generations to end a search early —
+// the hooks behind chrysalisd's live SSE telemetry and job
+// cancellation.
 type SearchConfig = core.SearchConfig
 
 // Result is the ideal AuT solution (the paper's Table II outputs).
@@ -127,6 +132,18 @@ func ReportWithVerification(spec Spec, res Result) (string, error) {
 // letting users cross-check the analytic search estimate the way the
 // paper validates its model against the physical platform (Fig. 7).
 func Verify(spec Spec, res Result) (SimResult, error) { return core.Verify(spec, res) }
+
+// VerifyTraced is Verify with an event callback receiving the replay's
+// transitions (power cycles, tile starts/completions, checkpoints,
+// resumes, retries) in time order — the hook chrysalisd uses to stream
+// live telemetry over SSE. A nil callback behaves like Verify.
+func VerifyTraced(spec Spec, res Result, onEvent func(SimEvent)) (SimResult, error) {
+	var tr sim.Tracer
+	if onEvent != nil {
+		tr = sim.Tracer(onEvent)
+	}
+	return core.VerifyWithTrace(spec, res, tr)
+}
 
 // Workloads lists the names of all built-in benchmark networks
 // (Tables IV and V plus the Figure 2 workloads).

@@ -146,7 +146,16 @@ func main() {
 }
 
 func buildSpec(workload, platform, objective string, maxPanel, maxLatency float64, budget int, seed int64, algorithm string) (chrysalis.Spec, error) {
-	spec := chrysalis.Spec{
+	spec := chrysalis.Spec{}
+	switch {
+	case maxPanel < 0:
+		return spec, fmt.Errorf("-max-panel must be non-negative, got %g", maxPanel)
+	case maxLatency < 0:
+		return spec, fmt.Errorf("-max-latency must be non-negative, got %g", maxLatency)
+	case budget < 0:
+		return spec, fmt.Errorf("-budget must be non-negative, got %d", budget)
+	}
+	spec = chrysalis.Spec{
 		WorkloadName: workload,
 		MaxPanel:     chrysalis.AreaCM2(maxPanel),
 		MaxLatency:   chrysalis.Seconds(maxLatency),

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBuildSpecRejectsNegativeValues(t *testing.T) {
+	cases := []struct {
+		name                 string
+		maxPanel, maxLatency float64
+		budget               int
+		wantSub              string
+	}{
+		{"negative max-panel", -1, 0, 400, "-max-panel"},
+		{"negative max-latency", 0, -2, 400, "-max-latency"},
+		{"negative budget", 0, 0, -100, "-budget"},
+	}
+	for _, tc := range cases {
+		_, err := buildSpec("har", "msp430", "lat*sp", tc.maxPanel, tc.maxLatency, tc.budget, 1, "ga")
+		if err == nil {
+			t.Errorf("%s: no error", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("%s: error %q does not name the flag %q", tc.name, err, tc.wantSub)
+		}
+	}
+}
+
+func TestBuildSpecValid(t *testing.T) {
+	spec, err := buildSpec("har", "accel", "lat", 20, 0, 400, 1, "ga")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.MaxPanel != 20 || spec.WorkloadName != "har" {
+		t.Fatalf("spec = %+v", spec)
+	}
+}
+
+func TestBuildSpecRejectsUnknownEnums(t *testing.T) {
+	if _, err := buildSpec("har", "riscv", "lat", 0, 0, 400, 1, "ga"); err == nil {
+		t.Error("unknown platform accepted")
+	}
+	if _, err := buildSpec("har", "msp430", "throughput", 0, 0, 400, 1, "ga"); err == nil {
+		t.Error("unknown objective accepted")
+	}
+}

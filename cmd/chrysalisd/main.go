@@ -1,0 +1,83 @@
+// Command chrysalisd serves the CHRYSALIS design pipeline over
+// HTTP/JSON: asynchronous design-search jobs with live SSE telemetry,
+// synchronous step-simulation, a content-addressed result cache and
+// Prometheus-style metrics.
+//
+// Quickstart:
+//
+//	chrysalisd -addr :8080 &
+//	curl -s -X POST localhost:8080/v1/designs \
+//	     -d '{"workload":"har","budget":200}'          # => {"id":"j-000001",...}
+//	curl -N localhost:8080/v1/designs/j-000001/events  # live GA progress
+//	curl -s localhost:8080/v1/designs/j-000001         # status / result
+//	curl -s localhost:8080/metrics | grep chrysalisd_
+//
+// SIGINT/SIGTERM triggers a graceful shutdown that drains in-flight
+// jobs (bounded by -drain-timeout).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"chrysalis/internal/serve"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		workers      = flag.Int("workers", 0, "design-job worker pool size (0 = GOMAXPROCS)")
+		queueDepth   = flag.Int("queue", 64, "maximum queued jobs before submissions get 503")
+		cacheSize    = flag.Int("cache", 128, "result-cache capacity in designs")
+		jobTimeout   = flag.Duration("job-timeout", 0, "per-job search deadline (0 = none)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain bound")
+	)
+	flag.Parse()
+	if *workers < 0 || *queueDepth < 0 || *cacheSize < 0 {
+		fmt.Fprintln(os.Stderr, "chrysalisd: -workers, -queue and -cache must be non-negative")
+		os.Exit(1)
+	}
+
+	logger := log.New(os.Stderr, "chrysalisd: ", log.LstdFlags)
+	srv := serve.New(serve.Options{
+		Workers:    *workers,
+		QueueDepth: *queueDepth,
+		CacheSize:  *cacheSize,
+		JobTimeout: *jobTimeout,
+		Logf:       logger.Printf,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	logger.Printf("listening on %s (workers=%d cache=%d queue=%d)",
+		*addr, *workers, *cacheSize, *queueDepth)
+
+	select {
+	case err := <-errCh:
+		logger.Fatalf("listen: %v", err)
+	case <-ctx.Done():
+	}
+
+	logger.Printf("shutting down: draining jobs (up to %v)", *drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		logger.Printf("http shutdown: %v", err)
+	}
+	if err := srv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.Canceled) {
+		logger.Printf("job drain: %v", err)
+	}
+	logger.Printf("bye")
+}

@@ -1,6 +1,7 @@
 package chrysalis
 
 import (
+	"strings"
 	"testing"
 )
 
@@ -67,6 +68,55 @@ func TestSimulateWithHarvester(t *testing.T) {
 	}
 	if _, err := SimulateWithHarvester(harSpec(), DesignPoint{PanelArea: 8, Cap: 100e-6}, nil); err == nil {
 		t.Fatal("nil harvester should fail")
+	}
+}
+
+func TestParseWorkloadErrors(t *testing.T) {
+	cases := []struct {
+		name, json, wantSub string
+	}{
+		{"malformed JSON", `{"name": "broken",`, "invalid workload JSON"},
+		{"not JSON at all", `🦋`, "invalid workload JSON"},
+		{"wrong field type", `{"name": 7, "input": [1,1,16], "layers": [{"type":"dense","out":4}]}`, "invalid workload JSON"},
+		{"unknown layer kind", `{"name":"n","input":[1,1,16],"layers":[{"type":"transformer"}]}`, `unknown type "transformer"`},
+		{"empty layer list", `{"name":"n","input":[1,1,16],"layers":[]}`, "has no layers"},
+		{"missing layer list", `{"name":"n","input":[1,1,16]}`, "has no layers"},
+		{"missing name", `{"input":[1,1,16],"layers":[{"type":"dense","out":4}]}`, "needs a name"},
+		{"bad input shape", `{"name":"n","input":[0,1,16],"layers":[{"type":"dense","out":4}]}`, "must be positive"},
+		{"dense without out", `{"name":"n","input":[1,1,16],"layers":[{"type":"dense"}]}`, "dense needs out"},
+		{"conv2d without channels", `{"name":"n","input":[3,8,8],"layers":[{"type":"conv2d","kernel":3}]}`, "needs out_channels"},
+	}
+	for _, tc := range cases {
+		_, err := ParseWorkload([]byte(tc.json))
+		if err == nil {
+			t.Errorf("%s: no error", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.wantSub)
+		}
+	}
+
+	// A valid description still parses, and round-trips through the
+	// canonical serialization.
+	valid := `{"name":"ok","input":[1,1,16],"layers":[{"type":"dense","out":4}]}`
+	w, err := ParseWorkload([]byte(valid))
+	if err != nil {
+		t.Fatalf("valid workload rejected: %v", err)
+	}
+	if w.Name != "ok" || len(w.Layers) != 1 {
+		t.Fatalf("parsed %q with %d layers", w.Name, len(w.Layers))
+	}
+	canon, err := w.ToJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := ParseWorkload(canon)
+	if err != nil {
+		t.Fatalf("canonical form rejected: %v", err)
+	}
+	if w2.Name != w.Name || len(w2.Layers) != len(w.Layers) {
+		t.Fatal("round trip changed the workload")
 	}
 }
 

@@ -61,6 +61,16 @@ type SearchConfig struct {
 	// scaled to interactive runtimes).
 	Budget int
 	Seed   int64
+	// Progress, when non-nil, receives a callback after every outer-GA
+	// generation: the 1-based generation index, cumulative candidate
+	// evaluations and best objective value so far. It runs on the search
+	// goroutine and must be fast. Not part of a design's identity (it is
+	// ignored by serialization and caching layers).
+	Progress func(gen, evals int, best float64) `json:"-"`
+	// Stop, when non-nil, is polled between generations; returning true
+	// ends the search early with the best design found so far. Serving
+	// layers use it to honor context cancellation and deadlines.
+	Stop func() bool `json:"-"`
 }
 
 func (s SearchConfig) withDefaults() SearchConfig {
@@ -183,12 +193,16 @@ func gaConfig(s SearchConfig) (search.GAConfig, error) {
 		cfg.Elite = 0
 		cfg.TournamentK = 1
 		sizeGA(&cfg, s.Budget)
+		cfg.Progress = s.Progress
+		cfg.Stop = s.Stop
 		return cfg, nil
 	default:
 		return search.GAConfig{}, fmt.Errorf("core: unknown search algorithm %q (want ga or random)", s.Algorithm)
 	}
 	cfg := search.DefaultGA(s.Seed)
 	sizeGA(&cfg, s.Budget)
+	cfg.Progress = s.Progress
+	cfg.Stop = s.Stop
 	return cfg, nil
 }
 
@@ -266,6 +280,14 @@ func assemble(out explore.Outcome) Result {
 // analytic search estimate (the paper's model-vs-platform validation
 // flow, Fig. 7).
 func Verify(spec Spec, res Result) (sim.Result, error) {
+	return VerifyWithTrace(spec, res, nil)
+}
+
+// VerifyWithTrace is Verify with an optional simulator tracer that
+// receives the replay's events (power cycles, tile starts/completions,
+// checkpoints, resumes, retries) in time order — the hook the serving
+// layer uses to stream live telemetry.
+func VerifyWithTrace(spec Spec, res Result, tr sim.Tracer) (sim.Result, error) {
 	sc, err := spec.scenario()
 	if err != nil {
 		return sim.Result{}, err
@@ -294,7 +316,7 @@ func Verify(spec Spec, res Result) (sim.Result, error) {
 	if err != nil {
 		return sim.Result{}, err
 	}
-	return sim.Run(sim.Config{Energy: es, HW: hw, Plans: plans})
+	return sim.Run(sim.Config{Energy: es, HW: hw, Plans: plans, Trace: tr})
 }
 
 func candidateFromResult(spec Spec, res Result) (explore.Candidate, error) {

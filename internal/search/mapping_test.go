@@ -1,0 +1,169 @@
+package search
+
+import (
+	"math"
+	"testing"
+)
+
+// TestMapFloatLogEndpoints pins the log-scale decode at and beyond its
+// endpoints: the capacitor axis (1 µF – 10 mF) must hit its bounds
+// exactly so boundary designs are reachable, and out-of-range genes
+// (post-mutation values before clamping) must saturate, not
+// extrapolate.
+func TestMapFloatLogEndpoints(t *testing.T) {
+	const min, max = 1e-6, 10e-3
+	if got := MapFloat(0, min, max, true); got != min {
+		t.Errorf("MapFloat(0, log) = %g, want %g", got, min)
+	}
+	if got := MapFloat(1, min, max, true); got != max {
+		t.Errorf("MapFloat(1, log) = %g, want %g", got, max)
+	}
+	if got := MapFloat(-0.3, min, max, true); got != min {
+		t.Errorf("MapFloat(-0.3, log) = %g, want clamp to %g", got, min)
+	}
+	if got := MapFloat(1.7, min, max, true); got != max {
+		t.Errorf("MapFloat(1.7, log) = %g, want clamp to %g", got, max)
+	}
+	// Log decode is monotone and stays within bounds everywhere.
+	prev := math.Inf(-1)
+	for u := 0.0; u <= 1.0; u += 1.0 / 64 {
+		v := MapFloat(u, min, max, true)
+		if v < min || v > max {
+			t.Fatalf("MapFloat(%g, log) = %g outside [%g, %g]", u, v, min, max)
+		}
+		if v < prev {
+			t.Fatalf("MapFloat log not monotone at u=%g", u)
+		}
+		prev = v
+	}
+	// Each decade of a 4-decade range spans a quarter of u.
+	if got := MapFloat(0.25, min, max, true); math.Abs(got-1e-5) > 1e-12 {
+		t.Errorf("quarter point = %g, want 1e-5", got)
+	}
+}
+
+// TestMapIntBoundaryClamping pins integer decoding at the edges: u
+// outside [0,1], the u=1 endpoint (which lands exactly on max and must
+// not overflow to max+1), and a reversed [min,max] order.
+func TestMapIntBoundaryClamping(t *testing.T) {
+	if got := MapInt(-2, 3, 9); got != 3 {
+		t.Errorf("MapInt(-2) = %d, want 3", got)
+	}
+	if got := MapInt(5, 3, 9); got != 9 {
+		t.Errorf("MapInt(5) = %d, want 9", got)
+	}
+	// u=1 maps Floor((max-min+1)) which lands one past max before the
+	// final clamp; the clamp must bring it back.
+	if got := MapInt(1, 0, 7); got != 7 {
+		t.Errorf("MapInt(1, 0, 7) = %d, want 7", got)
+	}
+	// Reversed bounds normalize.
+	if got := MapInt(0, 9, 3); got != 3 {
+		t.Errorf("MapInt(0, 9, 3) = %d, want 3", got)
+	}
+	if got := MapInt(1, 9, 3); got != 9 {
+		t.Errorf("MapInt(1, 9, 3) = %d, want 9", got)
+	}
+	// Negative ranges (e.g. offsets) clamp symmetrically.
+	if got := MapInt(-1, -5, -1); got != -5 {
+		t.Errorf("MapInt(-1, -5, -1) = %d, want -5", got)
+	}
+	if got := MapInt(2, -5, -1); got != -1 {
+		t.Errorf("MapInt(2, -5, -1) = %d, want -1", got)
+	}
+}
+
+// TestMapChoiceBoundaryClamping pins the categorical decode: the u=1
+// endpoint stays inside [0,n), out-of-range u clamps, and a
+// single-choice space always decodes to 0.
+func TestMapChoiceBoundaryClamping(t *testing.T) {
+	if got := MapChoice(1, 3); got != 2 {
+		t.Errorf("MapChoice(1, 3) = %d, want 2", got)
+	}
+	if got := MapChoice(-0.5, 3); got != 0 {
+		t.Errorf("MapChoice(-0.5, 3) = %d, want 0", got)
+	}
+	if got := MapChoice(1.5, 3); got != 2 {
+		t.Errorf("MapChoice(1.5, 3) = %d, want 2", got)
+	}
+	for _, u := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		if got := MapChoice(u, 1); got != 0 {
+			t.Fatalf("MapChoice(%g, 1) = %d, want 0", u, got)
+		}
+	}
+}
+
+// TestParetoFrontDuplicatesAndDegenerates pins the front on inputs the
+// random Pareto scan actually produces: exact duplicates, ties along
+// one axis, a single point, and a fully degenerate cloud.
+func TestParetoFrontDuplicatesAndDegenerates(t *testing.T) {
+	// Exact duplicates: only one copy survives (strict Y improvement).
+	front := ParetoFront([]Point2{
+		{X: 1, Y: 1, Tag: 0},
+		{X: 1, Y: 1, Tag: 1},
+		{X: 1, Y: 1, Tag: 2},
+	})
+	if len(front) != 1 {
+		t.Fatalf("duplicate cloud front = %v, want a single member", front)
+	}
+
+	// Same X, different Y: only the lowest Y is non-dominated.
+	front = ParetoFront([]Point2{
+		{X: 2, Y: 9, Tag: 0},
+		{X: 2, Y: 3, Tag: 1},
+		{X: 2, Y: 5, Tag: 2},
+	})
+	if len(front) != 1 || front[0].Tag != 1 {
+		t.Fatalf("same-X front = %v, want just tag 1", front)
+	}
+
+	// Same Y, different X: only the lowest X is non-dominated.
+	front = ParetoFront([]Point2{
+		{X: 4, Y: 2, Tag: 0},
+		{X: 1, Y: 2, Tag: 1},
+		{X: 3, Y: 2, Tag: 2},
+	})
+	if len(front) != 1 || front[0].Tag != 1 {
+		t.Fatalf("same-Y front = %v, want just tag 1", front)
+	}
+
+	// A single point is its own front.
+	front = ParetoFront([]Point2{{X: 7, Y: 7, Tag: 42}})
+	if len(front) != 1 || front[0].Tag != 42 {
+		t.Fatalf("singleton front = %v", front)
+	}
+
+	// Duplicates of front members must not inflate the front size, and
+	// the result stays mutually non-dominated.
+	pts := []Point2{
+		{X: 1, Y: 10}, {X: 1, Y: 10},
+		{X: 2, Y: 5}, {X: 2, Y: 5},
+		{X: 4, Y: 1}, {X: 4, Y: 1},
+		{X: 3, Y: 20}, // dominated
+	}
+	front = ParetoFront(pts)
+	if len(front) != 3 {
+		t.Fatalf("duplicated staircase front = %v, want 3 members", front)
+	}
+	for i, a := range front {
+		for j, b := range front {
+			if i != j && Dominates(a, b) {
+				t.Fatalf("front member %v dominates %v", a, b)
+			}
+		}
+	}
+	// Input order must not matter for the surviving coordinates.
+	rev := make([]Point2, len(pts))
+	for i, p := range pts {
+		rev[len(pts)-1-i] = p
+	}
+	front2 := ParetoFront(rev)
+	if len(front2) != len(front) {
+		t.Fatalf("front size depends on input order: %d vs %d", len(front2), len(front))
+	}
+	for i := range front {
+		if front[i].X != front2[i].X || front[i].Y != front2[i].Y {
+			t.Fatalf("front coordinates depend on input order: %v vs %v", front, front2)
+		}
+	}
+}

@@ -74,6 +74,16 @@ type GAConfig struct {
 	// seeded); only objective evaluations run in parallel, so Eval must
 	// be safe for concurrent use.
 	Workers int
+	// Progress, when non-nil, is called by RunGA after every generation
+	// with the 1-based generation index, the cumulative evaluation count
+	// and the best objective value so far. It runs on the search
+	// goroutine, so implementations must be fast and must not call back
+	// into the optimizer.
+	Progress func(gen, evals int, best float64)
+	// Stop, when non-nil, is polled once per generation; returning true
+	// ends the search early with the best individual found so far (used
+	// for context cancellation and deadlines by serving layers).
+	Stop func() bool
 }
 
 // DefaultGA returns a reasonable configuration for the AuT design
@@ -152,6 +162,9 @@ func RunGA(p Problem, cfg GAConfig) (Result, error) {
 	sortPop(pop)
 
 	for gen := 0; gen < cfg.Generations; gen++ {
+		if cfg.Stop != nil && cfg.Stop() {
+			break
+		}
 		next := make([]individual, 0, cfg.Population)
 		// Elitism (already evaluated).
 		for i := 0; i < cfg.Elite; i++ {
@@ -171,6 +184,9 @@ func RunGA(p Problem, cfg GAConfig) (Result, error) {
 		pop = append(next, fresh...)
 		sortPop(pop)
 		res.History = append(res.History, pop[0].value)
+		if cfg.Progress != nil {
+			cfg.Progress(gen+1, res.Evals, pop[0].value)
+		}
 	}
 
 	res.Best = append([]float64(nil), pop[0].genome...)

@@ -172,6 +172,65 @@ func TestGABeatsRandomOnBudget(t *testing.T) {
 	}
 }
 
+func TestGAProgressCallback(t *testing.T) {
+	cfg := DefaultGA(1)
+	cfg.Population = 10
+	cfg.Generations = 5
+	var gens, lastEvals []int
+	var bests []float64
+	cfg.Progress = func(gen, evals int, best float64) {
+		gens = append(gens, gen)
+		lastEvals = append(lastEvals, evals)
+		bests = append(bests, best)
+	}
+	res, err := RunGA(Problem{Dim: 3, Eval: sphere}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gens) != cfg.Generations {
+		t.Fatalf("progress called %d times, want %d", len(gens), cfg.Generations)
+	}
+	for i, g := range gens {
+		if g != i+1 {
+			t.Fatalf("gens = %v, want 1..%d", gens, cfg.Generations)
+		}
+		if i > 0 && lastEvals[i] <= lastEvals[i-1] {
+			t.Fatalf("evals not increasing: %v", lastEvals)
+		}
+		if i > 0 && bests[i] > bests[i-1] {
+			t.Fatalf("best not monotone: %v", bests)
+		}
+	}
+	if lastEvals[len(lastEvals)-1] != res.Evals {
+		t.Fatalf("final progress evals %d != result evals %d", lastEvals[len(lastEvals)-1], res.Evals)
+	}
+	if bests[len(bests)-1] != res.BestValue {
+		t.Fatalf("final progress best %g != result best %g", bests[len(bests)-1], res.BestValue)
+	}
+}
+
+func TestGAStopEndsSearchEarly(t *testing.T) {
+	cfg := DefaultGA(1)
+	cfg.Population = 10
+	cfg.Generations = 1000
+	calls := 0
+	cfg.Progress = func(int, int, float64) { calls++ }
+	cfg.Stop = func() bool { return calls >= 3 }
+	res, err := RunGA(Problem{Dim: 3, Eval: sphere}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 3 {
+		t.Fatalf("ran %d generations after stop, want 3", calls)
+	}
+	if len(res.Best) != 3 || math.IsInf(res.BestValue, 1) {
+		t.Fatalf("stopped search must still return the best so far: %+v", res)
+	}
+	if res.Evals >= 10*1000 {
+		t.Fatal("stop did not shorten the search")
+	}
+}
+
 func TestRunRandom(t *testing.T) {
 	res, err := RunRandom(Problem{Dim: 3, Eval: sphere}, 500, 9, true)
 	if err != nil {

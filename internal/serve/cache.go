@@ -1,0 +1,72 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"chrysalis/internal/core"
+	"chrysalis/internal/sim"
+)
+
+// cacheEntry is a finished design: the search result plus, for verify
+// jobs, the step-simulator replay summary.
+type cacheEntry struct {
+	result core.Result
+	sim    *sim.Result
+}
+
+// lruCache is a content-addressed result cache: keys are canonical
+// request hashes (see normalize), values finished designs. Least
+// recently used entries are evicted once cap is exceeded.
+type lruCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type lruItem struct {
+	key   string
+	entry cacheEntry
+}
+
+func newLRU(capacity int) *lruCache {
+	return &lruCache{cap: capacity, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+// get returns the entry for key, promoting it to most recently used.
+func (c *lruCache) get(key string) (cacheEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return cacheEntry{}, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruItem).entry, true
+}
+
+// add inserts or refreshes an entry, evicting the least recently used
+// entries beyond capacity.
+func (c *lruCache) add(key string, e cacheEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*lruItem).entry = e
+		return
+	}
+	c.items[key] = c.ll.PushFront(&lruItem{key: key, entry: e})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruItem).key)
+	}
+}
+
+// len reports the number of cached designs.
+func (c *lruCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

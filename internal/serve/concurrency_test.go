@@ -1,0 +1,133 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"sync"
+	"testing"
+)
+
+// TestParallelIdenticalRequestsSingleFlight fires N identical design
+// requests concurrently and asserts exactly one underlying search ran:
+// every response shares one job, the queue accepted one job, and the
+// metrics report N-1 hits against 1 miss.
+func TestParallelIdenticalRequestsSingleFlight(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 4})
+
+	const n = 12
+	var (
+		wg  sync.WaitGroup
+		mu  sync.Mutex
+		ids = map[string]int{}
+	)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			data, _ := json.Marshal(smallJob())
+			resp, err := http.Post(ts.URL+"/v1/designs", "application/json",
+				bytes.NewReader(data))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer resp.Body.Close()
+			var st JobStatus
+			if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+				t.Error(err)
+				return
+			}
+			if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+				t.Errorf("status %d", resp.StatusCode)
+				return
+			}
+			mu.Lock()
+			ids[st.ID]++
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+
+	// All requests coalesced while in flight (a request landing after
+	// completion materializes a new cached job record, still without a
+	// new search — so allow >1 distinct IDs but require one search).
+	if queued := metricValue(t, ts.URL, "chrysalisd_jobs_queued_total"); queued != 1 {
+		t.Errorf("jobs queued = %g, want exactly 1 underlying search", queued)
+	}
+	if misses := metricValue(t, ts.URL, "chrysalisd_cache_misses_total"); misses != 1 {
+		t.Errorf("cache misses = %g, want 1", misses)
+	}
+	if hits := metricValue(t, ts.URL, "chrysalisd_cache_hits_total"); hits != n-1 {
+		t.Errorf("cache hits = %g, want %d", hits, n-1)
+	}
+
+	// Every submitted ID resolves, and they all finish done with the
+	// same result.
+	var lat float64
+	for id := range ids {
+		st := pollJob(t, ts.URL, id)
+		if st.State != JobDone {
+			t.Fatalf("job %s state %s (%s)", id, st.State, st.Error)
+		}
+		if st.Result == nil {
+			t.Fatalf("job %s missing result", id)
+		}
+		if lat == 0 {
+			lat = float64(st.Result.AvgLatency)
+		} else if float64(st.Result.AvgLatency) != lat {
+			t.Fatalf("job %s diverging result", id)
+		}
+	}
+	if done := metricValue(t, ts.URL, "chrysalisd_jobs_done_total"); done != 1 {
+		t.Errorf("jobs done = %g, want 1", done)
+	}
+}
+
+// TestParallelDistinctRequests exercises the pool with distinct specs
+// racing through the queue (run with -race to check the manager).
+func TestParallelDistinctRequests(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 4})
+
+	seeds := []int64{11, 12, 13, 14, 15}
+	var wg sync.WaitGroup
+	idCh := make(chan string, len(seeds))
+	for _, seed := range seeds {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			req := smallJob()
+			req.Seed = seed
+			data, _ := json.Marshal(req)
+			resp, err := http.Post(ts.URL+"/v1/designs", "application/json", bytes.NewReader(data))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer resp.Body.Close()
+			var st JobStatus
+			if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+				t.Error(err)
+				return
+			}
+			idCh <- st.ID
+		}(seed)
+	}
+	wg.Wait()
+	close(idCh)
+
+	distinct := map[string]bool{}
+	for id := range idCh {
+		st := pollJob(t, ts.URL, id)
+		if st.State != JobDone {
+			t.Fatalf("job %s state %s (%s)", id, st.State, st.Error)
+		}
+		distinct[id] = true
+	}
+	if len(distinct) != len(seeds) {
+		t.Fatalf("distinct jobs = %d, want %d", len(distinct), len(seeds))
+	}
+	if misses := metricValue(t, ts.URL, "chrysalisd_cache_misses_total"); misses != float64(len(seeds)) {
+		t.Errorf("cache misses = %g, want %d", misses, len(seeds))
+	}
+}

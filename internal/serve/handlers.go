@@ -1,0 +1,250 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"chrysalis/internal/core"
+	"chrysalis/internal/dnn"
+	"chrysalis/internal/explore"
+	"chrysalis/internal/units"
+)
+
+// maxBodyBytes bounds request bodies (inline workloads included).
+const maxBodyBytes = 1 << 20
+
+// writeJSON renders v with the given status code.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writeError renders an error payload.
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+// decodeBody strictly decodes a JSON request body into v.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+// handleSubmit accepts a design job: 202 for a new search, 200 when the
+// request coalesced onto an in-flight job or was served from the cache.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req DesignRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid design request: %w", err))
+		return
+	}
+	js, err := normalize(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	j, reused, err := s.mgr.submit(js)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case errors.Is(err, ErrShuttingDown):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	code := http.StatusAccepted
+	if reused {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, j.status())
+}
+
+// handleGet reports one job's status and, when finished, its result.
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.mgr.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+// handleCancel cancels a queued or running job.
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !s.mgr.cancelJob(id) {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
+		return
+	}
+	j, _ := s.mgr.get(id)
+	writeJSON(w, http.StatusAccepted, j.status())
+}
+
+// handleEvents streams a job's telemetry as server-sent events:
+// "state" transitions, "progress" GA generations, "sim" step-simulator
+// events for verify jobs, and a terminal "done" carrying the full job
+// status. Subscribers that connect late replay the buffered history.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.mgr.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, errors.New("streaming unsupported by connection"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	events, cancel := j.stream.subscribe()
+	defer cancel()
+	for {
+		select {
+		case ev, ok := <-events:
+			if !ok {
+				return // job finished and history fully delivered
+			}
+			fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.name, ev.data)
+			fl.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// SimulateRequest is the wire form of POST /v1/simulate: a workload
+// plus an explicit hardware configuration to replay on the step-based
+// simulator (no search).
+type SimulateRequest struct {
+	Workload     string          `json:"workload,omitempty"`
+	WorkloadJSON json.RawMessage `json:"workload_json,omitempty"`
+	// Platform is "msp430" (default) or "accel".
+	Platform     string  `json:"platform,omitempty"`
+	PanelAreaCM2 float64 `json:"panel_area_cm2"`
+	CapF         float64 `json:"cap_f"`
+	// InferHW names the accelerator architecture for the accel platform
+	// (e.g. "tpu", "eyeriss"); ignored for msp430.
+	InferHW    string  `json:"infer_hw,omitempty"`
+	NPE        int     `json:"npe,omitempty"`
+	CacheBytes float64 `json:"cache_bytes,omitempty"`
+}
+
+// handleSimulate runs a synchronous step-simulation of one explicit
+// design point.
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	var req SimulateRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid simulate request: %w", err))
+		return
+	}
+	if req.PanelAreaCM2 <= 0 || req.CapF <= 0 {
+		writeError(w, http.StatusBadRequest, errors.New("panel_area_cm2 and cap_f must be positive"))
+		return
+	}
+	spec := core.Spec{WorkloadName: req.Workload}
+	if spec.WorkloadName == "" {
+		spec.WorkloadName = "har"
+	}
+	if len(req.WorkloadJSON) > 0 {
+		wk, err := dnn.ParseJSON(req.WorkloadJSON)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		spec.WorkloadName = ""
+		spec.Workload = &wk
+	}
+	res := core.Result{
+		PanelArea: units.AreaCM2(req.PanelAreaCM2),
+		Cap:       units.Capacitance(req.CapF),
+		InferHW:   "msp430",
+		NPE:       1,
+	}
+	switch req.Platform {
+	case "", "msp430":
+		spec.Platform = explore.MSP
+	case "accel":
+		spec.Platform = explore.Accel
+		if req.InferHW == "" || req.NPE <= 0 || req.CacheBytes <= 0 {
+			writeError(w, http.StatusBadRequest,
+				errors.New("accel platform needs infer_hw, npe and cache_bytes"))
+			return
+		}
+		res.InferHW = req.InferHW
+		res.NPE = req.NPE
+		res.CacheBytes = units.Bytes(req.CacheBytes)
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown platform %q (want msp430 or accel)", req.Platform))
+		return
+	}
+	run, err := core.Verify(spec, res)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, simSummary(run))
+}
+
+// WorkloadInfo is one catalog entry of GET /v1/workloads.
+type WorkloadInfo struct {
+	Name      string `json:"name"`
+	Layers    int    `json:"layers"`
+	ElemBytes int    `json:"elem_bytes"`
+}
+
+// handleWorkloads lists the built-in workload catalog.
+func (s *Server) handleWorkloads(w http.ResponseWriter, _ *http.Request) {
+	var out []WorkloadInfo
+	for _, name := range dnn.Names() {
+		wk, err := dnn.ByName(name)
+		if err != nil {
+			continue
+		}
+		out = append(out, WorkloadInfo{Name: name, Layers: len(wk.Layers), ElemBytes: wk.ElemBytes})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// PresetInfo is one deployment scenario of GET /v1/presets.
+type PresetInfo struct {
+	Name        string `json:"name"`
+	Domain      string `json:"domain"`
+	Description string `json:"description"`
+}
+
+// handlePresets lists the built-in deployment scenarios.
+func (s *Server) handlePresets(w http.ResponseWriter, _ *http.Request) {
+	var out []PresetInfo
+	for _, p := range core.Presets() {
+		out = append(out, PresetInfo{Name: p.Name, Domain: p.Domain, Description: p.Description})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleHealth is the liveness probe.
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": "ok",
+		"jobs":   s.mgr.jobCount(),
+	})
+}
+
+// handleMetrics renders the Prometheus-style metrics page.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.mgr.met.render(w, s.mgr.cache.len(), s.mgr.jobCount())
+}

@@ -1,0 +1,491 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"chrysalis/internal/core"
+	"chrysalis/internal/sim"
+)
+
+// JobState is a job's position in its lifecycle:
+// queued → running → done | failed | cancelled.
+type JobState string
+
+// Job lifecycle states.
+const (
+	JobQueued    JobState = "queued"
+	JobRunning   JobState = "running"
+	JobDone      JobState = "done"
+	JobFailed    JobState = "failed"
+	JobCancelled JobState = "cancelled"
+)
+
+// terminal reports whether the state is final.
+func (s JobState) terminal() bool {
+	return s == JobDone || s == JobFailed || s == JobCancelled
+}
+
+// Submission errors.
+var (
+	// ErrShuttingDown rejects submissions during graceful shutdown.
+	ErrShuttingDown = errors.New("serve: shutting down")
+	// ErrQueueFull rejects submissions beyond the queue bound.
+	ErrQueueFull = errors.New("serve: job queue full")
+)
+
+// ProgressInfo is the most recent GA telemetry of a running job.
+type ProgressInfo struct {
+	Gen   int     `json:"gen"`
+	Evals int     `json:"evals"`
+	Best  float64 `json:"best"`
+}
+
+// SimSummary is the wire form of a step-simulator run.
+type SimSummary struct {
+	Completed        bool    `json:"completed"`
+	E2ELatencyS      float64 `json:"e2e_latency_s"`
+	ActiveTimeS      float64 `json:"active_time_s"`
+	PowerCycles      int     `json:"power_cycles"`
+	Checkpoints      int     `json:"checkpoints"`
+	Resumes          int     `json:"resumes"`
+	TileRetries      int     `json:"tile_retries"`
+	TilesDone        int     `json:"tiles_done"`
+	SystemEfficiency float64 `json:"system_efficiency"`
+}
+
+func simSummary(r sim.Result) SimSummary {
+	return SimSummary{
+		Completed:        r.Completed,
+		E2ELatencyS:      float64(r.E2ELatency),
+		ActiveTimeS:      float64(r.ActiveTime),
+		PowerCycles:      r.PowerCycles,
+		Checkpoints:      r.Checkpoints,
+		Resumes:          r.Resumes,
+		TileRetries:      r.TileRetries,
+		TilesDone:        r.TilesDone,
+		SystemEfficiency: r.SystemEfficiency,
+	}
+}
+
+// JobStatus is the wire form of a job (POST/GET /v1/designs responses
+// and the terminal SSE "done" event).
+type JobStatus struct {
+	ID        string        `json:"id"`
+	Key       string        `json:"key"`
+	State     JobState      `json:"state"`
+	Cached    bool          `json:"cached"`
+	CreatedAt time.Time     `json:"created_at"`
+	StartedAt *time.Time    `json:"started_at,omitempty"`
+	DoneAt    *time.Time    `json:"done_at,omitempty"`
+	Error     string        `json:"error,omitempty"`
+	Progress  *ProgressInfo `json:"progress,omitempty"`
+	Result    *core.Result  `json:"result,omitempty"`
+	Verify    *SimSummary   `json:"verify,omitempty"`
+}
+
+// job is one design-search unit of work.
+type job struct {
+	id string
+	js jobSpec
+
+	mu       sync.Mutex
+	state    JobState
+	cached   bool
+	err      string
+	result   *core.Result
+	sim      *sim.Result
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	progress *ProgressInfo
+	cancel   context.CancelFunc
+
+	stream *stream
+	done   chan struct{}
+}
+
+// status snapshots the job for the wire.
+func (j *job) status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:        j.id,
+		Key:       j.js.key,
+		State:     j.state,
+		Cached:    j.cached,
+		CreatedAt: j.created,
+		Error:     j.err,
+		Result:    j.result,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.DoneAt = &t
+	}
+	if j.progress != nil {
+		p := *j.progress
+		st.Progress = &p
+	}
+	if j.sim != nil {
+		s := simSummary(*j.sim)
+		st.Verify = &s
+	}
+	return st
+}
+
+// manager owns the job table, the single-flight index, the result
+// cache and the worker pool.
+type manager struct {
+	opts Options
+	met  *metrics
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	order    []string // insertion order, for pruning finished records
+	inflight map[string]*job
+	nextID   int64
+	closed   bool
+
+	cache *lruCache
+	queue chan *job
+	wg    sync.WaitGroup
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+}
+
+func newManager(opts Options) *manager {
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &manager{
+		opts:       opts,
+		met:        &metrics{},
+		jobs:       make(map[string]*job),
+		inflight:   make(map[string]*job),
+		cache:      newLRU(opts.CacheSize),
+		queue:      make(chan *job, opts.QueueDepth),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+	}
+	for i := 0; i < opts.Workers; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m
+}
+
+// submit deduplicates, caches or enqueues a design request. reused is
+// true when no new search was started (in-flight coalescing or a cache
+// hit).
+func (m *manager) submit(js jobSpec) (j *job, reused bool, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, false, ErrShuttingDown
+	}
+	// Single-flight: identical requests share the in-flight job.
+	if cur, ok := m.inflight[js.key]; ok {
+		m.met.cacheHits.Add(1)
+		return cur, true, nil
+	}
+	// Content-addressed cache: finished identical requests skip the
+	// search entirely and materialize as an already-done job record.
+	if entry, ok := m.cache.get(js.key); ok {
+		m.met.cacheHits.Add(1)
+		j = m.newJobLocked(js)
+		now := time.Now()
+		j.state = JobDone
+		j.cached = true
+		res := entry.result
+		j.result = &res
+		j.sim = entry.sim
+		j.started, j.finished = now, now
+		j.stream.publish("done", j.status())
+		j.stream.close()
+		close(j.done)
+		return j, true, nil
+	}
+	m.met.cacheMisses.Add(1)
+	j = m.newJobLocked(js)
+	select {
+	case m.queue <- j:
+	default:
+		delete(m.jobs, j.id)
+		m.order = m.order[:len(m.order)-1]
+		return nil, false, ErrQueueFull
+	}
+	m.inflight[js.key] = j
+	m.met.jobsQueued.Add(1)
+	j.stream.publish("state", map[string]string{"state": string(JobQueued)})
+	return j, false, nil
+}
+
+// newJobLocked allocates and registers a job record; m.mu must be held.
+func (m *manager) newJobLocked(js jobSpec) *job {
+	m.nextID++
+	j := &job{
+		id:      fmt.Sprintf("j-%06d", m.nextID),
+		js:      js,
+		state:   JobQueued,
+		created: time.Now(),
+		stream:  newStream(),
+		done:    make(chan struct{}),
+	}
+	m.jobs[j.id] = j
+	m.order = append(m.order, j.id)
+	m.pruneLocked()
+	return j
+}
+
+// pruneLocked evicts the oldest finished job records beyond MaxJobs.
+func (m *manager) pruneLocked() {
+	if len(m.jobs) <= m.opts.MaxJobs {
+		return
+	}
+	kept := m.order[:0]
+	for _, id := range m.order {
+		j, ok := m.jobs[id]
+		if !ok {
+			continue
+		}
+		j.mu.Lock()
+		prunable := j.state.terminal()
+		j.mu.Unlock()
+		if prunable && len(m.jobs) > m.opts.MaxJobs {
+			delete(m.jobs, id)
+			continue
+		}
+		kept = append(kept, id)
+	}
+	m.order = kept
+}
+
+// get looks up a job by ID.
+func (m *manager) get(id string) (*job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// jobCount reports retained job records.
+func (m *manager) jobCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.jobs)
+}
+
+// cancelJob cancels a queued or running job. It reports whether the
+// job existed; cancelling a terminal job is a no-op.
+func (m *manager) cancelJob(id string) bool {
+	j, ok := m.get(id)
+	if !ok {
+		return false
+	}
+	j.mu.Lock()
+	switch j.state {
+	case JobQueued:
+		// The worker will observe the terminal state and skip the run.
+		j.mu.Unlock()
+		m.finish(j, JobCancelled, errors.New("cancelled by client"))
+		return true
+	case JobRunning:
+		cancel := j.cancel
+		j.mu.Unlock()
+		if cancel != nil {
+			cancel()
+		}
+		return true
+	default:
+		j.mu.Unlock()
+		return true
+	}
+}
+
+// worker drains the queue until close.
+func (m *manager) worker() {
+	defer m.wg.Done()
+	for j := range m.queue {
+		m.run(j)
+	}
+}
+
+// run executes one job: the GA search with live progress telemetry,
+// then (for verify jobs) a traced step-simulator replay.
+func (m *manager) run(j *job) {
+	var (
+		ctx    context.Context
+		cancel context.CancelFunc
+	)
+	if m.opts.JobTimeout > 0 {
+		ctx, cancel = context.WithTimeout(m.baseCtx, m.opts.JobTimeout)
+	} else {
+		ctx, cancel = context.WithCancel(m.baseCtx)
+	}
+	defer cancel()
+
+	j.mu.Lock()
+	if j.state != JobQueued { // cancelled while queued
+		j.mu.Unlock()
+		return
+	}
+	j.state = JobRunning
+	j.started = time.Now()
+	j.cancel = cancel
+	spec := j.js.spec
+	j.mu.Unlock()
+
+	m.met.jobsRunning.Add(1)
+	defer m.met.jobsRunning.Add(-1)
+	j.stream.publish("state", map[string]string{"state": string(JobRunning)})
+
+	spec.Search.Progress = func(gen, evals int, best float64) {
+		p := ProgressInfo{Gen: gen, Evals: evals, Best: best}
+		j.mu.Lock()
+		j.progress = &p
+		j.mu.Unlock()
+		j.stream.publish("progress", p)
+	}
+	spec.Search.Stop = func() bool { return ctx.Err() != nil }
+
+	res, err := core.RunBaseline(spec, j.js.baseline)
+	if ctxErr := ctx.Err(); ctxErr != nil {
+		if errors.Is(ctxErr, context.DeadlineExceeded) {
+			m.finish(j, JobFailed, fmt.Errorf("job exceeded timeout %v", m.opts.JobTimeout))
+		} else {
+			m.finish(j, JobCancelled, errors.New("cancelled"))
+		}
+		return
+	}
+	if err != nil {
+		m.finish(j, JobFailed, err)
+		return
+	}
+
+	j.mu.Lock()
+	j.result = &res
+	j.mu.Unlock()
+
+	if j.js.verify {
+		// Replay on the step simulator, streaming a bounded prefix of
+		// its events; the rest are summarized by the drop count.
+		published := 0
+		dropped := 0
+		simRes, verr := core.VerifyWithTrace(spec, res, func(e sim.Event) {
+			if published >= maxStreamHistory/2 {
+				dropped++
+				return
+			}
+			published++
+			j.stream.publish("sim", map[string]any{
+				"kind":      e.Kind.String(),
+				"time_s":    float64(e.Time),
+				"tile":      e.Tile,
+				"layer":     e.Layer,
+				"voltage_v": float64(e.Voltage),
+			})
+		})
+		if verr != nil {
+			m.finish(j, JobFailed, fmt.Errorf("verify replay: %w", verr))
+			return
+		}
+		if dropped > 0 {
+			j.stream.publish("sim-truncated", map[string]int{"dropped": dropped})
+		}
+		j.mu.Lock()
+		j.sim = &simRes
+		j.mu.Unlock()
+	}
+	m.finish(j, JobDone, nil)
+}
+
+// finish moves a job to a terminal state, updates the single-flight
+// index, the result cache and the metrics, and closes the telemetry
+// stream.
+func (m *manager) finish(j *job, state JobState, err error) {
+	j.mu.Lock()
+	if j.state.terminal() {
+		j.mu.Unlock()
+		return
+	}
+	j.state = state
+	j.finished = time.Now()
+	if err != nil {
+		j.err = err.Error()
+	}
+	var latency float64
+	if !j.started.IsZero() {
+		latency = j.finished.Sub(j.started).Seconds()
+	}
+	var entry *cacheEntry
+	if state == JobDone && j.result != nil {
+		entry = &cacheEntry{result: *j.result, sim: j.sim}
+	}
+	j.mu.Unlock()
+
+	m.mu.Lock()
+	if m.inflight[j.js.key] == j {
+		delete(m.inflight, j.js.key)
+	}
+	m.mu.Unlock()
+
+	switch state {
+	case JobDone:
+		if entry != nil {
+			m.cache.add(j.js.key, *entry)
+		}
+		m.met.jobsDone.Add(1)
+		m.met.observeLatency(latency)
+	case JobFailed:
+		m.met.jobsFailed.Add(1)
+		m.met.observeLatency(latency)
+	case JobCancelled:
+		m.met.jobsCancelled.Add(1)
+	}
+	m.opts.Logf("serve: job %s %s (%.3fs)%s", j.id, state, latency, errSuffix(err))
+	j.stream.publish("done", j.status())
+	j.stream.close()
+	close(j.done)
+}
+
+func errSuffix(err error) string {
+	if err == nil {
+		return ""
+	}
+	return ": " + err.Error()
+}
+
+// close stops accepting submissions and drains queued and running jobs.
+// If ctx expires first, outstanding jobs are cancelled via the base
+// context and close returns ctx.Err() after the workers exit.
+func (m *manager) close(ctx context.Context) error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	close(m.queue)
+	m.mu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		m.baseCancel()
+		return nil
+	case <-ctx.Done():
+		m.baseCancel() // force-cancel in-flight searches
+		<-drained
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,188 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"chrysalis/internal/core"
+	"chrysalis/internal/dnn"
+	"chrysalis/internal/explore"
+	"chrysalis/internal/units"
+)
+
+// DesignRequest is the wire form of POST /v1/designs. Omitted fields
+// take the same defaults as the chrysalis CLI, and two requests that
+// normalize to the same values share one cache key — and therefore one
+// search.
+type DesignRequest struct {
+	// Workload names a catalog workload (default "har").
+	Workload string `json:"workload,omitempty"`
+	// WorkloadJSON inlines a custom workload in the internal/dnn JSON
+	// schema; it overrides Workload.
+	WorkloadJSON json.RawMessage `json:"workload_json,omitempty"`
+	// Platform is "msp430" (default) or "accel".
+	Platform string `json:"platform,omitempty"`
+	// Objective is "lat", "sp" or "lat*sp" (default).
+	Objective string `json:"objective,omitempty"`
+	// Baseline is the search space: "chrysalis" (default) or one of the
+	// Table VI ablations (wo/Cap, wo/SP, wo/EA, wo/PE, wo/Cache, wo/IA).
+	Baseline string `json:"baseline,omitempty"`
+	// MaxPanelCM2 bounds the panel for the lat objective (0 = 30 cm²).
+	MaxPanelCM2 float64 `json:"max_panel_cm2,omitempty"`
+	// MaxLatencyS bounds latency for the sp objective (0 = 30 s).
+	MaxLatencyS float64 `json:"max_latency_s,omitempty"`
+	// Budget approximates the search-evaluation budget (0 = 400).
+	Budget int `json:"budget,omitempty"`
+	// Seed seeds the search (default 1 so equal requests cache-hit).
+	Seed int64 `json:"seed,omitempty"`
+	// Algorithm is "ga" (default) or "random".
+	Algorithm string `json:"algorithm,omitempty"`
+	// Verify replays the winning design on the step simulator after the
+	// search, streaming its events over SSE and attaching the summary.
+	Verify bool `json:"verify,omitempty"`
+}
+
+// jobSpec is a fully normalized, validated design request: the exact
+// problem a worker will run, plus its content-addressed cache key.
+type jobSpec struct {
+	spec     core.Spec
+	baseline explore.Baseline
+	verify   bool
+	key      string
+}
+
+// keyPayload is the canonical identity of a design request: every field
+// that changes the search outcome, in a fixed order, with defaults
+// already applied. Callback fields (Progress/Stop) are deliberately
+// absent — they never alter the result.
+type keyPayload struct {
+	Workload   string  `json:"workload"`
+	Platform   string  `json:"platform"`
+	Objective  string  `json:"objective"`
+	Baseline   string  `json:"baseline"`
+	MaxPanel   float64 `json:"max_panel"`
+	MaxLatency float64 `json:"max_latency"`
+	Budget     int     `json:"budget"`
+	Seed       int64   `json:"seed"`
+	Algorithm  string  `json:"algorithm"`
+	Verify     bool    `json:"verify"`
+}
+
+// normalize applies defaults, validates every field, and computes the
+// canonical cache key.
+func normalize(req DesignRequest) (jobSpec, error) {
+	if req.Workload == "" {
+		req.Workload = "har"
+	}
+	if req.Platform == "" {
+		req.Platform = "msp430"
+	}
+	if req.Objective == "" {
+		req.Objective = "lat*sp"
+	}
+	if req.Baseline == "" {
+		req.Baseline = "chrysalis"
+	}
+	if req.Algorithm == "" {
+		req.Algorithm = "ga"
+	}
+	if req.Budget == 0 {
+		req.Budget = 400
+	}
+	if req.Seed == 0 {
+		req.Seed = 1
+	}
+
+	switch {
+	case req.Budget < 0:
+		return jobSpec{}, fmt.Errorf("budget must be positive, got %d", req.Budget)
+	case req.MaxPanelCM2 < 0:
+		return jobSpec{}, fmt.Errorf("max_panel_cm2 must be non-negative, got %g", req.MaxPanelCM2)
+	case req.MaxLatencyS < 0:
+		return jobSpec{}, fmt.Errorf("max_latency_s must be non-negative, got %g", req.MaxLatencyS)
+	}
+	switch req.Algorithm {
+	case "ga", "random":
+	default:
+		return jobSpec{}, fmt.Errorf("unknown algorithm %q (want ga or random)", req.Algorithm)
+	}
+
+	js := jobSpec{verify: req.Verify}
+	switch req.Platform {
+	case "msp430":
+		js.spec.Platform = explore.MSP
+	case "accel":
+		js.spec.Platform = explore.Accel
+	default:
+		return jobSpec{}, fmt.Errorf("unknown platform %q (want msp430 or accel)", req.Platform)
+	}
+	obj, err := explore.ParseObjective(req.Objective)
+	if err != nil {
+		return jobSpec{}, err
+	}
+	js.spec.Objective = obj
+
+	found := false
+	for _, b := range explore.Baselines() {
+		if b.String() == req.Baseline {
+			js.baseline = b
+			found = true
+			break
+		}
+	}
+	if !found {
+		return jobSpec{}, fmt.Errorf("unknown baseline %q", req.Baseline)
+	}
+
+	// Resolve the workload now so bad requests fail at submission with a
+	// 400 rather than as a failed job, and so inline workloads hash by
+	// their canonical serialization, not the client's whitespace.
+	var wkey string
+	if len(req.WorkloadJSON) > 0 {
+		w, err := dnn.ParseJSON(req.WorkloadJSON)
+		if err != nil {
+			return jobSpec{}, err
+		}
+		canon, err := w.ToJSON()
+		if err != nil {
+			return jobSpec{}, err
+		}
+		js.spec.Workload = &w
+		wkey = "json:" + string(canon)
+	} else {
+		if _, err := dnn.ByName(req.Workload); err != nil {
+			return jobSpec{}, err
+		}
+		js.spec.WorkloadName = req.Workload
+		wkey = "name:" + req.Workload
+	}
+
+	js.spec.MaxPanel = units.AreaCM2(req.MaxPanelCM2)
+	js.spec.MaxLatency = units.Seconds(req.MaxLatencyS)
+	js.spec.Search = core.SearchConfig{
+		Algorithm: req.Algorithm,
+		Budget:    req.Budget,
+		Seed:      req.Seed,
+	}
+
+	payload, err := json.Marshal(keyPayload{
+		Workload:   wkey,
+		Platform:   req.Platform,
+		Objective:  obj.String(),
+		Baseline:   js.baseline.String(),
+		MaxPanel:   req.MaxPanelCM2,
+		MaxLatency: req.MaxLatencyS,
+		Budget:     req.Budget,
+		Seed:       req.Seed,
+		Algorithm:  req.Algorithm,
+		Verify:     req.Verify,
+	})
+	if err != nil {
+		return jobSpec{}, err
+	}
+	sum := sha256.Sum256(payload)
+	js.key = hex.EncodeToString(sum[:])
+	return js, nil
+}

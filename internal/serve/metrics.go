@@ -1,0 +1,88 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// latencyWindow bounds the job-latency reservoir the quantiles are
+// computed over (a sliding window of the most recent completions).
+const latencyWindow = 1024
+
+// metrics holds the daemon's observability counters. Everything is
+// rendered as Prometheus exposition-format text by render — no
+// dependencies, just counters, one gauge and two latency quantiles.
+type metrics struct {
+	jobsQueued    atomic.Int64
+	jobsRunning   atomic.Int64
+	jobsDone      atomic.Int64
+	jobsFailed    atomic.Int64
+	jobsCancelled atomic.Int64
+	cacheHits     atomic.Int64
+	cacheMisses   atomic.Int64
+
+	mu       sync.Mutex
+	lat      []float64 // ring buffer of job latencies in seconds
+	latNext  int
+	latCount int64
+}
+
+// observeLatency records one finished job's wall-clock seconds.
+func (m *metrics) observeLatency(sec float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.lat) < latencyWindow {
+		m.lat = append(m.lat, sec)
+	} else {
+		m.lat[m.latNext] = sec
+		m.latNext = (m.latNext + 1) % latencyWindow
+	}
+	m.latCount++
+}
+
+// quantiles returns the p50 and p95 job latency over the window.
+func (m *metrics) quantiles() (p50, p95 float64, count int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.lat) == 0 {
+		return 0, 0, m.latCount
+	}
+	sorted := append([]float64(nil), m.lat...)
+	sort.Float64s(sorted)
+	at := func(q float64) float64 {
+		i := int(q * float64(len(sorted)-1))
+		return sorted[i]
+	}
+	return at(0.50), at(0.95), m.latCount
+}
+
+// render writes the exposition-format metrics page. cacheLen and
+// jobRecords are sampled by the caller so metrics stays decoupled from
+// the job manager.
+func (m *metrics) render(w io.Writer, cacheLen, jobRecords int) {
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter("chrysalisd_jobs_queued_total", "Design jobs accepted into the queue.", m.jobsQueued.Load())
+	gauge("chrysalisd_jobs_running", "Design jobs currently executing.", m.jobsRunning.Load())
+	counter("chrysalisd_jobs_done_total", "Design jobs finished successfully.", m.jobsDone.Load())
+	counter("chrysalisd_jobs_failed_total", "Design jobs finished with an error (including timeouts).", m.jobsFailed.Load())
+	counter("chrysalisd_jobs_cancelled_total", "Design jobs cancelled by clients or shutdown.", m.jobsCancelled.Load())
+	counter("chrysalisd_cache_hits_total", "Design requests served from the result cache or coalesced onto an in-flight job.", m.cacheHits.Load())
+	counter("chrysalisd_cache_misses_total", "Design requests that started a new search.", m.cacheMisses.Load())
+	gauge("chrysalisd_cache_entries", "Designs currently held by the result cache.", int64(cacheLen))
+	gauge("chrysalisd_job_records", "Job records currently retained.", int64(jobRecords))
+
+	p50, p95, count := m.quantiles()
+	fmt.Fprintf(w, "# HELP chrysalisd_job_latency_seconds Job wall-clock latency quantiles over the last %d jobs.\n", latencyWindow)
+	fmt.Fprintf(w, "# TYPE chrysalisd_job_latency_seconds summary\n")
+	fmt.Fprintf(w, "chrysalisd_job_latency_seconds{quantile=\"0.5\"} %g\n", p50)
+	fmt.Fprintf(w, "chrysalisd_job_latency_seconds{quantile=\"0.95\"} %g\n", p95)
+	fmt.Fprintf(w, "chrysalisd_job_latency_seconds_count %d\n", count)
+}

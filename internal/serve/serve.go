@@ -1,0 +1,109 @@
+// Package serve is the CHRYSALIS design-as-a-service layer: a
+// long-running HTTP/JSON daemon (cmd/chrysalisd) that exposes the
+// describe → evaluate → explore pipeline as asynchronous design jobs.
+//
+// The paper frames CHRYSALIS as a service to AuT designers — submit a
+// Spec, get back the ideal configuration — and this package realizes
+// that framing with stdlib-only machinery:
+//
+//   - POST /v1/designs            submit an async design-search job
+//   - GET  /v1/designs/{id}       job status / result
+//   - DELETE /v1/designs/{id}     cancel a queued or running job
+//   - GET  /v1/designs/{id}/events  live SSE telemetry (GA generations
+//     and, for verify jobs, step-simulator events)
+//   - POST /v1/simulate           synchronous step-simulation
+//   - GET  /v1/workloads          workload catalog
+//   - GET  /v1/presets            deployment-scenario presets
+//   - GET  /healthz               liveness
+//   - GET  /metrics               Prometheus-style text metrics
+//
+// Internally a bounded worker pool (sized from GOMAXPROCS by default)
+// drains a job queue with per-job context cancellation and an optional
+// deadline; identical requests are deduplicated twice — in-flight jobs
+// are shared single-flight, and finished results are served from a
+// content-addressed LRU cache keyed on a canonical hash of the
+// (Spec, SearchConfig, baseline) tuple — so a design is never searched
+// twice while it is still cached.
+package serve
+
+import (
+	"context"
+	"net/http"
+	"runtime"
+	"time"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Workers sizes the job worker pool (<= 0 selects GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the backlog of queued jobs (<= 0 selects 64);
+	// submissions beyond it are rejected with 503.
+	QueueDepth int
+	// CacheSize bounds the content-addressed result cache in entries
+	// (<= 0 selects 128).
+	CacheSize int
+	// JobTimeout bounds each job's search wall-clock time (0 = none).
+	JobTimeout time.Duration
+	// MaxJobs bounds retained finished-job records (<= 0 selects 1024);
+	// the oldest finished records are pruned first.
+	MaxJobs int
+	// Logf receives operational log lines (nil discards them).
+	Logf func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 64
+	}
+	if o.CacheSize <= 0 {
+		o.CacheSize = 128
+	}
+	if o.MaxJobs <= 0 {
+		o.MaxJobs = 1024
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	return o
+}
+
+// Server is the chrysalisd HTTP service: a job manager plus the route
+// table over it. Create with New, mount Handler on an http.Server, and
+// call Shutdown to drain.
+type Server struct {
+	opts Options
+	mgr  *manager
+	mux  *http.ServeMux
+}
+
+// New builds a Server and starts its worker pool.
+func New(opts Options) *Server {
+	opts = opts.withDefaults()
+	s := &Server{opts: opts, mgr: newManager(opts), mux: http.NewServeMux()}
+	s.routes()
+	return s
+}
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("POST /v1/designs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/designs/{id}", s.handleGet)
+	s.mux.HandleFunc("DELETE /v1/designs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /v1/designs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
+	s.mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
+	s.mux.HandleFunc("GET /v1/presets", s.handlePresets)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+}
+
+// Handler returns the route table, ready to mount on an http.Server.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Shutdown stops accepting jobs and drains the queue and in-flight
+// work. If ctx expires first, remaining jobs are cancelled via their
+// contexts and Shutdown returns ctx.Err().
+func (s *Server) Shutdown(ctx context.Context) error { return s.mgr.close(ctx) }

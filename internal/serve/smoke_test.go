@@ -1,0 +1,76 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestServeSmoke is the end-to-end smoke check behind `make
+// serve-smoke`: it boots the daemon on a random localhost port exactly
+// as cmd/chrysalisd does (a real net.Listener, not httptest), submits a
+// small-budget design job, polls it to completion, resubmits the
+// identical request and asserts the cache-hit counter incremented while
+// no second search ran.
+func TestServeSmoke(t *testing.T) {
+	srv := New(Options{Workers: 2, Logf: t.Logf})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go func() { _ = httpSrv.Serve(ln) }()
+	base := "http://" + ln.Addr().String()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(ctx)
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("drain: %v", err)
+		}
+	})
+
+	// The daemon is alive.
+	if code := getJSON(t, base+"/healthz", nil); code != http.StatusOK {
+		t.Fatalf("healthz: %d", code)
+	}
+
+	// Submit a small-budget design job and poll to completion.
+	resp, body := postJSON(t, base+"/v1/designs", smallJob())
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", resp.StatusCode, body)
+	}
+	var st JobStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	final := pollJob(t, base, st.ID)
+	if final.State != JobDone || final.Result == nil {
+		t.Fatalf("job state %s (%s)", final.State, final.Error)
+	}
+
+	hitsBefore := metricValue(t, base, "chrysalisd_cache_hits_total")
+
+	// Resubmitting the identical request must be a cache hit, not a
+	// second search.
+	resp2, body2 := postJSON(t, base+"/v1/designs", smallJob())
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("resubmit: %d %s", resp2.StatusCode, body2)
+	}
+	var st2 JobStatus
+	if err := json.Unmarshal(body2, &st2); err != nil {
+		t.Fatal(err)
+	}
+	if !st2.Cached || st2.State != JobDone {
+		t.Fatalf("resubmit not served from cache: %s", body2)
+	}
+	if hits := metricValue(t, base, "chrysalisd_cache_hits_total"); hits != hitsBefore+1 {
+		t.Errorf("cache hits = %g, want %g", hits, hitsBefore+1)
+	}
+	if queued := metricValue(t, base, "chrysalisd_jobs_queued_total"); queued != 1 {
+		t.Errorf("jobs queued = %g, want 1 (no second search)", queued)
+	}
+}

@@ -1,0 +1,100 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+)
+
+// maxStreamHistory bounds each job's event replay buffer; later events
+// still reach live subscribers but are not replayed to late joiners.
+const maxStreamHistory = 512
+
+// sseEvent is one server-sent event: a name plus a JSON data payload.
+type sseEvent struct {
+	name string
+	data []byte
+}
+
+// stream is a per-job telemetry broadcaster. Events published while the
+// job runs are buffered (up to maxStreamHistory) so subscribers that
+// connect late replay the full history, then receive live events until
+// the stream closes.
+type stream struct {
+	mu      sync.Mutex
+	history []sseEvent
+	dropped int
+	subs    map[chan sseEvent]struct{}
+	closed  bool
+}
+
+func newStream() *stream {
+	return &stream{subs: make(map[chan sseEvent]struct{})}
+}
+
+// publish marshals v and broadcasts it under the event name. Slow
+// subscribers lose events rather than stalling the publisher.
+func (s *stream) publish(name string, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		data = []byte(fmt.Sprintf(`{"error":%q}`, err.Error()))
+	}
+	ev := sseEvent{name: name, data: data}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	if len(s.history) < maxStreamHistory {
+		s.history = append(s.history, ev)
+	} else {
+		s.dropped++
+	}
+	for ch := range s.subs {
+		select {
+		case ch <- ev:
+		default: // subscriber is not draining; drop rather than block
+		}
+	}
+}
+
+// close ends the stream; every subscriber channel is closed after its
+// pending events drain. Publishing after close is a no-op.
+func (s *stream) close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	for ch := range s.subs {
+		close(ch)
+	}
+	s.subs = nil
+}
+
+// subscribe returns a channel primed with the replay history followed
+// by live events; the channel is closed when the stream closes. The
+// returned cancel func detaches the subscriber (idempotent, safe after
+// close).
+func (s *stream) subscribe() (<-chan sseEvent, func()) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ch := make(chan sseEvent, len(s.history)+256)
+	for _, ev := range s.history {
+		ch <- ev
+	}
+	if s.closed {
+		close(ch)
+		return ch, func() {}
+	}
+	s.subs[ch] = struct{}{}
+	cancel := func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if s.subs != nil {
+			delete(s.subs, ch)
+		}
+	}
+	return ch, cancel
+}
