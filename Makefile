@@ -2,12 +2,12 @@
 
 GO ?= go
 
-.PHONY: all ci build vet test race bench experiments examples fuzz cover clean serve-smoke
+.PHONY: all ci build vet test race race-cache bench bench-json bench-smoke experiments examples fuzz cover clean serve-smoke
 
 all: build vet test
 
 # Everything the CI workflow runs.
-ci: build vet test race
+ci: build vet test race bench-smoke
 
 build:
 	$(GO) build ./...
@@ -23,6 +23,26 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Race-check the concurrent evaluator-cache paths (fingerprint cache,
+# subsystem cache, GA worker pool).
+race-cache:
+	$(GO) test -race -run 'Cache|Concurrent' ./internal/explore/ ./internal/serve/
+
+# One-iteration pass over every benchmark: catches bit-rotted bench
+# code without paying for steady-state timing.
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+# Benchmark trajectory record: run the evaluation-engine
+# micro-benchmarks at a fixed iteration count and serialize the
+# results to a committed JSON file for cross-PR comparison.
+BENCH_JSON ?= BENCH_PR2.json
+BENCH_MICRO = CostModel|PlanWorkload|AnalyticEvaluate|StepSimulator|GASearch|AccelSearch|NSGAFront
+
+bench-json:
+	$(GO) test -run='^$$' -bench='^Benchmark($(BENCH_MICRO))$$' -benchtime=100x -benchmem . \
+		| $(GO) run ./cmd/benchjson -note "fixed -benchtime=100x" -out $(BENCH_JSON)
 
 # Regenerate every paper table/figure at full budget.
 experiments:

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParse(t *testing.T) {
+	input := `goos: linux
+goarch: amd64
+pkg: chrysalis
+cpu: AMD EPYC 7B13
+BenchmarkCostModel-4      	16525977	        70.69 ns/op	       0 B/op	       0 allocs/op
+BenchmarkGASearch-4       	    9482	    121340 ns/op	   48712 B/op	     619 allocs/op
+BenchmarkNoBenchmem-4     	     100	      1234 ns/op
+PASS
+ok  	chrysalis	12.3s
+`
+	rec, err := parse(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Goos != "linux" || rec.Goarch != "amd64" || rec.Pkg != "chrysalis" {
+		t.Errorf("header fields wrong: %+v", rec)
+	}
+	if len(rec.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(rec.Benchmarks))
+	}
+	cm := rec.Benchmarks[0]
+	if cm.Name != "CostModel" || cm.Iterations != 16525977 || cm.NsPerOp != 70.69 {
+		t.Errorf("CostModel parsed wrong: %+v", cm)
+	}
+	ga := rec.Benchmarks[1]
+	if ga.BytesPerOp != 48712 || ga.AllocsPerOp != 619 {
+		t.Errorf("GASearch mem stats wrong: %+v", ga)
+	}
+	if nb := rec.Benchmarks[2]; nb.BytesPerOp != 0 || nb.AllocsPerOp != 0 || nb.NsPerOp != 1234 {
+		t.Errorf("no-benchmem line parsed wrong: %+v", nb)
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	rec, err := parse(strings.NewReader("PASS\nok\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Benchmarks) != 0 {
+		t.Errorf("expected no benchmarks, got %d", len(rec.Benchmarks))
+	}
+}

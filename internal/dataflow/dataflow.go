@@ -129,8 +129,8 @@ type HW struct {
 	StreamReuse float64
 }
 
-// streamReuse returns the effective reuse factor.
-func (hw HW) streamReuse() float64 {
+// streamReuseOf returns the effective reuse factor.
+func streamReuseOf(hw *HW) float64 {
 	if hw.StreamReuse < 1 {
 		return 1
 	}
@@ -190,7 +190,7 @@ type Cost struct {
 }
 
 // Evaluate runs the cost model for a layer.
-func Evaluate(l dnn.Layer, elemBytes int, m Mapping, hw HW) (Cost, error) {
+func Evaluate(l dnn.Layer, elemBytes int, m Mapping, hw HW) (c Cost, err error) {
 	if err := hw.Validate(); err != nil {
 		return Cost{}, err
 	}
@@ -205,7 +205,47 @@ func Evaluate(l dnn.Layer, elemBytes int, m Mapping, hw HW) (Cost, error) {
 	default:
 		return Cost{}, fmt.Errorf("dataflow: unknown dataflow %d", int(m.Dataflow))
 	}
+	switch m.Partition {
+	case ByChannel, BySpatial:
+	default:
+		return Cost{}, fmt.Errorf("dataflow: unknown partition %d", int(m.Partition))
+	}
+	if !evaluate(&l, elemBytes, m, &hw, &c) {
+		err = fmt.Errorf("dataflow: tile working set %s exceeds VM %v (layer %s, NTile %d)",
+			c.TileWorkingSet.String(), hw.VMBytes, l.Name, c.NTileEffective)
+		c = Cost{}
+	}
+	return c, err
+}
 
+// TryEvaluate is the allocation-free variant of Evaluate for hot search
+// loops: any failure — invalid inputs or a tile working set exceeding VM
+// — is reported as ok=false instead of a constructed error. The success
+// path is bit-identical to Evaluate.
+func TryEvaluate(l dnn.Layer, elemBytes int, m Mapping, hw HW) (c Cost, ok bool) {
+	if elemBytes <= 0 || m.NTile <= 0 || hw.Validate() != nil {
+		return Cost{}, false
+	}
+	switch m.Dataflow {
+	case WS, OS, IS:
+	default:
+		return Cost{}, false
+	}
+	switch m.Partition {
+	case ByChannel, BySpatial:
+	default:
+		return Cost{}, false
+	}
+	ok = evaluate(&l, elemBytes, m, &hw, &c)
+	return c, ok
+}
+
+// evaluate is the validated cost-model core, writing into *c to spare
+// the callers a copy of the sizeable Cost struct per hop. It reports
+// ok=false only for the one data-dependent failure — the tile working
+// set exceeding VM — filling TileWorkingSet and NTileEffective so
+// Evaluate can build its diagnostic without redoing the math.
+func evaluate(l *dnn.Layer, elemBytes int, m Mapping, hw *HW, c *Cost) bool {
 	ext := partitionExtent(l, m.Partition)
 	n := m.NTile
 	if n > ext {
@@ -221,18 +261,15 @@ func Evaluate(l dnn.Layer, elemBytes int, m Mapping, hw HW) (Cost, error) {
 	// --- NVM ↔ VM traffic, set by the tile partitioning. ---
 	var tileIn, tileW float64
 	tileOut := outB / float64(n)
-	switch m.Partition {
-	case ByChannel:
+	if m.Partition == ByChannel {
 		tileIn = inB
 		tileW = wB / float64(n)
-	case BySpatial:
+	} else {
 		tileIn = inB / float64(n) * haloFactor(l, n)
 		if tileIn > inB {
 			tileIn = inB
 		}
 		tileW = wB
-	default:
-		return Cost{}, fmt.Errorf("dataflow: unknown partition %d", int(m.Partition))
 	}
 	tileMACs := macs / int64(n)
 	if tileMACs < 1 {
@@ -245,7 +282,7 @@ func Evaluate(l dnn.Layer, elemBytes int, m Mapping, hw HW) (Cost, error) {
 	// once per cache residency; the others stream per MAC. Partial sums
 	// held in registers (OS) are written once per output.
 	// Spatial reuse: each streamed byte feeds streamReuse MACs.
-	macB := float64(tileMACs) * eb / hw.streamReuse()
+	macB := float64(tileMACs) * eb / streamReuseOf(hw)
 	var vmTile float64
 	switch m.Dataflow {
 	case WS:
@@ -267,8 +304,8 @@ func Evaluate(l dnn.Layer, elemBytes int, m Mapping, hw HW) (Cost, error) {
 	if vmCap := float64(hw.VMBytes); workingSet > vmCap {
 		// The tile does not fit VM; the hardware would have to spill.
 		// We surface this as an infeasible mapping so the search avoids it.
-		return Cost{}, fmt.Errorf("dataflow: tile working set %s exceeds VM %v (layer %s, NTile %d)",
-			units.Bytes(workingSet).String(), hw.VMBytes, l.Name, n)
+		*c = Cost{TileWorkingSet: units.Bytes(workingSet), NTileEffective: n}
+		return false
 	}
 
 	// --- Energy (E_df components) ---
@@ -294,7 +331,7 @@ func Evaluate(l dnn.Layer, elemBytes int, m Mapping, hw HW) (Cost, error) {
 		}
 	}
 
-	c := Cost{
+	*c = Cost{
 		Layer:          l.Name,
 		Mapping:        m,
 		NTileEffective: n,
@@ -312,12 +349,12 @@ func Evaluate(l dnn.Layer, elemBytes int, m Mapping, hw HW) (Cost, error) {
 		EDf:            units.Energy(tileEnergy * float64(n)),
 		TDf:            units.Seconds(tileTime * float64(n)),
 	}
-	return c, nil
+	return true
 }
 
 // partitionExtent returns the extent of the dimension a partition tiles
 // along, i.e. the maximum useful NTile.
-func partitionExtent(l dnn.Layer, p Partition) int {
+func partitionExtent(l *dnn.Layer, p Partition) int {
 	switch {
 	case l.Kind == dnn.Dense:
 		return l.OutC // both partitions tile output neurons
@@ -341,7 +378,7 @@ func partitionExtent(l dnn.Layer, p Partition) int {
 // row the column halo compounds it, saturating at the k²/stride²
 // overfetch of per-pixel tiling (the caller additionally caps the
 // per-tile input at the full input).
-func haloFactor(l dnn.Layer, n int) float64 {
+func haloFactor(l *dnn.Layer, n int) float64 {
 	if l.Kind == dnn.Dense || l.Kind == dnn.MatMul || n <= 1 {
 		return 1
 	}
@@ -377,7 +414,7 @@ func haloFactor(l dnn.Layer, n int) float64 {
 // cachePenalty returns how many times the stationary operand must be
 // (re)fetched given the per-PE cache capacity: 1 when the per-PE share
 // fits, growing proportionally as it exceeds the cache.
-func cachePenalty(stationaryBytes float64, hw HW) float64 {
+func cachePenalty(stationaryBytes float64, hw *HW) float64 {
 	perPE := stationaryBytes / float64(hw.NPE)
 	cacheCap := float64(hw.CacheBytes)
 	if perPE <= cacheCap {
@@ -390,14 +427,28 @@ func cachePenalty(stationaryBytes float64, hw HW) float64 {
 // the divisors of the partition extent (the paper's "factors of each
 // dimension", Table IV), always including 1 and the extent itself.
 func CandidateNTiles(l dnn.Layer, p Partition) []int {
-	ext := partitionExtent(l, p)
-	var ds []int
-	for d := 1; d <= ext; d++ {
+	return AppendCandidateNTiles(nil, l, p)
+}
+
+// AppendCandidateNTiles appends the layer/partition's candidate tile
+// counts to dst (ascending) and returns the extended slice, letting hot
+// search loops reuse one buffer across layers. Divisors are enumerated
+// in O(√extent): small divisors up to √extent directly, then their
+// complements in descending small-divisor order.
+func AppendCandidateNTiles(dst []int, l dnn.Layer, p Partition) []int {
+	ext := partitionExtent(&l, p)
+	start := len(dst)
+	for d := 1; d*d <= ext; d++ {
 		if ext%d == 0 {
-			ds = append(ds, d)
+			dst = append(dst, d)
 		}
 	}
-	return ds
+	for i := len(dst) - 1; i >= start; i-- {
+		if q := ext / dst[i]; q != dst[i] {
+			dst = append(dst, q)
+		}
+	}
+	return dst
 }
 
 // StaticEnergy returns the static-memory term of Eq. 5 for an execution

@@ -243,18 +243,18 @@ func TestSpatialHaloOverhead(t *testing.T) {
 
 func TestDenseAndMatMulExtents(t *testing.T) {
 	d, _ := dnn.NewDense("d", 100, 40)
-	if got := partitionExtent(d, ByChannel); got != 40 {
+	if got := partitionExtent(&d, ByChannel); got != 40 {
 		t.Fatalf("dense extent = %d, want 40", got)
 	}
 	m, _ := dnn.NewMatMul("m", 32, 768, 768, false)
-	if got := partitionExtent(m, ByChannel); got != 768 {
+	if got := partitionExtent(&m, ByChannel); got != 768 {
 		t.Fatalf("matmul ByChannel extent = %d, want 768", got)
 	}
-	if got := partitionExtent(m, BySpatial); got != 32 {
+	if got := partitionExtent(&m, BySpatial); got != 32 {
 		t.Fatalf("matmul BySpatial extent = %d, want 32", got)
 	}
 	c1, _ := dnn.NewConv1D("c1", 4, 64, 8, 3, 1, 0)
-	if got := partitionExtent(c1, BySpatial); got != 62 {
+	if got := partitionExtent(&c1, BySpatial); got != 62 {
 		t.Fatalf("conv1d spatial extent = %d, want 62 (OutW)", got)
 	}
 }

@@ -36,7 +36,7 @@ type LoopNest struct {
 // levels cover the remaining dimensions.
 func BuildLoopNest(l dnn.Layer, m Mapping) LoopNest {
 	n := m.NTile
-	if ext := partitionExtent(l, m.Partition); n > ext {
+	if ext := partitionExtent(&l, m.Partition); n > ext {
 		n = ext
 	}
 	if n < 1 {

@@ -208,7 +208,7 @@ func NewMatMul(name string, m, k, n int, activation2 bool) (Layer, error) {
 }
 
 // MACs returns the multiply-accumulate count of the layer.
-func (l Layer) MACs() int64 {
+func (l *Layer) MACs() int64 {
 	switch l.Kind {
 	case Conv2D:
 		return int64(l.OutC) * int64(l.OutH) * int64(l.OutW) * int64(l.InC) * int64(l.KH) * int64(l.KW)
@@ -230,7 +230,7 @@ func (l Layer) MACs() int64 {
 }
 
 // Params returns the weight-parameter count (including biases).
-func (l Layer) Params() int64 {
+func (l *Layer) Params() int64 {
 	switch l.Kind {
 	case Conv2D:
 		return int64(l.OutC)*int64(l.InC)*int64(l.KH)*int64(l.KW) + int64(l.OutC)
@@ -253,7 +253,7 @@ func (l Layer) Params() int64 {
 }
 
 // InputElems returns the number of input activation elements.
-func (l Layer) InputElems() int64 {
+func (l *Layer) InputElems() int64 {
 	if l.Kind == MatMul {
 		return int64(l.M) * int64(l.K)
 	}
@@ -261,7 +261,7 @@ func (l Layer) InputElems() int64 {
 }
 
 // OutputElems returns the number of output activation elements.
-func (l Layer) OutputElems() int64 {
+func (l *Layer) OutputElems() int64 {
 	if l.Kind == MatMul {
 		return int64(l.M) * int64(l.N)
 	}
@@ -270,7 +270,7 @@ func (l Layer) OutputElems() int64 {
 
 // WeightElems returns the number of weight elements (0 for pool and
 // activation-activation matmuls).
-func (l Layer) WeightElems() int64 { return l.Params() }
+func (l *Layer) WeightElems() int64 { return l.Params() }
 
 // Validate performs internal-consistency checks used by property tests.
 func (l Layer) Validate() error {

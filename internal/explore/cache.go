@@ -1,0 +1,225 @@
+package explore
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"chrysalis/internal/accel"
+	"chrysalis/internal/dataflow"
+	"chrysalis/internal/energy"
+	"chrysalis/internal/intermittent"
+	"chrysalis/internal/solar"
+	"chrysalis/internal/units"
+)
+
+// fingerprint canonically identifies everything the per-layer plan
+// ladders depend on: the inference-side hardware (platform plus, for
+// accelerator candidates, the full accel config), the exception rate
+// and the workload identity. The energy genes (panel area, capacitance)
+// are deliberately absent — plans are budget-independent, the budget
+// only selects a ladder rung at scan time — so candidates that differ
+// only in energy genes share one cache entry. On the MSP platform the
+// fingerprint is constant across the whole search.
+type fingerprint struct {
+	platform  PlatformKind
+	arch      accel.Arch
+	npe       int
+	cache     units.Bytes
+	rexc      float64
+	workload  string
+	elemBytes int
+	layers    int
+}
+
+// fingerprintOf derives the candidate's fingerprint under a
+// default-filled scenario. It allocates nothing (comparable struct key).
+func fingerprintOf(sc Scenario, cand Candidate) fingerprint {
+	fp := fingerprint{
+		platform:  sc.Platform,
+		rexc:      sc.Rexc,
+		workload:  sc.Workload.Name,
+		elemBytes: sc.Workload.ElemBytes,
+		layers:    len(sc.Workload.Layers),
+	}
+	if cand.Accel != nil {
+		fp.arch = cand.Accel.Arch
+		fp.npe = cand.Accel.NPE
+		fp.cache = cand.Accel.CacheBytes
+	}
+	return fp
+}
+
+// dfCtx pairs a dataflow with the hardware cost constants it implies
+// for one candidate.
+type dfCtx struct {
+	df dataflow.Dataflow
+	hw dataflow.HW
+}
+
+// ladderSet is the complete precomputed mapping space for one
+// fingerprint: the dataflow contexts the inner optimizer explores and,
+// per layer, one ladder per (dataflow, partition) pair. It is immutable
+// after construction and therefore shared freely across goroutines.
+type ladderSet struct {
+	ctxs []dfCtx
+	// ladders[layer][2*ctxIndex + int(partition)]
+	ladders [][]intermittent.Ladder
+}
+
+// ladderAt returns the ladder for (layer, dataflow context, partition).
+func (ls *ladderSet) ladderAt(layer, ctx int, part dataflow.Partition) *intermittent.Ladder {
+	return &ls.ladders[layer][2*ctx+int(part)]
+}
+
+// buildLadderSet computes every ladder the inner search needs for one
+// hardware fingerprint, in the exact order the per-call search explored
+// them (dataflows outer, partitions inner) so scans reproduce the old
+// trajectory bit for bit.
+func buildLadderSet(sc Scenario, cand Candidate) (*ladderSet, error) {
+	dfs := dataflowChoices(sc)
+	ls := &ladderSet{ctxs: make([]dfCtx, 0, len(dfs))}
+	for _, df := range dfs {
+		hw, err := platformHW(sc, cand, df)
+		if err != nil {
+			return nil, err
+		}
+		ls.ctxs = append(ls.ctxs, dfCtx{df: df, hw: hw})
+	}
+	ls.ladders = make([][]intermittent.Ladder, len(sc.Workload.Layers))
+	for li, l := range sc.Workload.Layers {
+		row := make([]intermittent.Ladder, 2*len(ls.ctxs))
+		for ci, ctx := range ls.ctxs {
+			for _, part := range []dataflow.Partition{dataflow.ByChannel, dataflow.BySpatial} {
+				ld, err := intermittent.BuildLadder(l, sc.Workload.ElemBytes, ctx.df, part, ctx.hw, sc.Rexc)
+				if err != nil {
+					return nil, err
+				}
+				row[2*ci+int(part)] = ld
+			}
+		}
+		ls.ladders[li] = row
+	}
+	return ls, nil
+}
+
+// Process-wide cumulative plan-cache counters, aggregated across every
+// Evaluator so serving layers (chrysalisd /metrics) can export them.
+var (
+	globalCacheHits   atomic.Int64
+	globalCacheMisses atomic.Int64
+)
+
+// EvalCacheCounters returns the process-wide cumulative evaluator
+// plan-cache hit and miss counts. Both are monotonic, suitable for
+// Prometheus counter export.
+func EvalCacheCounters() (hits, misses int64) {
+	return globalCacheHits.Load(), globalCacheMisses.Load()
+}
+
+// planCache memoizes ladder sets per hardware fingerprint for one
+// Evaluator. It is safe for concurrent use (search.GAConfig.Workers >
+// 1): lookups take a read lock; concurrent misses on the same
+// fingerprint may build the set twice, but both builds are
+// deterministic and identical, so the loser's work is simply discarded.
+type planCache struct {
+	// last short-circuits the common case of consecutive lookups with
+	// the same fingerprint (on MSP the fingerprint never changes), so
+	// the steady-state hit skips the map hash and the read lock.
+	last   atomic.Pointer[lastLookup]
+	mu     sync.RWMutex
+	sets   map[fingerprint]*ladderSet
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// lastLookup is an immutable (fingerprint, ladder set) pair published
+// atomically after each successful lookup.
+type lastLookup struct {
+	fp fingerprint
+	ls *ladderSet
+}
+
+func newPlanCache() *planCache {
+	return &planCache{sets: make(map[fingerprint]*ladderSet)}
+}
+
+// get returns the ladder set for the candidate's fingerprint, building
+// and caching it on a miss.
+func (pc *planCache) get(sc Scenario, cand Candidate) (*ladderSet, error) {
+	fp := fingerprintOf(sc, cand)
+	if le := pc.last.Load(); le != nil && le.fp == fp {
+		pc.hits.Add(1)
+		globalCacheHits.Add(1)
+		return le.ls, nil
+	}
+	pc.mu.RLock()
+	ls, ok := pc.sets[fp]
+	pc.mu.RUnlock()
+	if ok {
+		pc.hits.Add(1)
+		globalCacheHits.Add(1)
+		pc.last.Store(&lastLookup{fp: fp, ls: ls})
+		return ls, nil
+	}
+	built, err := buildLadderSet(sc, cand)
+	if err != nil {
+		return nil, err
+	}
+	pc.misses.Add(1)
+	globalCacheMisses.Add(1)
+	pc.mu.Lock()
+	if racedIn, ok := pc.sets[fp]; ok {
+		built = racedIn // lost a build race; entries are identical
+	} else {
+		pc.sets[fp] = built
+	}
+	pc.mu.Unlock()
+	pc.last.Store(&lastLookup{fp: fp, ls: built})
+	return built, nil
+}
+
+// subsKey identifies a candidate's energy genes — the only inputs the
+// energy subsystem depends on beyond the scenario's fixed environments.
+type subsKey struct {
+	panel units.AreaCM2
+	cap   units.Capacitance
+}
+
+// subsystemCache memoizes the per-environment energy subsystems keyed
+// on the candidate's energy genes. The outer GA revisits gene values
+// constantly (elites, crossover copies), and the evaluation path only
+// issues the subsystem's read-only closed-form queries (CycleBudget,
+// sim.Analytic), so one instance safely serves concurrent evaluations.
+type subsystemCache struct {
+	envs []solar.Environment
+	mu   sync.RWMutex
+	m    map[subsKey][]*energy.Subsystem
+}
+
+func newSubsystemCache(envs []solar.Environment) *subsystemCache {
+	return &subsystemCache{envs: envs, m: make(map[subsKey][]*energy.Subsystem)}
+}
+
+// get returns the candidate's subsystems, building them on a miss. Like
+// planCache, racing misses may build twice; the loser is discarded.
+func (c *subsystemCache) get(cand Candidate) ([]*energy.Subsystem, error) {
+	k := subsKey{panel: cand.PanelArea, cap: cand.Cap}
+	c.mu.RLock()
+	v, ok := c.m[k]
+	c.mu.RUnlock()
+	if ok {
+		return v, nil
+	}
+	built, err := buildSubsystems(c.envs, cand)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	if raced, ok := c.m[k]; ok {
+		built = raced
+	} else {
+		c.m[k] = built
+	}
+	c.mu.Unlock()
+	return built, nil
+}

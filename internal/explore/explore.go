@@ -11,6 +11,7 @@
 package explore
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sync"
@@ -27,6 +28,12 @@ import (
 	"chrysalis/internal/storage"
 	"chrysalis/internal/units"
 )
+
+// ErrNoFeasibleDesign reports that a search finished without finding
+// any candidate satisfying every constraint. Callers that treat an
+// empty search as a legitimate outcome (small GA budgets, sweeps over
+// hostile scenarios) match it with errors.Is.
+var ErrNoFeasibleDesign = errors.New("no feasible design")
 
 // Objective selects the design target (Sec. IV): minimize latency under
 // a solar-panel bound, minimize panel size under a latency bound, or
@@ -285,25 +292,27 @@ func dataflowChoices(sc Scenario) []dataflow.Dataflow {
 // cycle budget so jitter does not starve tiles at the boundary.
 const budgetMargin = 0.9
 
-// innerSearch is the SW-level optimizer: for a fixed candidate it
-// chooses, per layer, the (dataflow, partition, N_tile) minimizing the
-// layer's total energy, subject to every tile fitting the tightest
-// per-cycle budget across environments (Eq. 8).
-func innerSearch(sc Scenario, cand Candidate) ([]LayerChoice, error) {
-	w := sc.Workload
-	choices := make([]LayerChoice, 0, len(w.Layers))
-
-	// Budget closure: the minimum cycle budget across environments at
-	// the querying tile's own power draw (Eq. 8 with the Eq. 3 T term).
-	subsystems := make([]*energy.Subsystem, 0, len(sc.Envs))
-	for _, env := range sc.Envs {
+// buildSubsystems instantiates the candidate's energy subsystem under
+// every environment once; the slice is shared between the inner
+// search's budget function and the analytic evaluation pass (the
+// subsystem's closed-form queries are read-only).
+func buildSubsystems(envs []solar.Environment, cand Candidate) ([]*energy.Subsystem, error) {
+	subsystems := make([]*energy.Subsystem, 0, len(envs))
+	for _, env := range envs {
 		es, err := energy.NewSolar(energy.Spec{PanelArea: cand.PanelArea, Cap: cand.Cap}, env)
 		if err != nil {
 			return nil, err
 		}
 		subsystems = append(subsystems, es)
 	}
-	budget := func(load units.Power) units.Energy {
+	return subsystems, nil
+}
+
+// cycleBudget returns the Eq. 8 budget closure: the minimum cycle
+// budget across environments at the querying tile's own power draw
+// (with the Eq. 3 T term), scaled by the jitter margin.
+func cycleBudget(subsystems []*energy.Subsystem) intermittent.BudgetFunc {
+	return func(load units.Power) units.Energy {
 		minB := units.Energy(math.Inf(1))
 		for _, es := range subsystems {
 			b, _ := es.CycleBudget(load)
@@ -316,95 +325,273 @@ func innerSearch(sc Scenario, cand Candidate) ([]LayerChoice, error) {
 		}
 		return units.Energy(float64(minB) * budgetMargin)
 	}
+}
 
-	// Precompute the hardware constants once per dataflow; they do not
-	// depend on the layer.
-	type dfCtx struct {
-		df dataflow.Dataflow
-		hw dataflow.HW
+// Evaluator runs candidate evaluations for one scenario, memoizing the
+// expensive half of the inner mapping search: per-layer plan ladders
+// keyed on the candidate's hardware fingerprint. Candidates that differ
+// only in energy genes (panel area, capacitance) — the dimensions the
+// outer GA mutates most — reuse the cached ladders and pay only a
+// cheap budget scan. On the MSP platform the fingerprint is constant,
+// so the whole search builds the ladders exactly once.
+//
+// An Evaluator is safe for concurrent use by multiple goroutines
+// (search.GAConfig.Workers > 1). Cached and uncached evaluations are
+// bit-identical.
+type Evaluator struct {
+	sc Scenario
+	// cache memoizes ladder sets across evaluations; nil selects the
+	// uncached per-call scan (one-shot evaluations, where eager ladder
+	// construction could never be amortized).
+	cache *planCache
+	// subs memoizes energy subsystems per (panel, cap) gene pair; nil
+	// builds them fresh per evaluation.
+	subs *subsystemCache
+}
+
+// NewEvaluator validates the scenario (filling defaults) and returns an
+// evaluator with an empty plan cache.
+func NewEvaluator(sc Scenario) (*Evaluator, error) {
+	sc = sc.withDefaults()
+	if err := sc.Validate(); err != nil {
+		return nil, err
 	}
-	ctxs := make([]dfCtx, 0, 3)
-	for _, df := range dataflowChoices(sc) {
+	return &Evaluator{sc: sc, cache: newPlanCache(), subs: newSubsystemCache(sc.Envs)}, nil
+}
+
+// newDirectEvaluator builds an evaluator without a plan cache: each
+// evaluation scans the mapping space directly with early exit, which is
+// cheaper when the scenario is evaluated exactly once.
+func newDirectEvaluator(sc Scenario) (*Evaluator, error) {
+	sc = sc.withDefaults()
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	return &Evaluator{sc: sc}, nil
+}
+
+// Scenario returns the default-filled scenario the evaluator serves.
+func (e *Evaluator) Scenario() Scenario { return e.sc }
+
+// CacheStats returns this evaluator's plan-cache hit and miss counts.
+// Uncached (direct) evaluators report zeros.
+func (e *Evaluator) CacheStats() (hits, misses int64) {
+	if e.cache == nil {
+		return 0, 0
+	}
+	return e.cache.hits.Load(), e.cache.misses.Load()
+}
+
+// ladderSetFor returns the candidate's ladder set, memoized when the
+// evaluator carries a cache and built fresh otherwise.
+func (e *Evaluator) ladderSetFor(cand Candidate) (*ladderSet, error) {
+	if e.cache != nil {
+		return e.cache.get(e.sc, cand)
+	}
+	return buildLadderSet(e.sc, cand)
+}
+
+// subsystemsFor returns the candidate's per-environment energy
+// subsystems, memoized on the energy genes when the evaluator caches.
+func (e *Evaluator) subsystemsFor(cand Candidate) ([]*energy.Subsystem, error) {
+	if e.subs != nil {
+		return e.subs.get(cand)
+	}
+	return buildSubsystems(e.sc.Envs, cand)
+}
+
+// innerSearch is the SW-level optimizer: for a fixed candidate it
+// chooses, per layer, the (dataflow, partition, N_tile) minimizing the
+// layer's total energy, subject to every tile fitting the tightest
+// per-cycle budget across environments (Eq. 8). The per-layer plan
+// ladders come from the fingerprint cache; only the budget scan runs
+// per candidate. The returned pointers alias the shared immutable
+// ladder entries and must not be mutated.
+func (e *Evaluator) innerSearch(cand Candidate, budget intermittent.BudgetFunc) ([]*intermittent.Plan, error) {
+	ls, err := e.cache.get(e.sc, cand)
+	if err != nil {
+		return nil, err
+	}
+	w := e.sc.Workload
+	plans := make([]*intermittent.Plan, len(w.Layers))
+	for li := range w.Layers {
+		var best *intermittent.LadderEntry
+		for ci := range ls.ctxs {
+			for _, part := range []dataflow.Partition{dataflow.ByChannel, dataflow.BySpatial} {
+				ld := ls.ladderAt(li, ci, part)
+				i, ok := ld.MinFeasibleIndex(budget)
+				if !ok {
+					continue
+				}
+				entry := &ld.Entries[i]
+				if best == nil || entry.Plan.Energy < best.Plan.Energy {
+					best = entry
+				}
+			}
+		}
+		if best == nil {
+			return nil, fmt.Errorf("explore: layer %s infeasible on %s: %w",
+				w.Layers[li].Name, cand, intermittent.ErrNoFeasibleTile)
+		}
+		plans[li] = &best.Plan
+	}
+	return plans, nil
+}
+
+// innerSearchDirect is the uncached form of innerSearch: it scans each
+// (dataflow, partition) mapping space per call with early exit at the
+// first budget-feasible tile count, instead of materializing full
+// ladders that a single evaluation could never amortize. It explores
+// the space in the same order with the same tie-breaks as the cached
+// path, so the two produce bit-identical choices.
+func (e *Evaluator) innerSearchDirect(cand Candidate, budget intermittent.BudgetFunc) ([]*intermittent.Plan, error) {
+	sc := e.sc
+	dfs := dataflowChoices(sc)
+	hws := make([]dataflow.HW, len(dfs))
+	for i, df := range dfs {
 		hw, err := platformHW(sc, cand, df)
 		if err != nil {
 			return nil, err
 		}
-		ctxs = append(ctxs, dfCtx{df: df, hw: hw})
+		hws[i] = hw
 	}
-
-	for _, l := range w.Layers {
-		var (
-			best     LayerChoice
-			bestE    = units.Energy(math.Inf(1))
-			lastErr  error
-			foundAny bool
-		)
-		for _, ctx := range ctxs {
-			df, hw := ctx.df, ctx.hw
+	w := sc.Workload
+	backing := make([]intermittent.Plan, len(w.Layers))
+	plans := make([]*intermittent.Plan, len(w.Layers))
+	for li, l := range w.Layers {
+		bestE := units.Energy(math.Inf(1))
+		foundAny := false
+		for ci, df := range dfs {
 			for _, part := range []dataflow.Partition{dataflow.ByChannel, dataflow.BySpatial} {
-				p, err := intermittent.MinFeasibleTiles(l, w.ElemBytes, df, part, hw, sc.Rexc, budget)
+				p, err := intermittent.MinFeasibleTiles(l, w.ElemBytes, df, part, hws[ci], sc.Rexc, budget)
 				if err != nil {
-					lastErr = err
 					continue
 				}
 				if p.Energy < bestE {
 					bestE = p.Energy
-					best = LayerChoice{Layer: l.Name, Mapping: p.Cost.Mapping, Plan: p}
+					backing[li] = p
 					foundAny = true
 				}
 			}
 		}
 		if !foundAny {
-			return nil, fmt.Errorf("explore: layer %s infeasible on %s: %w", l.Name, cand, lastErr)
+			return nil, fmt.Errorf("explore: layer %s infeasible on %s: %w",
+				l.Name, cand, intermittent.ErrNoFeasibleTile)
 		}
-		choices = append(choices, best)
+		plans[li] = &backing[li]
 	}
-	return choices, nil
+	return plans, nil
 }
 
-// EvaluateCandidate runs the inner mapping search and the analytic
-// evaluator under every environment.
-func EvaluateCandidate(sc Scenario, cand Candidate) (Evaluation, error) {
-	sc = sc.withDefaults()
-	if err := sc.Validate(); err != nil {
-		return Evaluation{}, err
+// searchPlans dispatches to the configured inner mapping search and
+// returns the chosen per-layer plans by pointer (into the shared
+// ladders on cached paths — callers must not mutate them).
+func (e *Evaluator) searchPlans(cand Candidate, budget intermittent.BudgetFunc) ([]*intermittent.Plan, error) {
+	switch {
+	case e.sc.Mapper == MapperGA:
+		return e.innerSearchGA(cand, budget)
+	case e.cache != nil:
+		return e.innerSearch(cand, budget)
+	default:
+		return e.innerSearchDirect(cand, budget)
 	}
-	if sc.Platform == Accel {
-		if cand.Accel == nil {
-			return Evaluation{}, fmt.Errorf("explore: accel platform needs an accelerator config")
-		}
-		if err := cand.Accel.Validate(); err != nil {
-			return Evaluation{}, err
-		}
-	} else if cand.Accel != nil {
-		return Evaluation{}, fmt.Errorf("explore: MSP platform must not carry an accelerator config")
-	}
+}
 
-	ev := Evaluation{Candidate: cand}
-	var choices []LayerChoice
-	var err2 error
-	if sc.Mapper == MapperGA {
-		choices, err2 = innerSearchGA(sc, cand)
-	} else {
-		choices, err2 = innerSearch(sc, cand)
+// quickScore is the allocation-lean evaluation the search loops consume:
+// just the objective ingredients, no per-layer mappings or per-env
+// reports materialized.
+type quickScore struct {
+	avgLatency units.Seconds
+	latSP      float64
+	feasible   bool
+}
+
+// score computes a candidate's objective ingredients without
+// materializing a full Evaluation. It runs the same inner search and
+// the same analytic model as Evaluate, so the numbers are bit-identical
+// to the ones Evaluate reports; only the discarded per-candidate
+// bookkeeping (layer choices, per-env reports) is skipped.
+func (e *Evaluator) score(cand Candidate) (quickScore, error) {
+	if err := e.checkCandidate(cand); err != nil {
+		return quickScore{}, err
 	}
-	if err2 != nil {
-		return ev, err2
+	subsystems, err := e.subsystemsFor(cand)
+	if err != nil {
+		return quickScore{}, err
 	}
-	ev.Mappings = choices
-	plans := make([]intermittent.Plan, len(choices))
-	for i, c := range choices {
-		plans[i] = c.Plan
+	budget := cycleBudget(subsystems)
+	plans, err := e.searchPlans(cand, budget)
+	if err != nil {
+		return quickScore{}, err
 	}
+	tot := intermittent.SumRefs(plans)
 
 	var latSum float64
 	feasible := true
-	for _, env := range sc.Envs {
-		es, err := energy.NewSolar(energy.Spec{PanelArea: cand.PanelArea, Cap: cand.Cap}, env)
-		if err != nil {
-			return ev, err
+	for i := range e.sc.Envs {
+		r := sim.AnalyticTotals(subsystems[i], tot)
+		if !r.Completed {
+			feasible = false
+			continue
 		}
-		r := sim.Analytic(es, plans)
+		latSum += float64(r.E2ELatency)
+	}
+	s := quickScore{feasible: feasible}
+	if feasible {
+		s.avgLatency = units.Seconds(latSum / float64(len(e.sc.Envs)))
+		s.latSP = float64(s.avgLatency) * float64(cand.PanelArea)
+	} else {
+		s.avgLatency = units.Seconds(math.Inf(1))
+		s.latSP = math.Inf(1)
+	}
+	return s, nil
+}
+
+// checkCandidate validates the candidate/platform pairing.
+func (e *Evaluator) checkCandidate(cand Candidate) error {
+	if e.sc.Platform == Accel {
+		if cand.Accel == nil {
+			return fmt.Errorf("explore: accel platform needs an accelerator config")
+		}
+		return cand.Accel.Validate()
+	}
+	if cand.Accel != nil {
+		return fmt.Errorf("explore: MSP platform must not carry an accelerator config")
+	}
+	return nil
+}
+
+// Evaluate runs the inner mapping search and the analytic evaluator
+// under every environment for one candidate, reusing cached plan
+// ladders and building each environment's energy subsystem exactly
+// once.
+func (e *Evaluator) Evaluate(cand Candidate) (Evaluation, error) {
+	sc := e.sc
+	if err := e.checkCandidate(cand); err != nil {
+		return Evaluation{}, err
+	}
+
+	ev := Evaluation{Candidate: cand}
+	subsystems, err := e.subsystemsFor(cand)
+	if err != nil {
+		return ev, err
+	}
+	budget := cycleBudget(subsystems)
+
+	plans, err := e.searchPlans(cand, budget)
+	if err != nil {
+		return ev, err
+	}
+	ev.Mappings = make([]LayerChoice, len(plans))
+	for i, p := range plans {
+		ev.Mappings[i] = LayerChoice{Layer: p.Layer.Name, Mapping: p.Cost.Mapping, Plan: *p}
+	}
+	tot := intermittent.SumRefs(plans)
+
+	var latSum float64
+	feasible := true
+	for i, env := range sc.Envs {
+		r := sim.AnalyticTotals(subsystems[i], tot)
 		er := EnvResult{
 			Env:        env.Name(),
 			Latency:    r.E2ELatency,
@@ -431,28 +618,48 @@ func EvaluateCandidate(sc Scenario, cand Candidate) (Evaluation, error) {
 	return ev, nil
 }
 
-// objectiveValue scores an evaluation (lower is better, +Inf infeasible).
-func objectiveValue(sc Scenario, ev Evaluation) float64 {
-	if !ev.Feasible {
+// EvaluateCandidate runs the inner mapping search and the analytic
+// evaluator under every environment. It is the one-shot form of
+// Evaluator.Evaluate and uses the early-exit direct scan; callers
+// evaluating many candidates of one scenario should create an Evaluator
+// to share its plan cache. Both paths produce bit-identical results.
+func EvaluateCandidate(sc Scenario, cand Candidate) (Evaluation, error) {
+	e, err := newDirectEvaluator(sc)
+	if err != nil {
+		return Evaluation{}, err
+	}
+	return e.Evaluate(cand)
+}
+
+// objectiveOf scores a candidate's objective ingredients (lower is
+// better, +Inf infeasible).
+func objectiveOf(sc Scenario, panel units.AreaCM2, s quickScore) float64 {
+	if !s.feasible {
 		return math.Inf(1)
 	}
 	switch sc.Objective {
 	case Lat:
-		if ev.Candidate.PanelArea > sc.MaxPanel {
+		if panel > sc.MaxPanel {
 			return math.Inf(1)
 		}
-		return float64(ev.AvgLatency)
+		return float64(s.avgLatency)
 	case SP:
-		v := float64(ev.Candidate.PanelArea)
-		if ev.AvgLatency > sc.MaxLatency {
+		v := float64(panel)
+		if s.avgLatency > sc.MaxLatency {
 			// Smooth penalty keeps the GA gradient toward feasibility.
-			excess := float64(ev.AvgLatency-sc.MaxLatency) / float64(sc.MaxLatency)
+			excess := float64(s.avgLatency-sc.MaxLatency) / float64(sc.MaxLatency)
 			v += float64(solar.MaxPanelArea) * (1 + excess)
 		}
 		return v
 	default: // LatSP
-		return ev.LatSP
+		return s.latSP
 	}
+}
+
+// objectiveValue scores an evaluation (lower is better, +Inf infeasible).
+func objectiveValue(sc Scenario, ev Evaluation) float64 {
+	return objectiveOf(sc, ev.Candidate.PanelArea,
+		quickScore{avgLatency: ev.AvgLatency, latSP: ev.LatSP, feasible: ev.Feasible})
 }
 
 // genomeSpec describes which dimensions the baseline searches.
@@ -544,35 +751,42 @@ type Outcome struct {
 	Value float64
 	// Evals is the number of candidate evaluations spent.
 	Evals int
+	// CacheHits / CacheMisses count the evaluator plan-cache outcomes
+	// across the run (misses = distinct hardware fingerprints built).
+	CacheHits   int64
+	CacheMisses int64
 }
 
 // Explore runs the bi-level search for a scenario under a baseline's
-// search space. cfg seeds and sizes the outer GA.
+// search space. cfg seeds and sizes the outer GA. All candidate
+// evaluations share one Evaluator, so the inner mapping search is
+// memoized across the whole run.
 func Explore(sc Scenario, b Baseline, cfg search.GAConfig) (Outcome, error) {
-	sc = sc.withDefaults()
-	if err := sc.Validate(); err != nil {
+	e, err := NewEvaluator(sc)
+	if err != nil {
 		return Outcome{}, err
 	}
+	sc = e.Scenario()
 	g := spec(sc, b)
 
 	var (
-		mu    sync.Mutex
-		best  Evaluation
-		bestV = math.Inf(1)
+		mu         sync.Mutex
+		bestGenome []float64
+		bestV      = math.Inf(1)
 	)
 	problem := search.Problem{
 		Dim: g.dim(),
 		Eval: func(genome []float64) float64 {
 			cand := decode(sc, g, genome)
-			ev, err := EvaluateCandidate(sc, cand)
+			s, err := e.score(cand)
 			if err != nil {
 				return math.Inf(1)
 			}
-			v := objectiveValue(sc, ev)
+			v := objectiveOf(sc, cand.PanelArea, s)
 			mu.Lock()
 			if v < bestV {
 				bestV = v
-				best = ev
+				bestGenome = append(bestGenome[:0], genome...)
 			}
 			mu.Unlock()
 			return v
@@ -583,10 +797,18 @@ func Explore(sc Scenario, b Baseline, cfg search.GAConfig) (Outcome, error) {
 		return Outcome{}, err
 	}
 	if math.IsInf(bestV, 1) {
-		return Outcome{}, fmt.Errorf("explore: no feasible design for %s/%s under %s",
-			sc.Workload.Name, sc.Platform, b)
+		return Outcome{}, fmt.Errorf("explore: no feasible design for %s/%s under %s: %w",
+			sc.Workload.Name, sc.Platform, b, ErrNoFeasibleDesign)
 	}
-	return Outcome{Scenario: sc, Baseline: b, Best: best, Value: bestV, Evals: res.Evals}, nil
+	// Materialize the full evaluation once, for the winning candidate
+	// only; the per-candidate search loop above runs the lean score path.
+	best, err := e.Evaluate(decode(sc, g, bestGenome))
+	if err != nil {
+		return Outcome{}, err
+	}
+	hits, misses := e.CacheStats()
+	return Outcome{Scenario: sc, Baseline: b, Best: best, Value: bestV, Evals: res.Evals,
+		CacheHits: hits, CacheMisses: misses}, nil
 }
 
 // ParetoPoint pairs a candidate with its (panel, latency) coordinates.
@@ -601,10 +823,11 @@ type ParetoPoint struct {
 // feasible points plus the Pareto front over (panel area, latency) —
 // the Figure 6 analysis.
 func ParetoScan(sc Scenario, n int, seed int64) (points, front []ParetoPoint, err error) {
-	sc = sc.withDefaults()
-	if err := sc.Validate(); err != nil {
+	e, err := NewEvaluator(sc)
+	if err != nil {
 		return nil, nil, err
 	}
+	sc = e.Scenario()
 	g := spec(sc, Full)
 
 	var all []ParetoPoint
@@ -612,17 +835,17 @@ func ParetoScan(sc Scenario, n int, seed int64) (points, front []ParetoPoint, er
 		Dim: g.dim(),
 		Eval: func(genome []float64) float64 {
 			cand := decode(sc, g, genome)
-			ev, evalErr := EvaluateCandidate(sc, cand)
-			if evalErr != nil || !ev.Feasible {
+			s, evalErr := e.score(cand)
+			if evalErr != nil || !s.feasible {
 				return math.Inf(1)
 			}
 			all = append(all, ParetoPoint{
 				Candidate: cand,
 				PanelArea: cand.PanelArea,
-				Latency:   ev.AvgLatency,
-				LatSP:     ev.LatSP,
+				Latency:   s.avgLatency,
+				LatSP:     s.latSP,
 			})
-			return ev.LatSP
+			return s.latSP
 		},
 	}
 	if _, err := search.RunRandom(problem, n, seed, false); err != nil {
@@ -643,20 +866,21 @@ func ParetoScan(sc Scenario, n int, seed int64) (points, front []ParetoPoint, er
 // stronger generator for the paper's Figure 6 curve than the random
 // scan, at the same evaluation budget.
 func ParetoSearch(sc Scenario, cfg search.GAConfig) (front []ParetoPoint, evals int, err error) {
-	sc = sc.withDefaults()
-	if err := sc.Validate(); err != nil {
+	e, err := NewEvaluator(sc)
+	if err != nil {
 		return nil, 0, err
 	}
+	sc = e.Scenario()
 	g := spec(sc, Full)
 	problem := search.BiProblem{
 		Dim: g.dim(),
 		Eval: func(genome []float64) (float64, float64) {
 			cand := decode(sc, g, genome)
-			ev, evalErr := EvaluateCandidate(sc, cand)
-			if evalErr != nil || !ev.Feasible {
+			s, evalErr := e.score(cand)
+			if evalErr != nil || !s.feasible {
 				return math.Inf(1), math.Inf(1)
 			}
-			return float64(cand.PanelArea), float64(ev.AvgLatency)
+			return float64(cand.PanelArea), float64(s.avgLatency)
 		},
 	}
 	raw, evals, err := search.RunNSGA2(problem, cfg)

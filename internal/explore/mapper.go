@@ -5,10 +5,8 @@ import (
 	"math"
 
 	"chrysalis/internal/dataflow"
-	"chrysalis/internal/energy"
 	"chrysalis/internal/intermittent"
 	"chrysalis/internal/search"
-	"chrysalis/internal/units"
 )
 
 // Mapper selects the SW-level optimizer realization (Table III lists
@@ -52,44 +50,20 @@ func gaMapperConfig(layers int, seed int64) search.GAConfig {
 // innerSearchGA is the CHRYSALIS-GAMMA mapping search: one genome
 // holds (dataflow, partition, tile-count index) for every layer and a
 // GA minimizes the summed Eq. 5 energy subject to per-layer Eq. 8
-// feasibility.
-func innerSearchGA(sc Scenario, cand Candidate) ([]LayerChoice, error) {
-	w := sc.Workload
-
-	// Budget closure shared with the greedy mapper.
-	subsystems := make([]*energy.Subsystem, 0, len(sc.Envs))
-	for _, env := range sc.Envs {
-		es, err := energy.NewSolar(energy.Spec{PanelArea: cand.PanelArea, Cap: cand.Cap}, env)
-		if err != nil {
-			return nil, err
-		}
-		subsystems = append(subsystems, es)
-	}
-	budget := func(load units.Power) units.Energy {
-		minB := units.Energy(math.Inf(1))
-		for _, es := range subsystems {
-			b, _ := es.CycleBudget(load)
-			if b < minB {
-				minB = b
-			}
-		}
-		if math.IsInf(float64(minB), 1) {
-			return 1e6
-		}
-		return units.Energy(float64(minB) * budgetMargin)
+// feasibility. Genome decoding resolves plans from the fingerprint
+// cache's ladders (binary search by tile count) instead of re-running
+// the cost model per evaluation; only the winning genome's plans are
+// collected, as pointers into the shared ladder entries.
+func (e *Evaluator) innerSearchGA(cand Candidate, budget intermittent.BudgetFunc) ([]*intermittent.Plan, error) {
+	w := e.sc.Workload
+	ls, err := e.ladderSetFor(cand)
+	if err != nil {
+		return nil, err
 	}
 
-	dfs := dataflowChoices(sc)
-	hws := make([]dataflow.HW, len(dfs))
-	for i, df := range dfs {
-		hw, err := platformHW(sc, cand, df)
-		if err != nil {
-			return nil, err
-		}
-		hws[i] = hw
-	}
-
-	// Candidate tile counts per layer per partition (precomputed).
+	// Candidate tile counts per layer per partition (precomputed); the
+	// genome indexes the full candidate list, including counts the
+	// ladder excluded as VM-infeasible.
 	type layerSpace struct {
 		ntiles [2][]int // indexed by partition
 	}
@@ -99,33 +73,35 @@ func innerSearchGA(sc Scenario, cand Candidate) ([]LayerChoice, error) {
 		spaces[i].ntiles[dataflow.BySpatial] = dataflow.CandidateNTiles(l, dataflow.BySpatial)
 	}
 
-	decode := func(genome []float64) ([]LayerChoice, float64) {
-		choices := make([]LayerChoice, len(w.Layers))
-		var total float64
-		for i, l := range w.Layers {
-			dfi := search.MapChoice(genome[3*i], len(dfs))
-			part := dataflow.Partition(search.MapChoice(genome[3*i+1], 2))
-			nt := spaces[i].ntiles[part]
-			n := nt[search.MapChoice(genome[3*i+2], len(nt))]
-			m := dataflow.Mapping{Dataflow: dfs[dfi], Partition: part, NTile: n}
-			p, err := intermittent.PlanLayer(l, w.ElemBytes, m, hws[dfi], sc.Rexc)
-			if err != nil {
-				return nil, math.Inf(1) // tile does not fit VM
-			}
-			if avail := budget(p.TilePower()); avail <= 0 || p.TileEnergy > avail {
-				return nil, math.Inf(1) // Eq. 8 violated
-			}
-			choices[i] = LayerChoice{Layer: l.Name, Mapping: p.Cost.Mapping, Plan: p}
-			total += float64(p.Energy)
+	// resolve maps one layer's genes to its ladder entry, nil when the
+	// tile count is VM-infeasible or the budget check (Eq. 8) fails.
+	resolve := func(genome []float64, i int) *intermittent.LadderEntry {
+		dfi := search.MapChoice(genome[3*i], len(ls.ctxs))
+		part := dataflow.Partition(search.MapChoice(genome[3*i+1], 2))
+		nt := spaces[i].ntiles[part]
+		n := nt[search.MapChoice(genome[3*i+2], len(nt))]
+		entry, ok := ls.ladderAt(i, dfi, part).ByNTile(n)
+		if !ok {
+			return nil // tile does not fit VM
 		}
-		return choices, total
+		if avail := budget(entry.Power); avail <= 0 || entry.Plan.TileEnergy > avail {
+			return nil // Eq. 8 violated
+		}
+		return entry
 	}
 
 	problem := search.Problem{
 		Dim: 3 * len(w.Layers),
 		Eval: func(genome []float64) float64 {
-			_, v := decode(genome)
-			return v
+			var total float64
+			for i := range w.Layers {
+				entry := resolve(genome, i)
+				if entry == nil {
+					return math.Inf(1)
+				}
+				total += float64(entry.Plan.Energy)
+			}
+			return total
 		},
 	}
 	seed := int64(float64(cand.PanelArea)*1e3) ^ int64(float64(cand.Cap)*1e9)
@@ -136,6 +112,9 @@ func innerSearchGA(sc Scenario, cand Candidate) ([]LayerChoice, error) {
 	if math.IsInf(res.BestValue, 1) {
 		return nil, fmt.Errorf("explore: gamma mapper found no feasible mapping for %s on %s", w.Name, cand)
 	}
-	choices, _ := decode(res.Best)
-	return choices, nil
+	plans := make([]*intermittent.Plan, len(w.Layers))
+	for i := range w.Layers {
+		plans[i] = &resolve(res.Best, i).Plan
+	}
+	return plans, nil
 }

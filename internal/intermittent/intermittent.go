@@ -9,7 +9,9 @@
 package intermittent
 
 import (
+	"errors"
 	"fmt"
+	"sort"
 
 	"chrysalis/internal/dataflow"
 	"chrysalis/internal/dnn"
@@ -73,19 +75,35 @@ type Plan struct {
 	StaticEnergy units.Energy
 }
 
+// normalizeRexc applies the rexc conventions shared by every planner
+// entry point: negative selects the default, >= 1 is invalid.
+func normalizeRexc(rexc float64) (float64, error) {
+	if rexc < 0 {
+		return DefaultExceptionRate, nil
+	}
+	if rexc >= 1 {
+		return 0, fmt.Errorf("intermittent: exception rate %g must be below 1", rexc)
+	}
+	return rexc, nil
+}
+
 // PlanLayer evaluates a layer under a mapping and adds intermittent
 // checkpoint accounting. rexc < 0 selects DefaultExceptionRate.
 func PlanLayer(l dnn.Layer, elemBytes int, m dataflow.Mapping, hw dataflow.HW, rexc float64) (Plan, error) {
-	if rexc < 0 {
-		rexc = DefaultExceptionRate
-	}
-	if rexc >= 1 {
-		return Plan{}, fmt.Errorf("intermittent: exception rate %g must be below 1", rexc)
+	rexc, err := normalizeRexc(rexc)
+	if err != nil {
+		return Plan{}, err
 	}
 	c, err := dataflow.Evaluate(l, elemBytes, m, hw)
 	if err != nil {
 		return Plan{}, err
 	}
+	return planFromCost(l, c, hw, rexc), nil
+}
+
+// planFromCost adds the checkpoint accounting of Eq. 4–5 to an
+// already-evaluated dataflow cost. rexc must be normalized.
+func planFromCost(l dnn.Layer, c dataflow.Cost, hw dataflow.HW, rexc float64) Plan {
 	// The checkpoint captures the tile's volatile working set (paper
 	// Fig. 4 step ⑥: "all data in VM and the processing hardware").
 	ckptB := c.TileWorkingSet
@@ -97,7 +115,7 @@ func PlanLayer(l dnn.Layer, elemBytes int, m dataflow.Mapping, hw dataflow.HW, r
 	tileE := c.TileEnergy + tileStatic + units.Energy((1+rexc)*float64(perCkpt))
 	tileT := tileStaticT
 
-	p := Plan{
+	return Plan{
 		Layer:        l,
 		Cost:         c,
 		Rexc:         rexc,
@@ -109,7 +127,6 @@ func PlanLayer(l dnn.Layer, elemBytes int, m dataflow.Mapping, hw dataflow.HW, r
 		CkptEnergy:   units.Energy(n * (1 + rexc) * float64(perCkpt)),
 		StaticEnergy: units.Energy(n * float64(tileStatic)),
 	}
-	return p, nil
 }
 
 // BudgetFunc returns the energy one power cycle can deliver to a tile
@@ -130,28 +147,144 @@ func (p Plan) TilePower() units.Power {
 	return units.DivET(p.TileEnergy, p.TileTime)
 }
 
+// ErrNoFeasibleTile reports that no candidate tile count fits one
+// energy cycle — the Eq. 8 infeasibility condition. It is a shared
+// sentinel so hot search loops can classify the failure without
+// allocating a fresh error per probe.
+var ErrNoFeasibleTile = errors.New("cannot fit any tile within one energy cycle (Eq. 8 infeasible)")
+
+// errNilBudget is the shared nil-budget error.
+var errNilBudget = errors.New("intermittent: nil budget function")
+
+// noFeasibleTileError wraps ErrNoFeasibleTile with the layer name,
+// preserving the historical message text.
+func noFeasibleTileError(layer string) error {
+	return fmt.Errorf("intermittent: layer %s %w", layer, ErrNoFeasibleTile)
+}
+
 // MinFeasibleTiles implements Eq. 8–9: the smallest tile count (over the
 // candidate divisors of the partition dimension) whose per-tile energy
 // fits the cycle budget at the tile's own power draw. More tiles mean
 // smaller per-tile energy but more checkpoint overhead, so the smallest
 // feasible count is also the cheapest.
+//
+// Callers that probe the same (layer, dataflow, partition, hardware,
+// rexc) tuple under many different budgets should BuildLadder once and
+// scan it instead — the plans do not depend on the budget.
 func MinFeasibleTiles(l dnn.Layer, elemBytes int, df dataflow.Dataflow, part dataflow.Partition,
 	hw dataflow.HW, rexc float64, budget BudgetFunc) (Plan, error) {
 	if budget == nil {
-		return Plan{}, fmt.Errorf("intermittent: nil budget function")
+		return Plan{}, errNilBudget
+	}
+	rexc, err := normalizeRexc(rexc)
+	if err != nil {
+		return Plan{}, err
 	}
 	for _, n := range dataflow.CandidateNTiles(l, part) {
 		m := dataflow.Mapping{Dataflow: df, Partition: part, NTile: n}
-		p, err := PlanLayer(l, elemBytes, m, hw, rexc)
-		if err != nil {
+		c, ok := dataflow.TryEvaluate(l, elemBytes, m, hw)
+		if !ok {
 			continue // tile does not fit VM at this count
 		}
+		p := planFromCost(l, c, hw, rexc)
 		if avail := budget(p.TilePower()); avail > 0 && p.TileEnergy <= avail {
 			return p, nil
 		}
 	}
-	return Plan{}, fmt.Errorf("intermittent: layer %s cannot fit any tile within one energy cycle (Eq. 8 infeasible)",
-		l.Name)
+	return Plan{}, noFeasibleTileError(l.Name)
+}
+
+// LadderEntry is one rung of a Ladder: a VM-feasible tile count with
+// its fully-evaluated plan and memoized tile power draw.
+type LadderEntry struct {
+	// NTile is the requested tile count (equal to Plan.Cost.Mapping.NTile).
+	NTile int
+	// Power memoizes Plan.TilePower() for budget queries.
+	Power units.Power
+	// Plan is the complete intermittent plan at this tile count.
+	Plan Plan
+}
+
+// Ladder is the precomputed feasibility ladder for one (layer,
+// dataflow, partition, hardware, rexc) tuple: every VM-feasible
+// candidate tile count with its plan, in ascending NTile order.
+//
+// The key invariant making ladders cacheable is that plans are
+// budget-independent: Eq. 4–6 depend only on the layer, the mapping and
+// the inference-side hardware constants, never on the energy subsystem.
+// The cycle budget (panel area, capacitance, environment) only selects
+// WHICH rung is chosen, via MinFeasible — so one ladder serves every
+// energy-gene candidate the outer search proposes.
+type Ladder struct {
+	Layer     dnn.Layer
+	ElemBytes int
+	Dataflow  dataflow.Dataflow
+	Partition dataflow.Partition
+	Rexc      float64
+	Entries   []LadderEntry
+}
+
+// BuildLadder evaluates the full sorted sequence of VM-feasible
+// (NTile, Plan) entries for a layer once. rexc < 0 selects
+// DefaultExceptionRate; rexc >= 1 is rejected.
+func BuildLadder(l dnn.Layer, elemBytes int, df dataflow.Dataflow, part dataflow.Partition,
+	hw dataflow.HW, rexc float64) (Ladder, error) {
+	rexc, err := normalizeRexc(rexc)
+	if err != nil {
+		return Ladder{}, err
+	}
+	ld := Ladder{Layer: l, ElemBytes: elemBytes, Dataflow: df, Partition: part, Rexc: rexc}
+	for _, n := range dataflow.CandidateNTiles(l, part) {
+		m := dataflow.Mapping{Dataflow: df, Partition: part, NTile: n}
+		c, ok := dataflow.TryEvaluate(l, elemBytes, m, hw)
+		if !ok {
+			continue // tile does not fit VM at this count
+		}
+		p := planFromCost(l, c, hw, rexc)
+		ld.Entries = append(ld.Entries, LadderEntry{NTile: n, Power: p.TilePower(), Plan: p})
+	}
+	return ld, nil
+}
+
+// MinFeasibleIndex returns the index of the first (smallest-NTile) rung
+// whose tile energy fits the budget at its own power draw, scanning the
+// precomputed ladder without allocating. ok is false when no rung fits
+// (or the ladder is empty).
+func (ld *Ladder) MinFeasibleIndex(budget BudgetFunc) (int, bool) {
+	if budget == nil {
+		return 0, false
+	}
+	for i := range ld.Entries {
+		e := &ld.Entries[i]
+		if avail := budget(e.Power); avail > 0 && e.Plan.TileEnergy <= avail {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// MinFeasible is the ladder-scan equivalent of MinFeasibleTiles: it
+// returns the plan of the smallest feasible tile count under the given
+// budget, bit-identical to what the per-call scan would compute.
+func (ld *Ladder) MinFeasible(budget BudgetFunc) (Plan, error) {
+	if budget == nil {
+		return Plan{}, errNilBudget
+	}
+	if i, ok := ld.MinFeasibleIndex(budget); ok {
+		return ld.Entries[i].Plan, nil
+	}
+	return Plan{}, noFeasibleTileError(ld.Layer.Name)
+}
+
+// ByNTile returns the rung whose requested tile count is n, using
+// binary search over the ascending entries. ok is false when that count
+// was VM-infeasible (and therefore excluded from the ladder).
+func (ld *Ladder) ByNTile(n int) (*LadderEntry, bool) {
+	i := sort.Search(len(ld.Entries), func(i int) bool { return ld.Entries[i].NTile >= n })
+	if i < len(ld.Entries) && ld.Entries[i].NTile == n {
+		return &ld.Entries[i], true
+	}
+	return nil, false
 }
 
 // PlanWorkload plans every layer of a workload with a fixed dataflow,
@@ -185,12 +318,27 @@ type Totals struct {
 // Sum aggregates plans into workload totals.
 func Sum(plans []Plan) Totals {
 	var t Totals
-	for _, p := range plans {
-		t.Energy += p.Energy
-		t.Time += p.Time
-		t.CkptEnergy += p.CkptEnergy
-		t.StaticEnergy += p.StaticEnergy
-		t.Tiles += p.Cost.NTileEffective
+	for i := range plans {
+		t.add(&plans[i])
 	}
 	return t
+}
+
+// SumRefs aggregates plans referenced by pointer — the hot-path variant
+// for searches that keep pointers into shared plan ladders instead of
+// copying each Plan.
+func SumRefs(plans []*Plan) Totals {
+	var t Totals
+	for _, p := range plans {
+		t.add(p)
+	}
+	return t
+}
+
+func (t *Totals) add(p *Plan) {
+	t.Energy += p.Energy
+	t.Time += p.Time
+	t.CkptEnergy += p.CkptEnergy
+	t.StaticEnergy += p.StaticEnergy
+	t.Tiles += p.Cost.NTileEffective
 }

@@ -1,6 +1,8 @@
 package intermittent
 
 import (
+	"errors"
+	"reflect"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -215,5 +217,127 @@ func TestTileEnergyFitsBudgetProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestLadderMatchesPerCallScan is the differential check backing the
+// memoized evaluation engine: for every seed workload, dataflow,
+// partition and a spread of budgets, scanning a precomputed Ladder must
+// return exactly the plan (or exactly the error) the per-call
+// MinFeasibleTiles scan computes. Both paths share planFromCost and
+// iterate candidate tile counts in the same order, so the results are
+// bit-identical, not just approximately equal.
+func TestLadderMatchesPerCallScan(t *testing.T) {
+	hw := hwMSP()
+	budgets := []units.Energy{1e-9, 2e-5, 3e-4, 3e-3, 1}
+	workloads := append(dnn.ExistingAuT(), dnn.FutureAuT()...)
+	for _, w := range workloads {
+		for _, df := range dataflow.Dataflows() {
+			for _, part := range []dataflow.Partition{dataflow.ByChannel, dataflow.BySpatial} {
+				for _, l := range w.Layers {
+					ld, err := BuildLadder(l, w.ElemBytes, df, part, hw, 0.05)
+					if err != nil {
+						t.Fatalf("%s/%s/%s/%v: BuildLadder: %v", w.Name, l.Name, df, part, err)
+					}
+					for _, b := range budgets {
+						want, wantErr := MinFeasibleTiles(l, w.ElemBytes, df, part, hw, 0.05, FixedBudget(b))
+						got, gotErr := ld.MinFeasible(FixedBudget(b))
+						if (wantErr == nil) != (gotErr == nil) {
+							t.Fatalf("%s/%s/%s/%v budget %v: scan err %v, ladder err %v",
+								w.Name, l.Name, df, part, b, wantErr, gotErr)
+						}
+						if wantErr != nil {
+							if wantErr.Error() != gotErr.Error() {
+								t.Fatalf("%s/%s: error text diverged: %q vs %q", w.Name, l.Name, wantErr, gotErr)
+							}
+							continue
+						}
+						if !reflect.DeepEqual(want, got) {
+							t.Fatalf("%s/%s/%s/%v budget %v: ladder plan diverged from per-call scan:\n%+v\nvs\n%+v",
+								w.Name, l.Name, df, part, b, got, want)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestLadderEntriesAscendingAndBudgetFree checks the two Ladder
+// invariants the fingerprint cache relies on: entries are sorted by
+// ascending NTile, and rung plans are budget-independent (identical to
+// a direct PlanLayer evaluation of the same mapping).
+func TestLadderEntriesAscendingAndBudgetFree(t *testing.T) {
+	l := convLayer(t)
+	ld, err := BuildLadder(l, 2, dataflow.OS, dataflow.ByChannel, hwMSP(), 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ld.Entries) == 0 {
+		t.Fatal("expected at least one VM-feasible rung")
+	}
+	for i, e := range ld.Entries {
+		if i > 0 && e.NTile <= ld.Entries[i-1].NTile {
+			t.Fatalf("entries not ascending at %d: %d after %d", i, e.NTile, ld.Entries[i-1].NTile)
+		}
+		m := dataflow.Mapping{Dataflow: dataflow.OS, Partition: dataflow.ByChannel, NTile: e.NTile}
+		p, err := PlanLayer(l, 2, m, hwMSP(), 0.05)
+		if err != nil {
+			t.Fatalf("NTile=%d: %v", e.NTile, err)
+		}
+		if !reflect.DeepEqual(e.Plan, p) {
+			t.Fatalf("NTile=%d: ladder rung differs from direct PlanLayer", e.NTile)
+		}
+		if e.Power != p.TilePower() {
+			t.Fatalf("NTile=%d: memoized power %v != %v", e.NTile, e.Power, p.TilePower())
+		}
+	}
+}
+
+// TestLadderNilBudget checks the nil-budget error paths of the ladder
+// scan match the per-call scan's.
+func TestLadderNilBudget(t *testing.T) {
+	l := convLayer(t)
+	ld, err := BuildLadder(l, 2, dataflow.OS, dataflow.ByChannel, hwMSP(), 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ld.MinFeasible(nil); !errors.Is(err, errNilBudget) {
+		t.Fatalf("ladder nil budget: %v", err)
+	}
+	if _, ok := ld.MinFeasibleIndex(nil); ok {
+		t.Fatal("MinFeasibleIndex(nil) must report no rung")
+	}
+	if _, err := MinFeasibleTiles(l, 2, dataflow.OS, dataflow.ByChannel, hwMSP(), 0.05, nil); !errors.Is(err, errNilBudget) {
+		t.Fatalf("per-call nil budget: %v", err)
+	}
+}
+
+// TestPlanWorkloadPartitionFallback builds a layer whose channel
+// partition cannot fit VM at any candidate tile count (one output
+// channel, large spatial plane) and checks PlanWorkload falls back to
+// the spatial partition instead of failing.
+func TestPlanWorkloadPartitionFallback(t *testing.T) {
+	l, err := dnn.NewConv2D("wide", 8, 64, 64, 1, 3, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := dnn.Workload{Name: "fallback", Input: [3]int{8, 64, 64}, Layers: []dnn.Layer{l}, ElemBytes: 2}
+	hw := hwMSP()
+
+	// Precondition: ByChannel really is infeasible for this layer.
+	if _, err := MinFeasibleTiles(l, 2, dataflow.OS, dataflow.ByChannel, hw, 0.05, FixedBudget(3e-3)); !errors.Is(err, ErrNoFeasibleTile) {
+		t.Fatalf("precondition: ByChannel should be Eq. 8 infeasible, got %v", err)
+	}
+
+	plans, err := PlanWorkload(w, dataflow.OS, hw, 0.05, FixedBudget(3e-3))
+	if err != nil {
+		t.Fatalf("PlanWorkload should fall back to BySpatial: %v", err)
+	}
+	if got := plans[0].Cost.Mapping.Partition; got != dataflow.BySpatial {
+		t.Fatalf("partition = %v, want BySpatial fallback", got)
+	}
+	if plans[0].Cost.NTileEffective <= 1 {
+		t.Fatal("spatial fallback should need multiple tiles")
 	}
 }

@@ -246,5 +246,6 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 // handleMetrics renders the Prometheus-style metrics page.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.mgr.met.render(w, s.mgr.cache.len(), s.mgr.jobCount())
+	evalHits, evalMisses := explore.EvalCacheCounters()
+	s.mgr.met.render(w, s.mgr.cache.len(), s.mgr.jobCount(), evalHits, evalMisses)
 }

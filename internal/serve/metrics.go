@@ -59,10 +59,11 @@ func (m *metrics) quantiles() (p50, p95 float64, count int64) {
 	return at(0.50), at(0.95), m.latCount
 }
 
-// render writes the exposition-format metrics page. cacheLen and
-// jobRecords are sampled by the caller so metrics stays decoupled from
-// the job manager.
-func (m *metrics) render(w io.Writer, cacheLen, jobRecords int) {
+// render writes the exposition-format metrics page. cacheLen,
+// jobRecords and the evaluator-cache counters are sampled by the
+// caller so metrics stays decoupled from the job manager and the
+// explore package.
+func (m *metrics) render(w io.Writer, cacheLen, jobRecords int, evalHits, evalMisses int64) {
 	counter := func(name, help string, v int64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
@@ -76,6 +77,8 @@ func (m *metrics) render(w io.Writer, cacheLen, jobRecords int) {
 	counter("chrysalisd_jobs_cancelled_total", "Design jobs cancelled by clients or shutdown.", m.jobsCancelled.Load())
 	counter("chrysalisd_cache_hits_total", "Design requests served from the result cache or coalesced onto an in-flight job.", m.cacheHits.Load())
 	counter("chrysalisd_cache_misses_total", "Design requests that started a new search.", m.cacheMisses.Load())
+	counter("chrysalisd_evaluator_cache_hits_total", "Plan-ladder fingerprint cache hits inside the evaluation engine.", evalHits)
+	counter("chrysalisd_evaluator_cache_misses_total", "Plan-ladder fingerprint cache misses (ladder builds) inside the evaluation engine.", evalMisses)
 	gauge("chrysalisd_cache_entries", "Designs currently held by the result cache.", int64(cacheLen))
 	gauge("chrysalisd_job_records", "Job records currently retained.", int64(jobRecords))
 

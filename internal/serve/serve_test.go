@@ -235,6 +235,41 @@ func TestDesignJobEndToEnd(t *testing.T) {
 	}
 }
 
+// TestEvaluatorCacheMetrics checks that the plan-ladder fingerprint
+// cache counters from the evaluation engine surface on /metrics. The
+// counters are process-wide, so the test asserts deltas around one
+// search rather than absolute values.
+func TestEvaluatorCacheMetrics(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1})
+
+	hits0 := metricValue(t, ts.URL, "chrysalisd_evaluator_cache_hits_total")
+	misses0 := metricValue(t, ts.URL, "chrysalisd_evaluator_cache_misses_total")
+
+	resp, body := postJSON(t, ts.URL+"/v1/designs", smallJob())
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d body %s", resp.StatusCode, body)
+	}
+	var st JobStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if final := pollJob(t, ts.URL, st.ID); final.State != JobDone {
+		t.Fatalf("job state %s (error %q)", final.State, final.Error)
+	}
+
+	misses := metricValue(t, ts.URL, "chrysalisd_evaluator_cache_misses_total")
+	if misses <= misses0 {
+		t.Errorf("evaluator cache misses did not grow: %g -> %g", misses0, misses)
+	}
+	// On the MSP platform the hardware fingerprint is constant across
+	// the outer search, so every evaluation after the first ladder
+	// build is a hit.
+	hits := metricValue(t, ts.URL, "chrysalisd_evaluator_cache_hits_total")
+	if hits <= hits0 {
+		t.Errorf("evaluator cache hits did not grow: %g -> %g", hits0, hits)
+	}
+}
+
 // readSSE collects event names (and counts per name) from an SSE body.
 func readSSE(t *testing.T, url string) map[string]int {
 	t.Helper()
@@ -315,7 +350,10 @@ func TestSSEProgressAndSimEvents(t *testing.T) {
 
 func TestJobTimeout(t *testing.T) {
 	_, ts := newTestServer(t, Options{Workers: 1, JobTimeout: time.Millisecond})
-	req := DesignRequest{Workload: "har", Budget: 3000, Seed: 3}
+	// A heavyweight search (accelerator platform, deep workload, large
+	// budget) that cannot finish inside the 1 ms deadline even with the
+	// memoized evaluation engine.
+	req := DesignRequest{Workload: "resnet18", Platform: "accel", Budget: 100000, Seed: 3}
 	resp, body := postJSON(t, ts.URL+"/v1/designs", req)
 	if resp.StatusCode != http.StatusAccepted {
 		t.Fatalf("submit: %d %s", resp.StatusCode, body)

@@ -491,7 +491,13 @@ func nvmFraction(p intermittent.Plan, hw dataflow.HW) float64 {
 // It reports Completed=false when the net charging power is
 // non-positive — Figure 2(b)'s unavailability condition.
 func Analytic(es *energy.Subsystem, plans []intermittent.Plan) Result {
-	tot := intermittent.Sum(plans)
+	return AnalyticTotals(es, intermittent.Sum(plans))
+}
+
+// AnalyticTotals is the core of Analytic over pre-aggregated plan
+// totals. Search loops that evaluate one plan set under several
+// environments aggregate once and call this per environment.
+func AnalyticTotals(es *energy.Subsystem, tot intermittent.Totals) Result {
 	spec := es.Spec()
 
 	pNet := float64(es.HarvestPower(0)) -
