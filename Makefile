@@ -2,12 +2,12 @@
 
 GO ?= go
 
-.PHONY: all ci build vet test race race-cache bench bench-json bench-smoke experiments examples fuzz cover clean serve-smoke
+.PHONY: all ci build vet test race race-cache bench bench-json bench-smoke experiments examples fuzz cover clean serve-smoke trace-smoke
 
 all: build vet test
 
 # Everything the CI workflow runs.
-ci: build vet test race bench-smoke
+ci: build vet test race bench-smoke trace-smoke
 
 build:
 	$(GO) build ./...
@@ -37,7 +37,7 @@ bench-smoke:
 # Benchmark trajectory record: run the evaluation-engine
 # micro-benchmarks at a fixed iteration count and serialize the
 # results to a committed JSON file for cross-PR comparison.
-BENCH_JSON ?= BENCH_PR2.json
+BENCH_JSON ?= BENCH_PR3.json
 BENCH_MICRO = CostModel|PlanWorkload|AnalyticEvaluate|StepSimulator|GASearch|AccelSearch|NSGAFront
 
 bench-json:
@@ -62,6 +62,13 @@ fuzz:
 # to completion, assert the resubmission is a cache hit.
 serve-smoke:
 	$(GO) test ./internal/serve/ -run TestServeSmoke -v
+
+# End-to-end observability check: run a traced design search with a
+# simulator verification replay, then validate the exported Chrome
+# trace-event JSON (phases, ordering, durations).
+trace-smoke:
+	$(GO) run ./cmd/chrysalis -workload har -budget 100 -verify -trace-out /tmp/chrysalis-trace.json >/dev/null
+	$(GO) run ./cmd/tracecheck -min-events 10 /tmp/chrysalis-trace.json
 
 cover:
 	$(GO) test -cover ./...

@@ -8,14 +8,17 @@
 //	chrysalis -workload har -platform msp430 -objective 'lat*sp'
 //	chrysalis -workload resnet18 -platform accel -objective lat -max-panel 20
 //	chrysalis -workload kws -baseline wo/EA -budget 800 -json
+//	chrysalis -workload har -verify -trace-out trace.json   # open in ui.perfetto.dev
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"strings"
+	"time"
 
 	"chrysalis"
 )
@@ -40,8 +43,14 @@ func main() {
 		sensitivity  = flag.Bool("sensitivity", false, "print a one-at-a-time sensitivity analysis of the winning design")
 		dumpWorkload = flag.String("dump-workload", "", "print a catalog workload as JSON and exit")
 		asJSON       = flag.Bool("json", false, "emit the result as JSON")
+		traceOut     = flag.String("trace-out", "", "write a Chrome trace-event / Perfetto JSON of the run to FILE")
+		logLevel     = flag.String("log-level", "warn", "log verbosity: debug, info, warn or error")
 	)
 	flag.Parse()
+
+	if err := setupLogging(*logLevel); err != nil {
+		fatal(err)
+	}
 
 	if *listPresets {
 		for _, p := range chrysalis.Presets() {
@@ -79,6 +88,13 @@ func main() {
 		spec.WorkloadName = ""
 		spec.Workload = &w
 	}
+	var tr *chrysalis.Trace
+	if *traceOut != "" {
+		tr = chrysalis.NewTrace(0)
+		spec.Search.Trace = tr
+	}
+
+	start := time.Now()
 	var res chrysalis.Result
 	if *preset != "" {
 		res, err = chrysalis.DesignPreset(*preset, *workload, spec.Search)
@@ -88,6 +104,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	slog.Info("design search finished", "evals", res.Evals, "elapsed", time.Since(start))
 
 	if *report {
 		doc, err := chrysalis.ReportWithVerification(spec, res)
@@ -132,7 +149,12 @@ func main() {
 	}
 
 	if *verify {
-		run, err := chrysalis.Verify(spec, res)
+		// When tracing, route the replay's events through the sim trace
+		// adapter so power cycles, tiles and checkpoints land in the
+		// export alongside the search spans.
+		adapter := chrysalis.NewSimTraceAdapter(tr)
+		run, err := chrysalis.VerifyTraced(spec, res, adapter.Trace)
+		adapter.Close()
 		if err != nil {
 			fatal(err)
 		}
@@ -143,6 +165,45 @@ func main() {
 		fmt.Printf("  checkpoints:   %d (+%d resumes, %d retries)\n", run.Checkpoints, run.Resumes, run.TileRetries)
 		fmt.Printf("  system eff.:   %.1f%%\n", run.SystemEfficiency*100)
 	}
+
+	if *traceOut != "" {
+		if err := writeTrace(*traceOut, tr); err != nil {
+			fatal(err)
+		}
+		slog.Info("trace written", "path", *traceOut)
+	}
+}
+
+// setupLogging installs a stderr slog handler at the requested level.
+func setupLogging(level string) error {
+	var lv slog.Level
+	switch level {
+	case "debug":
+		lv = slog.LevelDebug
+	case "info":
+		lv = slog.LevelInfo
+	case "warn":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return fmt.Errorf("unknown log level %q (want debug, info, warn or error)", level)
+	}
+	slog.SetDefault(slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lv})))
+	return nil
+}
+
+// writeTrace exports the recorded spans as Perfetto-loadable JSON.
+func writeTrace(path string, tr *chrysalis.Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func buildSpec(workload, platform, objective string, maxPanel, maxLatency float64, budget int, seed int64, algorithm string) (chrysalis.Spec, error) {

@@ -1,7 +1,8 @@
 // Command chrysalisd serves the CHRYSALIS design pipeline over
 // HTTP/JSON: asynchronous design-search jobs with live SSE telemetry,
-// synchronous step-simulation, a content-addressed result cache and
-// Prometheus-style metrics.
+// synchronous step-simulation, a content-addressed result cache,
+// Prometheus-style metrics, per-job Perfetto traces and pprof
+// profiling endpoints.
 //
 // Quickstart:
 //
@@ -10,7 +11,10 @@
 //	     -d '{"workload":"har","budget":200}'          # => {"id":"j-000001",...}
 //	curl -N localhost:8080/v1/designs/j-000001/events  # live GA progress
 //	curl -s localhost:8080/v1/designs/j-000001         # status / result
+//	curl -s localhost:8080/v1/designs/j-000001/trace \
+//	     -o trace.json                                 # open in ui.perfetto.dev
 //	curl -s localhost:8080/metrics | grep chrysalisd_
+//	go tool pprof localhost:8080/debug/pprof/profile
 //
 // SIGINT/SIGTERM triggers a graceful shutdown that drains in-flight
 // jobs (bounded by -drain-timeout).
@@ -21,7 +25,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -31,6 +35,22 @@ import (
 	"chrysalis/internal/serve"
 )
 
+// parseLogLevel maps the -log-level flag onto a slog level.
+func parseLogLevel(s string) (slog.Level, error) {
+	switch s {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info":
+		return slog.LevelInfo, nil
+	case "warn":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	default:
+		return 0, fmt.Errorf("unknown log level %q (want debug, info, warn or error)", s)
+	}
+}
+
 func main() {
 	var (
 		addr         = flag.String("addr", ":8080", "listen address")
@@ -39,20 +59,28 @@ func main() {
 		cacheSize    = flag.Int("cache", 128, "result-cache capacity in designs")
 		jobTimeout   = flag.Duration("job-timeout", 0, "per-job search deadline (0 = none)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain bound")
+		traceEvents  = flag.Int("trace-events", 0, "per-job span ring-buffer capacity (0 = default)")
+		logLevel     = flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
 	)
 	flag.Parse()
 	if *workers < 0 || *queueDepth < 0 || *cacheSize < 0 {
 		fmt.Fprintln(os.Stderr, "chrysalisd: -workers, -queue and -cache must be non-negative")
 		os.Exit(1)
 	}
+	level, err := parseLogLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "chrysalisd: %v\n", err)
+		os.Exit(1)
+	}
 
-	logger := log.New(os.Stderr, "chrysalisd: ", log.LstdFlags)
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 	srv := serve.New(serve.Options{
-		Workers:    *workers,
-		QueueDepth: *queueDepth,
-		CacheSize:  *cacheSize,
-		JobTimeout: *jobTimeout,
-		Logf:       logger.Printf,
+		Workers:     *workers,
+		QueueDepth:  *queueDepth,
+		CacheSize:   *cacheSize,
+		JobTimeout:  *jobTimeout,
+		TraceEvents: *traceEvents,
+		Logger:      logger,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
@@ -61,23 +89,24 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
-	logger.Printf("listening on %s (workers=%d cache=%d queue=%d)",
-		*addr, *workers, *cacheSize, *queueDepth)
+	logger.Info("listening", "addr", *addr, "workers", *workers,
+		"cache", *cacheSize, "queue", *queueDepth)
 
 	select {
 	case err := <-errCh:
-		logger.Fatalf("listen: %v", err)
+		logger.Error("listen failed", "error", err)
+		os.Exit(1)
 	case <-ctx.Done():
 	}
 
-	logger.Printf("shutting down: draining jobs (up to %v)", *drainTimeout)
+	logger.Info("shutting down: draining jobs", "drain_timeout", *drainTimeout)
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := httpSrv.Shutdown(drainCtx); err != nil {
-		logger.Printf("http shutdown: %v", err)
+		logger.Warn("http shutdown", "error", err)
 	}
 	if err := srv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.Canceled) {
-		logger.Printf("job drain: %v", err)
+		logger.Warn("job drain", "error", err)
 	}
-	logger.Printf("bye")
+	logger.Info("bye")
 }

@@ -1,0 +1,87 @@
+// Command tracecheck validates a Chrome trace-event / Perfetto JSON
+// file, as produced by `chrysalis -trace-out` or chrysalisd's
+// /v1/designs/{id}/trace endpoint. It is the assertion half of `make
+// trace-smoke`: exit 0 when the file is structurally sound, exit 1
+// with a diagnostic otherwise.
+//
+// Checks: the envelope parses, traceEvents is non-empty, every event
+// has a known phase (X, i, C or M), timestamps are non-negative and
+// sorted, and complete (X) events carry non-negative durations.
+//
+// Usage:
+//
+//	tracecheck trace.json
+//	tracecheck -min-events 10 trace.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+type traceEvent struct {
+	Name string   `json:"name"`
+	Ph   string   `json:"ph"`
+	TS   *float64 `json:"ts"`
+	Dur  *float64 `json:"dur"`
+}
+
+type traceFile struct {
+	TraceEvents []traceEvent `json:"traceEvents"`
+}
+
+func check(path string, minEvents int) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var tf traceFile
+	if err := json.Unmarshal(data, &tf); err != nil {
+		return fmt.Errorf("%s: not valid trace JSON: %w", path, err)
+	}
+	if len(tf.TraceEvents) < minEvents {
+		return fmt.Errorf("%s: %d trace events, want at least %d", path, len(tf.TraceEvents), minEvents)
+	}
+	lastTS := -1.0
+	counts := map[string]int{}
+	for i, ev := range tf.TraceEvents {
+		counts[ev.Ph]++
+		switch ev.Ph {
+		case "M":
+			continue // metadata events carry no timestamp
+		case "X", "i", "C":
+		default:
+			return fmt.Errorf("%s: event %d (%s) has unknown phase %q", path, i, ev.Name, ev.Ph)
+		}
+		if ev.TS == nil || *ev.TS < 0 {
+			return fmt.Errorf("%s: event %d (%s) has missing or negative ts", path, i, ev.Name)
+		}
+		if *ev.TS < lastTS {
+			return fmt.Errorf("%s: event %d (%s) out of order: ts %g after %g", path, i, ev.Name, *ev.TS, lastTS)
+		}
+		lastTS = *ev.TS
+		if ev.Ph == "X" && (ev.Dur == nil || *ev.Dur < 0) {
+			return fmt.Errorf("%s: X event %d (%s) has missing or negative dur", path, i, ev.Name)
+		}
+	}
+	fmt.Printf("%s: ok (%d events: %d slices, %d instants, %d counters, %d metadata)\n",
+		path, len(tf.TraceEvents), counts["X"], counts["i"], counts["C"], counts["M"])
+	return nil
+}
+
+func main() {
+	minEvents := flag.Int("min-events", 1, "minimum number of trace events required")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "tracecheck: usage: tracecheck [-min-events N] FILE...")
+		os.Exit(2)
+	}
+	for _, path := range flag.Args() {
+		if err := check(path, *minEvents); err != nil {
+			fmt.Fprintln(os.Stderr, "tracecheck:", err)
+			os.Exit(1)
+		}
+	}
+}

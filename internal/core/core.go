@@ -16,6 +16,7 @@ import (
 	"chrysalis/internal/energy"
 	"chrysalis/internal/explore"
 	"chrysalis/internal/intermittent"
+	"chrysalis/internal/obs"
 	"chrysalis/internal/search"
 	"chrysalis/internal/sim"
 	"chrysalis/internal/solar"
@@ -71,6 +72,13 @@ type SearchConfig struct {
 	// ends the search early with the best design found so far. Serving
 	// layers use it to honor context cancellation and deadlines.
 	Stop func() bool `json:"-"`
+	// Trace, when non-nil, records spans for the whole pipeline — the
+	// outer GA's per-generation spans, the explorer's score/evaluate and
+	// ladder-build spans — for Chrome trace-event / Perfetto export. Like
+	// Progress it is observational only: not part of a design's identity,
+	// ignored by serialization and caching layers. Nil (the default)
+	// disables tracing at zero cost.
+	Trace *obs.Trace `json:"-"`
 }
 
 func (s SearchConfig) withDefaults() SearchConfig {
@@ -168,6 +176,7 @@ func RunBaseline(spec Spec, b explore.Baseline) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	sc.Trace = spec.Search.Trace
 	cfg, err := gaConfig(spec.Search)
 	if err != nil {
 		return Result{}, err
@@ -195,6 +204,7 @@ func gaConfig(s SearchConfig) (search.GAConfig, error) {
 		sizeGA(&cfg, s.Budget)
 		cfg.Progress = s.Progress
 		cfg.Stop = s.Stop
+		cfg.Trace = s.Trace
 		return cfg, nil
 	default:
 		return search.GAConfig{}, fmt.Errorf("core: unknown search algorithm %q (want ga or random)", s.Algorithm)
@@ -203,6 +213,7 @@ func gaConfig(s SearchConfig) (search.GAConfig, error) {
 	sizeGA(&cfg, s.Budget)
 	cfg.Progress = s.Progress
 	cfg.Stop = s.Stop
+	cfg.Trace = s.Trace
 	return cfg, nil
 }
 

@@ -8,6 +8,7 @@ import (
 	"chrysalis/internal/dataflow"
 	"chrysalis/internal/energy"
 	"chrysalis/internal/intermittent"
+	"chrysalis/internal/obs"
 	"chrysalis/internal/solar"
 	"chrysalis/internal/units"
 )
@@ -90,7 +91,7 @@ func buildLadderSet(sc Scenario, cand Candidate) (*ladderSet, error) {
 		row := make([]intermittent.Ladder, 2*len(ls.ctxs))
 		for ci, ctx := range ls.ctxs {
 			for _, part := range []dataflow.Partition{dataflow.ByChannel, dataflow.BySpatial} {
-				ld, err := intermittent.BuildLadder(l, sc.Workload.ElemBytes, ctx.df, part, ctx.hw, sc.Rexc)
+				ld, err := intermittent.BuildLadderTraced(sc.Trace, l, sc.Workload.ElemBytes, ctx.df, part, ctx.hw, sc.Rexc)
 				if err != nil {
 					return nil, err
 				}
@@ -161,7 +162,16 @@ func (pc *planCache) get(sc Scenario, cand Candidate) (*ladderSet, error) {
 		pc.last.Store(&lastLookup{fp: fp, ls: ls})
 		return ls, nil
 	}
+	var sp *obs.Span
+	if sc.Trace != nil {
+		sp = sc.Trace.Start("explore", "ladder-build",
+			obs.A("platform", sc.Platform.String()), obs.A("arch", fp.arch.String()),
+			obs.A("npe", fp.npe), obs.A("layers", fp.layers))
+	}
 	built, err := buildLadderSet(sc, cand)
+	if sp != nil {
+		sp.End(obs.A("err", err != nil))
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -22,6 +22,7 @@ import (
 	"chrysalis/internal/energy"
 	"chrysalis/internal/intermittent"
 	"chrysalis/internal/msp430"
+	"chrysalis/internal/obs"
 	"chrysalis/internal/search"
 	"chrysalis/internal/sim"
 	"chrysalis/internal/solar"
@@ -178,6 +179,11 @@ type Scenario struct {
 	// analytical planner by default, or the CHRYSALIS-GAMMA genetic
 	// mapper).
 	Mapper Mapper
+	// Trace, when non-nil, records evaluation spans (score vs. full
+	// evaluate, ladder builds, per-span cache hit/miss attributes) for
+	// Perfetto export. Nil disables tracing at zero cost; it never
+	// affects results or cache identity.
+	Trace *obs.Trace
 }
 
 func (s Scenario) withDefaults() Scenario {
@@ -510,8 +516,25 @@ type quickScore struct {
 // materializing a full Evaluation. It runs the same inner search and
 // the same analytic model as Evaluate, so the numbers are bit-identical
 // to the ones Evaluate reports; only the discarded per-candidate
-// bookkeeping (layer choices, per-env reports) is skipped.
+// bookkeeping (layer choices, per-env reports) is skipped. When the
+// scenario carries a tracer, each score records a span annotated with
+// feasibility and the plan-cache hits/misses it incurred; with tracing
+// off the fast path is untouched.
 func (e *Evaluator) score(cand Candidate) (quickScore, error) {
+	if tr := e.sc.Trace; tr != nil {
+		h0, m0 := e.CacheStats()
+		sp := tr.Start("explore", "score")
+		s, err := e.scoreInner(cand)
+		h1, m1 := e.CacheStats()
+		sp.End(obs.A("feasible", s.feasible), obs.A("cache_hits", h1-h0),
+			obs.A("cache_misses", m1-m0), obs.A("err", err != nil))
+		return s, err
+	}
+	return e.scoreInner(cand)
+}
+
+// scoreInner is the uninstrumented scoring path.
+func (e *Evaluator) scoreInner(cand Candidate) (quickScore, error) {
 	if err := e.checkCandidate(cand); err != nil {
 		return quickScore{}, err
 	}
@@ -564,8 +587,21 @@ func (e *Evaluator) checkCandidate(cand Candidate) error {
 // Evaluate runs the inner mapping search and the analytic evaluator
 // under every environment for one candidate, reusing cached plan
 // ladders and building each environment's energy subsystem exactly
-// once.
+// once. With a scenario tracer attached it records a "full-evaluate"
+// span, distinguishing the rare materializing evaluations from the
+// lean score path in a trace.
 func (e *Evaluator) Evaluate(cand Candidate) (Evaluation, error) {
+	if tr := e.sc.Trace; tr != nil {
+		sp := tr.Start("explore", "full-evaluate")
+		ev, err := e.evaluateInner(cand)
+		sp.End(obs.A("feasible", ev.Feasible), obs.A("err", err != nil))
+		return ev, err
+	}
+	return e.evaluateInner(cand)
+}
+
+// evaluateInner is the uninstrumented evaluation path.
+func (e *Evaluator) evaluateInner(cand Candidate) (Evaluation, error) {
 	sc := e.sc
 	if err := e.checkCandidate(cand); err != nil {
 		return Evaluation{}, err
@@ -768,6 +804,17 @@ func Explore(sc Scenario, b Baseline, cfg search.GAConfig) (Outcome, error) {
 	}
 	sc = e.Scenario()
 	g := spec(sc, b)
+
+	var runSpan *obs.Span
+	if sc.Trace != nil {
+		runSpan = sc.Trace.Start("explore", "explore "+b.String(),
+			obs.A("workload", sc.Workload.Name), obs.A("platform", sc.Platform.String()),
+			obs.A("objective", sc.Objective.String()))
+		defer func() {
+			hits, misses := e.CacheStats()
+			runSpan.End(obs.A("cache_hits", hits), obs.A("cache_misses", misses))
+		}()
+	}
 
 	var (
 		mu         sync.Mutex

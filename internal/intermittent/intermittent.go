@@ -15,6 +15,7 @@ import (
 
 	"chrysalis/internal/dataflow"
 	"chrysalis/internal/dnn"
+	"chrysalis/internal/obs"
 	"chrysalis/internal/units"
 )
 
@@ -244,6 +245,24 @@ func BuildLadder(l dnn.Layer, elemBytes int, df dataflow.Dataflow, part dataflow
 		ld.Entries = append(ld.Entries, LadderEntry{NTile: n, Power: p.TilePower(), Plan: p})
 	}
 	return ld, nil
+}
+
+// BuildLadderTraced is BuildLadder wrapped in an obs span carrying the
+// tuple identity (layer, dataflow, partition) and the resulting rung
+// count — the Explorer records one such span per ladder a plan-cache
+// miss constructs, so a Perfetto view of a search shows exactly where
+// ladder-building time went. A nil tracer falls through to BuildLadder
+// with no overhead.
+func BuildLadderTraced(tr *obs.Trace, l dnn.Layer, elemBytes int, df dataflow.Dataflow,
+	part dataflow.Partition, hw dataflow.HW, rexc float64) (Ladder, error) {
+	if tr == nil {
+		return BuildLadder(l, elemBytes, df, part, hw, rexc)
+	}
+	sp := tr.Start("explore", "build-ladder",
+		obs.A("layer", l.Name), obs.A("dataflow", df.String()), obs.A("partition", part.String()))
+	ld, err := BuildLadder(l, elemBytes, df, part, hw, rexc)
+	sp.End(obs.A("rungs", len(ld.Entries)), obs.A("err", err != nil))
+	return ld, err
 }
 
 // MinFeasibleIndex returns the index of the first (smallest-NTile) rung

@@ -1,0 +1,270 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// DefaultTraceEvents bounds a tracer's ring buffer when the caller
+// passes no capacity.
+const DefaultTraceEvents = 16384
+
+// Attr is one key/value annotation on a span or instant event. Values
+// must be JSON-serializable.
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// A constructs an Attr.
+func A(key string, value any) Attr { return Attr{Key: key, Value: value} }
+
+// event is one recorded trace event in Chrome trace-event terms: a
+// complete slice (ph X), an instant (ph i) or a counter sample (ph C).
+type event struct {
+	name  string
+	ph    byte
+	track string
+	ts    float64 // microseconds
+	dur   float64 // microseconds, X only
+	attrs []Attr
+}
+
+// Trace records spans and instants into a bounded ring buffer and
+// exports them as Chrome trace-event JSON that loads directly in
+// Perfetto (ui.perfetto.dev) or chrome://tracing.
+//
+// Two timelines coexist: Start/End/Instant stamp events with wall-clock
+// time since the tracer was created (for live pipelines — searches,
+// jobs), while SliceAt/InstantAt take explicit timestamps in seconds
+// (for simulated timelines — the step simulator's power-cycle trace).
+// Each distinct track renders as its own named Perfetto thread.
+//
+// All methods are safe for concurrent use and nil-safe: a nil *Trace
+// records nothing and returns nil spans, so instrumented code can
+// thread an optional tracer without guards.
+type Trace struct {
+	anchor time.Time
+
+	mu      sync.Mutex
+	ring    []event
+	n       int // total events recorded; write position is n % cap(ring)
+	dropped int64
+}
+
+// NewTrace returns a tracer whose ring buffer holds up to capacity
+// events (<= 0 selects DefaultTraceEvents). Once full, new events
+// overwrite the oldest and the dropped count grows.
+func NewTrace(capacity int) *Trace {
+	if capacity <= 0 {
+		capacity = DefaultTraceEvents
+	}
+	return &Trace{anchor: time.Now(), ring: make([]event, 0, capacity)}
+}
+
+// now returns microseconds since the tracer's creation.
+func (t *Trace) now() float64 { return float64(time.Since(t.anchor)) / float64(time.Microsecond) }
+
+// record appends one event to the ring.
+func (t *Trace) record(ev event) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, ev)
+	} else {
+		t.ring[t.n%cap(t.ring)] = ev
+		t.dropped++
+	}
+	t.n++
+}
+
+// Len returns the number of buffered events.
+func (t *Trace) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.ring)
+}
+
+// Dropped returns how many events were overwritten after the ring
+// filled.
+func (t *Trace) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Span is one in-flight wall-clock slice. End it exactly once; a nil
+// span (from a nil tracer) ends harmlessly.
+type Span struct {
+	t     *Trace
+	track string
+	name  string
+	start float64
+	attrs []Attr
+}
+
+// Start opens a wall-clock span on the given track. The span is
+// recorded when End is called.
+func (t *Trace) Start(track, name string, attrs ...Attr) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{t: t, track: track, name: name, start: t.now(), attrs: attrs}
+}
+
+// SetAttr annotates the span before it ends.
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+}
+
+// End closes the span, recording it with any extra attributes appended.
+func (s *Span) End(attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	end := s.t.now()
+	s.t.record(event{name: s.name, ph: 'X', track: s.track,
+		ts: s.start, dur: end - s.start, attrs: append(s.attrs, attrs...)})
+}
+
+// Instant records a wall-clock point event on the given track.
+func (t *Trace) Instant(track, name string, attrs ...Attr) {
+	if t == nil {
+		return
+	}
+	t.record(event{name: name, ph: 'i', track: track, ts: t.now(), attrs: attrs})
+}
+
+// SliceAt records a complete slice on an explicit timeline: start and
+// end are in seconds (e.g. simulated time). Inverted slices are
+// clamped to zero duration.
+func (t *Trace) SliceAt(track, name string, start, end float64, attrs ...Attr) {
+	if t == nil {
+		return
+	}
+	dur := (end - start) * 1e6
+	if dur < 0 {
+		dur = 0
+	}
+	t.record(event{name: name, ph: 'X', track: track, ts: start * 1e6, dur: dur, attrs: attrs})
+}
+
+// InstantAt records a point event at an explicit time in seconds.
+func (t *Trace) InstantAt(track, name string, at float64, attrs ...Attr) {
+	if t == nil {
+		return
+	}
+	t.record(event{name: name, ph: 'i', track: track, ts: at * 1e6, attrs: attrs})
+}
+
+// CounterAt records a counter sample (rendered as a filled track in
+// Perfetto) at an explicit time in seconds.
+func (t *Trace) CounterAt(track, series string, at, value float64) {
+	if t == nil {
+		return
+	}
+	t.record(event{name: track, ph: 'C', track: track, ts: at * 1e6,
+		attrs: []Attr{{Key: series, Value: value}}})
+}
+
+// jsonEvent is the wire form of one Chrome trace event.
+type jsonEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// jsonTrace is the container format Perfetto accepts.
+type jsonTrace struct {
+	TraceEvents     []jsonEvent    `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	Metadata        map[string]any `json:"metadata,omitempty"`
+}
+
+// snapshot returns the buffered events in recording order.
+func (t *Trace) snapshot() ([]event, int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	evs := make([]event, 0, len(t.ring))
+	if t.n > cap(t.ring) { // ring wrapped: oldest is at n % cap
+		head := t.n % cap(t.ring)
+		evs = append(evs, t.ring[head:]...)
+		evs = append(evs, t.ring[:head]...)
+	} else {
+		evs = append(evs, t.ring...)
+	}
+	return evs, t.dropped
+}
+
+// WriteJSON renders the buffered events as Chrome trace-event JSON.
+// Events are sorted by timestamp, every track gets a thread_name
+// metadata record, and the dropped count (if any) lands in metadata.
+func (t *Trace) WriteJSON(w io.Writer) error {
+	if t == nil {
+		_, err := io.WriteString(w, `{"traceEvents":[],"displayTimeUnit":"ms"}`)
+		return err
+	}
+	evs, dropped := t.snapshot()
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].ts < evs[j].ts })
+
+	// Assign tids in first-appearance order so related tracks group.
+	tids := make(map[string]int)
+	var trackOrder []string
+	for _, ev := range evs {
+		if _, ok := tids[ev.track]; !ok {
+			tids[ev.track] = len(tids) + 1
+			trackOrder = append(trackOrder, ev.track)
+		}
+	}
+
+	out := jsonTrace{DisplayTimeUnit: "ms"}
+	out.TraceEvents = append(out.TraceEvents, jsonEvent{
+		Name: "process_name", Ph: "M", PID: 1, TID: 0,
+		Args: map[string]any{"name": "chrysalis"},
+	})
+	for _, track := range trackOrder {
+		out.TraceEvents = append(out.TraceEvents, jsonEvent{
+			Name: "thread_name", Ph: "M", PID: 1, TID: tids[track],
+			Args: map[string]any{"name": track},
+		})
+	}
+	for _, ev := range evs {
+		je := jsonEvent{Name: ev.name, Ph: string(ev.ph), TS: ev.ts, PID: 1, TID: tids[ev.track]}
+		if ev.ph == 'X' {
+			d := ev.dur
+			je.Dur = &d
+		}
+		if ev.ph == 'i' {
+			je.S = "t" // thread-scoped instant
+		}
+		if len(ev.attrs) > 0 {
+			je.Args = make(map[string]any, len(ev.attrs))
+			for _, a := range ev.attrs {
+				je.Args[a.Key] = a.Value
+			}
+		}
+		out.TraceEvents = append(out.TraceEvents, je)
+	}
+	if dropped > 0 {
+		out.Metadata = map[string]any{"dropped_events": dropped}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

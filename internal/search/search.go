@@ -15,6 +15,8 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+
+	"chrysalis/internal/obs"
 )
 
 // Problem is a black-box minimization problem over [0,1]^Dim.
@@ -84,6 +86,10 @@ type GAConfig struct {
 	// ends the search early with the best individual found so far (used
 	// for context cancellation and deadlines by serving layers).
 	Stop func() bool
+	// Trace, when non-nil, records one span per generation (with the
+	// cumulative evaluation count and best objective as attributes) plus
+	// a run-level span. Nil disables tracing at zero cost.
+	Trace *obs.Trace
 }
 
 // DefaultGA returns a reasonable configuration for the AuT design
@@ -154,6 +160,13 @@ func RunGA(p Problem, cfg GAConfig) (Result, error) {
 		record(batch)
 	}
 
+	var runSpan *obs.Span
+	if cfg.Trace != nil {
+		runSpan = cfg.Trace.Start("search", "ga-run",
+			obs.A("population", cfg.Population), obs.A("generations", cfg.Generations),
+			obs.A("dim", p.Dim), obs.A("seed", cfg.Seed))
+	}
+
 	pop := make([]individual, cfg.Population)
 	for i := range pop {
 		pop[i] = individual{genome: randomGenome(rng, p.Dim)}
@@ -164,6 +177,10 @@ func RunGA(p Problem, cfg GAConfig) (Result, error) {
 	for gen := 0; gen < cfg.Generations; gen++ {
 		if cfg.Stop != nil && cfg.Stop() {
 			break
+		}
+		var genSpan *obs.Span
+		if cfg.Trace != nil {
+			genSpan = cfg.Trace.Start("search", fmt.Sprintf("generation %d", gen+1))
 		}
 		next := make([]individual, 0, cfg.Population)
 		// Elitism (already evaluated).
@@ -184,6 +201,9 @@ func RunGA(p Problem, cfg GAConfig) (Result, error) {
 		pop = append(next, fresh...)
 		sortPop(pop)
 		res.History = append(res.History, pop[0].value)
+		if genSpan != nil {
+			genSpan.End(obs.A("evals", res.Evals), obs.A("best", pop[0].value))
+		}
 		if cfg.Progress != nil {
 			cfg.Progress(gen+1, res.Evals, pop[0].value)
 		}
@@ -191,6 +211,9 @@ func RunGA(p Problem, cfg GAConfig) (Result, error) {
 
 	res.Best = append([]float64(nil), pop[0].genome...)
 	res.BestValue = pop[0].value
+	if runSpan != nil {
+		runSpan.End(obs.A("evals", res.Evals), obs.A("best", res.BestValue))
+	}
 	return res, nil
 }
 

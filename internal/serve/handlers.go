@@ -126,6 +126,22 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleTrace serves a job's recorded pipeline spans as Chrome
+// trace-event JSON, loadable in Perfetto (ui.perfetto.dev) or
+// chrome://tracing: search generations, explorer score/evaluate and
+// ladder builds and, for verify jobs, the step simulator's power
+// cycles, tiles and checkpoint activity on the simulated clock.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.mgr.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%q", j.id+"-trace.json"))
+	_ = j.trace.WriteJSON(w)
+}
+
 // SimulateRequest is the wire form of POST /v1/simulate: a workload
 // plus an explicit hardware configuration to replay on the step-based
 // simulator (no search).
@@ -243,9 +259,9 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
-// handleMetrics renders the Prometheus-style metrics page.
+// handleMetrics renders the Prometheus-style metrics page from the obs
+// registry.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	evalHits, evalMisses := explore.EvalCacheCounters()
-	s.mgr.met.render(w, s.mgr.cache.len(), s.mgr.jobCount(), evalHits, evalMisses)
+	s.mgr.met.reg.WritePrometheus(w)
 }

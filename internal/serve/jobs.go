@@ -4,10 +4,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync"
 	"time"
 
 	"chrysalis/internal/core"
+	"chrysalis/internal/obs"
 	"chrysalis/internal/sim"
 )
 
@@ -105,6 +107,7 @@ type job struct {
 	cancel   context.CancelFunc
 
 	stream *stream
+	trace  *obs.Trace
 	done   chan struct{}
 }
 
@@ -165,7 +168,7 @@ func newManager(opts Options) *manager {
 	ctx, cancel := context.WithCancel(context.Background())
 	m := &manager{
 		opts:       opts,
-		met:        &metrics{},
+		met:        newMetrics(),
 		jobs:       make(map[string]*job),
 		inflight:   make(map[string]*job),
 		cache:      newLRU(opts.CacheSize),
@@ -173,6 +176,12 @@ func newManager(opts Options) *manager {
 		baseCtx:    ctx,
 		baseCancel: cancel,
 	}
+	m.met.reg.GaugeFunc("chrysalisd_cache_entries",
+		"Designs currently held by the result cache.",
+		func() int64 { return int64(m.cache.len()) })
+	m.met.reg.GaugeFunc("chrysalisd_job_records",
+		"Job records currently retained.",
+		func() int64 { return int64(m.jobCount()) })
 	for i := 0; i < opts.Workers; i++ {
 		m.wg.Add(1)
 		go m.worker()
@@ -191,13 +200,13 @@ func (m *manager) submit(js jobSpec) (j *job, reused bool, err error) {
 	}
 	// Single-flight: identical requests share the in-flight job.
 	if cur, ok := m.inflight[js.key]; ok {
-		m.met.cacheHits.Add(1)
+		m.met.cacheHits.Inc()
 		return cur, true, nil
 	}
 	// Content-addressed cache: finished identical requests skip the
 	// search entirely and materialize as an already-done job record.
 	if entry, ok := m.cache.get(js.key); ok {
-		m.met.cacheHits.Add(1)
+		m.met.cacheHits.Inc()
 		j = m.newJobLocked(js)
 		now := time.Now()
 		j.state = JobDone
@@ -211,7 +220,7 @@ func (m *manager) submit(js jobSpec) (j *job, reused bool, err error) {
 		close(j.done)
 		return j, true, nil
 	}
-	m.met.cacheMisses.Add(1)
+	m.met.cacheMisses.Inc()
 	j = m.newJobLocked(js)
 	select {
 	case m.queue <- j:
@@ -221,7 +230,7 @@ func (m *manager) submit(js jobSpec) (j *job, reused bool, err error) {
 		return nil, false, ErrQueueFull
 	}
 	m.inflight[js.key] = j
-	m.met.jobsQueued.Add(1)
+	m.met.jobsQueued.Inc()
 	j.stream.publish("state", map[string]string{"state": string(JobQueued)})
 	return j, false, nil
 }
@@ -235,6 +244,7 @@ func (m *manager) newJobLocked(js jobSpec) *job {
 		state:   JobQueued,
 		created: time.Now(),
 		stream:  newStream(),
+		trace:   obs.NewTrace(m.opts.TraceEvents),
 		done:    make(chan struct{}),
 	}
 	m.jobs[j.id] = j
@@ -345,6 +355,7 @@ func (m *manager) run(j *job) {
 	defer m.met.jobsRunning.Add(-1)
 	j.stream.publish("state", map[string]string{"state": string(JobRunning)})
 
+	spec.Search.Trace = j.trace
 	spec.Search.Progress = func(gen, evals int, best float64) {
 		p := ProgressInfo{Gen: gen, Evals: evals, Best: best}
 		j.mu.Lock()
@@ -374,10 +385,13 @@ func (m *manager) run(j *job) {
 
 	if j.js.verify {
 		// Replay on the step simulator, streaming a bounded prefix of
-		// its events; the rest are summarized by the drop count.
+		// its events (the rest are summarized by the drop count) while
+		// the trace adapter maps the full stream onto Perfetto slices.
 		published := 0
 		dropped := 0
+		adapter := sim.TraceTo(j.trace)
 		simRes, verr := core.VerifyWithTrace(spec, res, func(e sim.Event) {
+			adapter.Trace(e)
 			if published >= maxStreamHistory/2 {
 				dropped++
 				return
@@ -391,6 +405,7 @@ func (m *manager) run(j *job) {
 				"voltage_v": float64(e.Voltage),
 			})
 		})
+		adapter.Close()
 		if verr != nil {
 			m.finish(j, JobFailed, fmt.Errorf("verify replay: %w", verr))
 			return
@@ -440,25 +455,26 @@ func (m *manager) finish(j *job, state JobState, err error) {
 		if entry != nil {
 			m.cache.add(j.js.key, *entry)
 		}
-		m.met.jobsDone.Add(1)
+		m.met.jobsDone.Inc()
 		m.met.observeLatency(latency)
 	case JobFailed:
-		m.met.jobsFailed.Add(1)
+		m.met.jobsFailed.Inc()
 		m.met.observeLatency(latency)
 	case JobCancelled:
-		m.met.jobsCancelled.Add(1)
+		m.met.jobsCancelled.Inc()
 	}
-	m.opts.Logf("serve: job %s %s (%.3fs)%s", j.id, state, latency, errSuffix(err))
+	attrs := []slog.Attr{
+		slog.String("job", j.id),
+		slog.String("state", string(state)),
+		slog.Float64("latency_s", latency),
+	}
+	if err != nil {
+		attrs = append(attrs, slog.String("error", err.Error()))
+	}
+	m.opts.Logger.LogAttrs(context.Background(), slog.LevelInfo, "job finished", attrs...)
 	j.stream.publish("done", j.status())
 	j.stream.close()
 	close(j.done)
-}
-
-func errSuffix(err error) string {
-	if err == nil {
-		return ""
-	}
-	return ": " + err.Error()
 }
 
 // close stops accepting submissions and drains queued and running jobs.

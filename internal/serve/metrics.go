@@ -1,37 +1,90 @@
 package serve
 
 import (
-	"fmt"
-	"io"
+	"log/slog"
+	"net/http"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
-	"sync/atomic"
+	"time"
+
+	"chrysalis/internal/explore"
+	"chrysalis/internal/obs"
 )
 
-// latencyWindow bounds the job-latency reservoir the quantiles are
-// computed over (a sliding window of the most recent completions).
+// latencyWindow bounds the job-latency reservoir the windowed quantiles
+// are computed over (a sliding window of the most recent completions).
 const latencyWindow = 1024
 
-// metrics holds the daemon's observability counters. Everything is
-// rendered as Prometheus exposition-format text by render — no
-// dependencies, just counters, one gauge and two latency quantiles.
+// metrics is the daemon's observability surface, built on the obs
+// registry: counters and gauges for the job lifecycle and the request
+// caches, histograms for job and HTTP latency, and render-time sampled
+// functions for state owned elsewhere (the evaluator plan cache, the
+// result cache, the job table).
 type metrics struct {
-	jobsQueued    atomic.Int64
-	jobsRunning   atomic.Int64
-	jobsDone      atomic.Int64
-	jobsFailed    atomic.Int64
-	jobsCancelled atomic.Int64
-	cacheHits     atomic.Int64
-	cacheMisses   atomic.Int64
+	reg *obs.Registry
 
+	jobsQueued    *obs.Counter
+	jobsRunning   *obs.Gauge
+	jobsDone      *obs.Counter
+	jobsFailed    *obs.Counter
+	jobsCancelled *obs.Counter
+	cacheHits     *obs.Counter
+	cacheMisses   *obs.Counter
+	jobLatency    *obs.Histogram
+
+	httpRequests *obs.CounterVec
+	httpLatency  *obs.Histogram
+
+	// Windowed job-latency reservoir, kept alongside the histogram so
+	// the p50/p95 quantiles over recent jobs stay queryable exactly
+	// (histogram quantiles are bucket-interpolated estimates).
 	mu       sync.Mutex
-	lat      []float64 // ring buffer of job latencies in seconds
+	lat      []float64
 	latNext  int
 	latCount int64
 }
 
-// observeLatency records one finished job's wall-clock seconds.
+// newMetrics builds the registry and the families every server carries.
+func newMetrics() *metrics {
+	reg := obs.NewRegistry()
+	m := &metrics{
+		reg: reg,
+		jobsQueued: reg.Counter("chrysalisd_jobs_queued_total",
+			"Design jobs accepted into the queue."),
+		jobsRunning: reg.Gauge("chrysalisd_jobs_running",
+			"Design jobs currently executing."),
+		jobsDone: reg.Counter("chrysalisd_jobs_done_total",
+			"Design jobs finished successfully."),
+		jobsFailed: reg.Counter("chrysalisd_jobs_failed_total",
+			"Design jobs finished with an error (including timeouts)."),
+		jobsCancelled: reg.Counter("chrysalisd_jobs_cancelled_total",
+			"Design jobs cancelled by clients or shutdown."),
+		cacheHits: reg.Counter("chrysalisd_cache_hits_total",
+			"Design requests served from the result cache or coalesced onto an in-flight job."),
+		cacheMisses: reg.Counter("chrysalisd_cache_misses_total",
+			"Design requests that started a new search."),
+		jobLatency: reg.Histogram("chrysalisd_job_latency_seconds",
+			"Job wall-clock latency from start to terminal state.", nil),
+		httpRequests: reg.CounterVec("chrysalisd_http_requests_total",
+			"HTTP requests served.", "method", "code"),
+		httpLatency: reg.Histogram("chrysalisd_http_request_seconds",
+			"HTTP request handling latency.", nil),
+	}
+	reg.CounterFunc("chrysalisd_evaluator_cache_hits_total",
+		"Plan-ladder fingerprint cache hits inside the evaluation engine.",
+		func() int64 { h, _ := explore.EvalCacheCounters(); return h })
+	reg.CounterFunc("chrysalisd_evaluator_cache_misses_total",
+		"Plan-ladder fingerprint cache misses (ladder builds) inside the evaluation engine.",
+		func() int64 { _, miss := explore.EvalCacheCounters(); return miss })
+	return m
+}
+
+// observeLatency records one finished job's wall-clock seconds in both
+// the histogram and the quantile reservoir.
 func (m *metrics) observeLatency(sec float64) {
+	m.jobLatency.Observe(sec)
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if len(m.lat) < latencyWindow {
@@ -43,7 +96,11 @@ func (m *metrics) observeLatency(sec float64) {
 	m.latCount++
 }
 
-// quantiles returns the p50 and p95 job latency over the window.
+// quantiles returns the nearest-rank p50 and p95 job latency over the
+// window. The earlier truncating formula int(q·(len-1)) read one sample
+// low at full windows (p95 over 1024 samples took index 971, not 972);
+// obs.Quantile implements the unbiased nearest-rank definition and a
+// regression test pins the difference.
 func (m *metrics) quantiles() (p50, p95 float64, count int64) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -52,40 +109,62 @@ func (m *metrics) quantiles() (p50, p95 float64, count int64) {
 	}
 	sorted := append([]float64(nil), m.lat...)
 	sort.Float64s(sorted)
-	at := func(q float64) float64 {
-		i := int(q * float64(len(sorted)-1))
-		return sorted[i]
-	}
-	return at(0.50), at(0.95), m.latCount
+	return obs.Quantile(sorted, 0.50), obs.Quantile(sorted, 0.95), m.latCount
 }
 
-// render writes the exposition-format metrics page. cacheLen,
-// jobRecords and the evaluator-cache counters are sampled by the
-// caller so metrics stays decoupled from the job manager and the
-// explore package.
-func (m *metrics) render(w io.Writer, cacheLen, jobRecords int, evalHits, evalMisses int64) {
-	counter := func(name, help string, v int64) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
-	}
-	gauge := func(name, help string, v int64) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
-	}
-	counter("chrysalisd_jobs_queued_total", "Design jobs accepted into the queue.", m.jobsQueued.Load())
-	gauge("chrysalisd_jobs_running", "Design jobs currently executing.", m.jobsRunning.Load())
-	counter("chrysalisd_jobs_done_total", "Design jobs finished successfully.", m.jobsDone.Load())
-	counter("chrysalisd_jobs_failed_total", "Design jobs finished with an error (including timeouts).", m.jobsFailed.Load())
-	counter("chrysalisd_jobs_cancelled_total", "Design jobs cancelled by clients or shutdown.", m.jobsCancelled.Load())
-	counter("chrysalisd_cache_hits_total", "Design requests served from the result cache or coalesced onto an in-flight job.", m.cacheHits.Load())
-	counter("chrysalisd_cache_misses_total", "Design requests that started a new search.", m.cacheMisses.Load())
-	counter("chrysalisd_evaluator_cache_hits_total", "Plan-ladder fingerprint cache hits inside the evaluation engine.", evalHits)
-	counter("chrysalisd_evaluator_cache_misses_total", "Plan-ladder fingerprint cache misses (ladder builds) inside the evaluation engine.", evalMisses)
-	gauge("chrysalisd_cache_entries", "Designs currently held by the result cache.", int64(cacheLen))
-	gauge("chrysalisd_job_records", "Job records currently retained.", int64(jobRecords))
+// statusWriter records the response code while preserving the Flusher
+// the SSE handler depends on.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
 
-	p50, p95, count := m.quantiles()
-	fmt.Fprintf(w, "# HELP chrysalisd_job_latency_seconds Job wall-clock latency quantiles over the last %d jobs.\n", latencyWindow)
-	fmt.Fprintf(w, "# TYPE chrysalisd_job_latency_seconds summary\n")
-	fmt.Fprintf(w, "chrysalisd_job_latency_seconds{quantile=\"0.5\"} %g\n", p50)
-	fmt.Fprintf(w, "chrysalisd_job_latency_seconds{quantile=\"0.95\"} %g\n", p95)
-	fmt.Fprintf(w, "chrysalisd_job_latency_seconds_count %d\n", count)
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// instrument wraps a handler with request metrics and structured
+// request logging.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		next.ServeHTTP(sw, r)
+		if sw.code == 0 {
+			sw.code = http.StatusOK
+		}
+		elapsed := time.Since(start)
+		s.mgr.met.httpRequests.With(r.Method, strconv.Itoa(sw.code)).Inc()
+		s.mgr.met.httpLatency.Observe(elapsed.Seconds())
+		s.opts.Logger.LogAttrs(r.Context(), requestLogLevel(r.URL.Path), "http request",
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", sw.code),
+			slog.Duration("elapsed", elapsed))
+	})
+}
+
+// requestLogLevel demotes high-frequency scrape and probe endpoints to
+// debug so the default info level stays readable.
+func requestLogLevel(path string) slog.Level {
+	if path == "/metrics" || path == "/healthz" || strings.HasPrefix(path, "/debug/pprof") {
+		return slog.LevelDebug
+	}
+	return slog.LevelInfo
 }

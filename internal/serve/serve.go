@@ -11,11 +11,14 @@
 //   - DELETE /v1/designs/{id}     cancel a queued or running job
 //   - GET  /v1/designs/{id}/events  live SSE telemetry (GA generations
 //     and, for verify jobs, step-simulator events)
+//   - GET  /v1/designs/{id}/trace   Chrome trace-event / Perfetto JSON
+//     of the job's pipeline spans (also mounted as /jobs/{id}/trace)
 //   - POST /v1/simulate           synchronous step-simulation
 //   - GET  /v1/workloads          workload catalog
 //   - GET  /v1/presets            deployment-scenario presets
 //   - GET  /healthz               liveness
 //   - GET  /metrics               Prometheus-style text metrics
+//   - GET  /debug/pprof/*         Go runtime profiles
 //
 // Internally a bounded worker pool (sized from GOMAXPROCS by default)
 // drains a job queue with per-job context cancellation and an optional
@@ -28,9 +31,14 @@ package serve
 
 import (
 	"context"
+	"io"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"time"
+
+	"chrysalis/internal/obs"
 )
 
 // Options configures a Server.
@@ -48,8 +56,12 @@ type Options struct {
 	// MaxJobs bounds retained finished-job records (<= 0 selects 1024);
 	// the oldest finished records are pruned first.
 	MaxJobs int
-	// Logf receives operational log lines (nil discards them).
-	Logf func(format string, args ...any)
+	// TraceEvents bounds each job's span ring buffer (<= 0 selects
+	// obs.DefaultTraceEvents); older spans are overwritten and counted
+	// as dropped.
+	TraceEvents int
+	// Logger receives structured operational logs (nil discards them).
+	Logger *slog.Logger
 }
 
 func (o Options) withDefaults() Options {
@@ -65,8 +77,11 @@ func (o Options) withDefaults() Options {
 	if o.MaxJobs <= 0 {
 		o.MaxJobs = 1024
 	}
-	if o.Logf == nil {
-		o.Logf = func(string, ...any) {}
+	if o.TraceEvents <= 0 {
+		o.TraceEvents = obs.DefaultTraceEvents
+	}
+	if o.Logger == nil {
+		o.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
 	return o
 }
@@ -93,15 +108,23 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/designs/{id}", s.handleGet)
 	s.mux.HandleFunc("DELETE /v1/designs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/designs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /v1/designs/{id}/trace", s.handleTrace)
+	s.mux.HandleFunc("GET /jobs/{id}/trace", s.handleTrace)
 	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
 	s.mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
 	s.mux.HandleFunc("GET /v1/presets", s.handlePresets)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 }
 
-// Handler returns the route table, ready to mount on an http.Server.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the route table wrapped in the request-metrics and
+// structured-logging middleware, ready to mount on an http.Server.
+func (s *Server) Handler() http.Handler { return s.instrument(s.mux) }
 
 // Shutdown stops accepting jobs and drains the queue and in-flight
 // work. If ctx expires first, remaining jobs are cancelled via their

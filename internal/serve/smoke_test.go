@@ -16,7 +16,7 @@ import (
 // identical request and asserts the cache-hit counter incremented while
 // no second search ran.
 func TestServeSmoke(t *testing.T) {
-	srv := New(Options{Workers: 2, Logf: t.Logf})
+	srv := New(Options{Workers: 2, Logger: testLogger(t)})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)

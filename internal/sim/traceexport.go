@@ -1,0 +1,128 @@
+package sim
+
+import (
+	"fmt"
+
+	"chrysalis/internal/obs"
+)
+
+// Trace track names used by the adapter. Each renders as its own named
+// thread in Perfetto, so a run reads top-to-bottom as: when was the
+// platform powered, which tile was executing, and where the checkpoint
+// machinery fired.
+const (
+	TrackPower = "sim:power"
+	TrackTiles = "sim:tiles"
+	TrackCkpt  = "sim:checkpoint"
+)
+
+// TraceAdapter maps the step simulator's Event stream onto Chrome
+// trace-event slices recorded in an obs.Trace, using the simulated
+// clock as the trace timeline:
+//
+//   - each power-on → power-off pair becomes a "powered" slice on the
+//     power track, so energy cycles render as a visual on/off timeline;
+//   - each tile-start → tile-done pair becomes a slice on the tiles
+//     track, labeled with its layer and tile index (tiles cut short by
+//     a brownout close at the power-off with an interrupted flag);
+//   - checkpoints, resumes and retries are instant events on the
+//     checkpoint track, annotated with the capacitor voltage.
+//
+// Feed Trace to Config.Trace (it satisfies the Tracer contract as a
+// method value) and call Close after the run to terminate slices left
+// open by incomplete runs. A nil adapter or nil underlying trace is a
+// no-op, so tracing stays default-off.
+type TraceAdapter struct {
+	tr *obs.Trace
+
+	cycle     int
+	powerOn   float64 // seconds; valid when powered
+	powered   bool
+	tileOpen  bool
+	tileStart float64
+	tileIdx   int
+	tileLayer int
+	last      float64 // latest event time seen, for Close
+}
+
+// TraceTo returns an adapter recording onto tr (which may be nil).
+func TraceTo(tr *obs.Trace) *TraceAdapter { return &TraceAdapter{tr: tr} }
+
+// Trace consumes one simulator event. It satisfies the Tracer func
+// contract via method value: cfg.Trace = adapter.Trace.
+func (a *TraceAdapter) Trace(e Event) {
+	if a == nil || a.tr == nil {
+		return
+	}
+	ts := float64(e.Time)
+	a.last = ts
+	volt := float64(e.Voltage)
+	switch e.Kind {
+	case EvPowerOn:
+		a.cycle++
+		a.powerOn, a.powered = ts, true
+	case EvPowerOff:
+		if a.tileOpen {
+			a.closeTile(ts, true)
+		}
+		if a.powered {
+			a.tr.SliceAt(TrackPower, "powered", a.powerOn, ts,
+				obs.A("cycle", a.cycle), obs.A("off_voltage_v", volt))
+			a.powered = false
+		}
+	case EvTileStart:
+		if a.tileOpen { // defensive: simulator never nests tiles
+			a.closeTile(ts, false)
+		}
+		a.tileOpen = true
+		a.tileStart, a.tileIdx, a.tileLayer = ts, e.Tile, e.Layer
+	case EvTileDone:
+		if a.tileOpen {
+			a.closeTile(ts, false)
+		}
+	case EvCheckpoint:
+		a.tr.InstantAt(TrackCkpt, "checkpoint", ts,
+			obs.A("tile", e.Tile), obs.A("voltage_v", volt))
+	case EvResume:
+		a.tr.InstantAt(TrackCkpt, "resume", ts,
+			obs.A("tile", e.Tile), obs.A("voltage_v", volt))
+	case EvRetry:
+		a.tr.InstantAt(TrackCkpt, "retry", ts,
+			obs.A("tile", e.Tile), obs.A("voltage_v", volt))
+	case EvDone:
+		a.tr.InstantAt(TrackTiles, "inference-done", ts, obs.A("voltage_v", volt))
+		a.closeAll(ts)
+	}
+}
+
+// closeTile records the open tile slice ending at ts.
+func (a *TraceAdapter) closeTile(ts float64, interrupted bool) {
+	attrs := []obs.Attr{obs.A("tile", a.tileIdx), obs.A("layer", a.tileLayer)}
+	if interrupted {
+		attrs = append(attrs, obs.A("interrupted", true))
+	}
+	a.tr.SliceAt(TrackTiles, fmt.Sprintf("L%d tile %d", a.tileLayer, a.tileIdx),
+		a.tileStart, ts, attrs...)
+	a.tileOpen = false
+}
+
+// closeAll terminates every open slice at ts.
+func (a *TraceAdapter) closeAll(ts float64) {
+	if a.tileOpen {
+		a.closeTile(ts, false)
+	}
+	if a.powered {
+		a.tr.SliceAt(TrackPower, "powered", a.powerOn, ts, obs.A("cycle", a.cycle))
+		a.powered = false
+	}
+}
+
+// Close terminates slices left open by runs that ended without an
+// EvDone (aborted or infeasible simulations). Safe to call after
+// complete runs too; it is then a no-op.
+func (a *TraceAdapter) Close() {
+	if a == nil || a.tr == nil {
+		return
+	}
+	a.closeAll(a.last)
+}

@@ -1,0 +1,168 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"chrysalis/internal/obs"
+	"chrysalis/internal/solar"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden trace files")
+
+// chromeEvent mirrors the Chrome trace-event wire fields the validator
+// inspects.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  *float64       `json:"dur"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args"`
+}
+
+func runTraced(t *testing.T, env solar.Environment) (Result, *obs.Trace, []byte) {
+	t.Helper()
+	cfg := harSetup(t, 8, 100e-6, env)
+	tr := obs.NewTrace(8192)
+	ad := TraceTo(tr)
+	cfg.Trace = ad.Trace
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ad.Close()
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return res, tr, buf.Bytes()
+}
+
+// TestSimTraceExportGolden runs a small deterministic simulation,
+// validates the exported Chrome trace-event JSON structurally
+// (monotonic ts, complete X events with non-negative durations, tracks
+// named) and byte-compares it against the committed golden file.
+// Regenerate with: go test ./internal/sim/ -run Golden -update
+func TestSimTraceExportGolden(t *testing.T) {
+	res, _, raw := runTraced(t, solar.Bright())
+	if !res.Completed {
+		t.Fatal("setup should complete")
+	}
+
+	var out struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatalf("exported trace is not valid JSON: %v", err)
+	}
+	if len(out.TraceEvents) == 0 {
+		t.Fatal("no trace events exported")
+	}
+
+	tracks := map[int]string{}
+	lastTS := -1.0
+	var powered, tiles, instants int
+	for i, ev := range out.TraceEvents {
+		if ev.Ph == "M" {
+			if ev.Name == "thread_name" {
+				tracks[ev.TID] = ev.Args["name"].(string)
+			}
+			continue
+		}
+		if ev.TS < 0 {
+			t.Fatalf("event %d (%s) has negative ts %g", i, ev.Name, ev.TS)
+		}
+		if ev.TS < lastTS {
+			t.Fatalf("event %d (%s) out of order: ts %g after %g", i, ev.Name, ev.TS, lastTS)
+		}
+		lastTS = ev.TS
+		switch ev.Ph {
+		case "X":
+			if ev.Dur == nil || *ev.Dur < 0 {
+				t.Fatalf("X event %d (%s) has missing or negative dur", i, ev.Name)
+			}
+			switch tracks[ev.TID] {
+			case TrackPower:
+				powered++
+			case TrackTiles:
+				tiles++
+			}
+		case "i":
+			instants++
+		default:
+			t.Fatalf("event %d has unexpected phase %q", i, ev.Ph)
+		}
+	}
+
+	// The trace must mirror the simulation's own accounting: one powered
+	// slice per power cycle, one tile slice per completed tile (plus one
+	// per interrupted attempt), instants for checkpoints/resumes/retries
+	// plus the terminal inference-done marker.
+	if powered != res.PowerCycles {
+		t.Errorf("powered slices = %d, want %d (one per power cycle)", powered, res.PowerCycles)
+	}
+	if want := res.TilesDone + res.TileRetries; tiles != want {
+		t.Errorf("tile slices = %d, want %d (done + interrupted)", tiles, want)
+	}
+	if want := res.Checkpoints + res.Resumes + res.TileRetries + 1; instants != want {
+		t.Errorf("instants = %d, want %d", instants, want)
+	}
+
+	golden := filepath.Join("testdata", "har_bright_trace.golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(raw, want) {
+		t.Errorf("trace export differs from golden file %s (rerun with -update if the change is intended)", golden)
+	}
+}
+
+// TestSimTraceDeterministic guards the golden file's premise: the same
+// simulation exports byte-identical JSON every time.
+func TestSimTraceDeterministic(t *testing.T) {
+	_, _, a := runTraced(t, solar.Bright())
+	_, _, b := runTraced(t, solar.Bright())
+	if !bytes.Equal(a, b) {
+		t.Fatal("trace export is not deterministic")
+	}
+}
+
+// TestSimTraceInterruptedRun exercises the adapter across brownouts:
+// every powered slice still closes, interrupted tiles are flagged, and
+// Close terminates any slice left open.
+func TestSimTraceInterruptedRun(t *testing.T) {
+	res, tr, raw := runTraced(t, solar.Dark())
+	if res.PowerCycles < 2 {
+		t.Skip("scenario did not produce multiple power cycles")
+	}
+	var out struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	var powered int
+	for _, ev := range out.TraceEvents {
+		if ev.Ph == "X" && ev.Name == "powered" {
+			powered++
+		}
+	}
+	if tr.Dropped() == 0 && powered != res.PowerCycles {
+		t.Errorf("powered slices = %d, want %d", powered, res.PowerCycles)
+	}
+}

@@ -1,0 +1,42 @@
+package chrysalis
+
+import (
+	"chrysalis/internal/obs"
+	"chrysalis/internal/sim"
+)
+
+// Trace records pipeline spans — outer-GA generations, explorer
+// score/evaluate calls, plan-ladder builds and step-simulator power
+// cycles — into a bounded ring buffer and exports them as Chrome
+// trace-event JSON loadable in Perfetto (ui.perfetto.dev) or
+// chrome://tracing.
+//
+// Attach one via Spec.Search.Trace before calling Design; tracing is
+// observational only (it never changes results, cache identity or the
+// search trajectory) and a nil trace disables it at zero cost:
+//
+//	tr := chrysalis.NewTrace(0)
+//	spec.Search.Trace = tr
+//	res, _ := chrysalis.Design(spec)
+//	f, _ := os.Create("trace.json")
+//	tr.WriteJSON(f)
+type Trace = obs.Trace
+
+// NewTrace returns a tracer holding up to capacity events (<= 0 selects
+// the default of 16384). Once full, new events overwrite the oldest.
+func NewTrace(capacity int) *Trace { return obs.NewTrace(capacity) }
+
+// SimTraceAdapter maps step-simulator events onto trace slices: powered
+// intervals, per-tile execution and checkpoint/resume/retry markers on
+// the simulated clock. Use its Trace method as the VerifyTraced
+// callback and call Close afterwards to terminate slices left open by
+// interrupted runs.
+type SimTraceAdapter = sim.TraceAdapter
+
+// NewSimTraceAdapter returns an adapter recording the simulator's event
+// stream onto tr (which may be nil, making the adapter a no-op):
+//
+//	ad := chrysalis.NewSimTraceAdapter(tr)
+//	run, _ := chrysalis.VerifyTraced(spec, res, ad.Trace)
+//	ad.Close()
+func NewSimTraceAdapter(tr *Trace) *SimTraceAdapter { return sim.TraceTo(tr) }

@@ -1,0 +1,83 @@
+package chrysalis
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestFacadeTracing runs a small traced search plus a verification
+// replay through the public API and checks the exported JSON is a
+// well-formed trace containing both search spans and simulator slices.
+func TestFacadeTracing(t *testing.T) {
+	spec := harSpec()
+	spec.Search = SearchConfig{Budget: 60, Seed: 1}
+	tr := NewTrace(0)
+	spec.Search.Trace = tr
+
+	res, err := Design(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ad := NewSimTraceAdapter(tr)
+	if _, err := VerifyTraced(spec, res, ad.Trace); err != nil {
+		t.Fatal(err)
+	}
+	ad.Close()
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var tf struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatalf("exported trace is not valid JSON: %v", err)
+	}
+	var gotGen, gotPower bool
+	for _, ev := range tf.TraceEvents {
+		if strings.HasPrefix(ev.Name, "generation ") {
+			gotGen = true
+		}
+		if ev.Name == "powered" {
+			gotPower = true
+		}
+	}
+	if !gotGen {
+		t.Error("trace has no search generation spans")
+	}
+	if !gotPower {
+		t.Error("trace has no simulator powered slices")
+	}
+}
+
+// TestNilTraceAdapterNoop checks the nil-trace path is safe: a nil
+// adapter accepts events and WriteJSON on a fresh trace emits a valid
+// empty envelope.
+func TestNilTraceAdapterNoop(t *testing.T) {
+	ad := NewSimTraceAdapter(nil)
+	spec := harSpec()
+	spec.Search = SearchConfig{Budget: 40, Seed: 1}
+	res, err := Design(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := VerifyTraced(spec, res, ad.Trace); err != nil {
+		t.Fatal(err)
+	}
+	ad.Close()
+
+	var buf bytes.Buffer
+	if err := NewTrace(4).WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"traceEvents"`) {
+		t.Fatalf("empty trace envelope malformed: %s", buf.String())
+	}
+}
