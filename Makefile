@@ -2,12 +2,12 @@
 
 GO ?= go
 
-.PHONY: all ci build vet test race race-cache bench bench-json bench-smoke experiments examples fuzz cover clean serve-smoke trace-smoke
+.PHONY: all ci build vet test race race-cache bench bench-json bench-smoke experiments examples fuzz cover clean serve-smoke trace-smoke audit-smoke
 
 all: build vet test
 
 # Everything the CI workflow runs.
-ci: build vet test race bench-smoke trace-smoke
+ci: build vet test race bench-smoke trace-smoke audit-smoke
 
 build:
 	$(GO) build ./...
@@ -37,7 +37,7 @@ bench-smoke:
 # Benchmark trajectory record: run the evaluation-engine
 # micro-benchmarks at a fixed iteration count and serialize the
 # results to a committed JSON file for cross-PR comparison.
-BENCH_JSON ?= BENCH_PR3.json
+BENCH_JSON ?= BENCH_PR4.json
 BENCH_MICRO = CostModel|PlanWorkload|AnalyticEvaluate|StepSimulator|GASearch|AccelSearch|NSGAFront
 
 bench-json:
@@ -69,6 +69,13 @@ serve-smoke:
 trace-smoke:
 	$(GO) run ./cmd/chrysalis -workload har -budget 100 -verify -trace-out /tmp/chrysalis-trace.json >/dev/null
 	$(GO) run ./cmd/tracecheck -min-events 10 /tmp/chrysalis-trace.json
+
+# End-to-end flight-recorder check: a design search with an audited
+# verification replay through the CLI (non-zero exit on any energy-
+# conservation finding), plus the daemon-side waveform/dashboard test.
+audit-smoke:
+	$(GO) run ./cmd/chrysalis -workload har -budget 100 -audit -waveform-out /tmp/chrysalis-wave.csv >/dev/null
+	$(GO) test ./internal/serve/ -run TestAuditSmoke -v
 
 cover:
 	$(GO) test -cover ./...

@@ -134,7 +134,7 @@ func main() {
 		fatal(fmt.Errorf("unknown policy %q", *policy))
 	}
 
-	var rec sim.Recorder
+	var rec sim.EventRecorder
 	rec.Max = *traceN
 	simCfg := sim.Config{
 		Energy: es, HW: hw, Plans: evPlans(ev),

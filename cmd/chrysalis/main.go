@@ -9,6 +9,7 @@
 //	chrysalis -workload resnet18 -platform accel -objective lat -max-panel 20
 //	chrysalis -workload kws -baseline wo/EA -budget 800 -json
 //	chrysalis -workload har -verify -trace-out trace.json   # open in ui.perfetto.dev
+//	chrysalis -workload har -audit -waveform-out wave.csv   # physics flight recording
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"fmt"
 	"log/slog"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -44,9 +46,17 @@ func main() {
 		dumpWorkload = flag.String("dump-workload", "", "print a catalog workload as JSON and exit")
 		asJSON       = flag.Bool("json", false, "emit the result as JSON")
 		traceOut     = flag.String("trace-out", "", "write a Chrome trace-event / Perfetto JSON of the run to FILE")
+		waveformOut  = flag.String("waveform-out", "", "write the verify replay's energy waveform to FILE (.csv selects CSV, else JSON); implies -verify")
+		auditFlag    = flag.Bool("audit", false, "run the energy-conservation audit on the verify replay (non-zero exit on findings); implies -verify")
+		showVersion  = flag.Bool("version", false, "print version and exit")
 		logLevel     = flag.String("log-level", "warn", "log verbosity: debug, info, warn or error")
 	)
 	flag.Parse()
+
+	if *showVersion {
+		fmt.Printf("chrysalis %s (%s, %s/%s)\n", chrysalis.Version, runtime.Version(), runtime.GOOS, runtime.GOARCH)
+		return
+	}
 
 	if err := setupLogging(*logLevel); err != nil {
 		fatal(err)
@@ -148,12 +158,17 @@ func main() {
 		}
 	}
 
-	if *verify {
+	if *verify || *auditFlag || *waveformOut != "" {
 		// When tracing, route the replay's events through the sim trace
 		// adapter so power cycles, tiles and checkpoints land in the
-		// export alongside the search spans.
+		// export alongside the search spans. A flight recorder rides
+		// along when the waveform or the audit was requested.
+		var rec *chrysalis.FlightRecorder
+		if *auditFlag || *waveformOut != "" {
+			rec = chrysalis.NewFlightRecorder(0)
+		}
 		adapter := chrysalis.NewSimTraceAdapter(tr)
-		run, err := chrysalis.VerifyTraced(spec, res, adapter.Trace)
+		run, auditRep, err := chrysalis.VerifyFlight(spec, res, adapter.Trace, rec)
 		adapter.Close()
 		if err != nil {
 			fatal(err)
@@ -164,6 +179,25 @@ func main() {
 		fmt.Printf("  power cycles:  %d\n", run.PowerCycles)
 		fmt.Printf("  checkpoints:   %d (+%d resumes, %d retries)\n", run.Checkpoints, run.Resumes, run.TileRetries)
 		fmt.Printf("  system eff.:   %.1f%%\n", run.SystemEfficiency*100)
+
+		if *waveformOut != "" {
+			if err := writeWaveform(*waveformOut, rec); err != nil {
+				fatal(err)
+			}
+			slog.Info("waveform written", "path", *waveformOut)
+		}
+		if *auditFlag {
+			fmt.Printf("\n%s\n", auditRep)
+			if !auditRep.OK() {
+				for _, f := range auditRep.Findings {
+					fmt.Printf("  [%s] cycle %d t=%.6gs: %s\n", f.Check, f.Cycle, f.TimeS, f.Detail)
+				}
+				if *traceOut != "" {
+					_ = writeTrace(*traceOut, tr)
+				}
+				os.Exit(1)
+			}
+		}
 	}
 
 	if *traceOut != "" {
@@ -172,6 +206,28 @@ func main() {
 		}
 		slog.Info("trace written", "path", *traceOut)
 	}
+}
+
+// writeWaveform exports the flight recording as CSV (.csv paths) or
+// JSON (anything else).
+func writeWaveform(path string, rec *chrysalis.FlightRecorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	wf := rec.Waveform()
+	if strings.HasSuffix(path, ".csv") {
+		err = wf.WriteCSV(f)
+	} else {
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		err = enc.Encode(wf)
+	}
+	if err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // setupLogging installs a stderr slog handler at the requested level.

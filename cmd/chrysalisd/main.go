@@ -13,6 +13,9 @@
 //	curl -s localhost:8080/v1/designs/j-000001         # status / result
 //	curl -s localhost:8080/v1/designs/j-000001/trace \
 //	     -o trace.json                                 # open in ui.perfetto.dev
+//	curl -s 'localhost:8080/v1/designs/j-000001/waveform?format=csv' \
+//	     -o wave.csv                                   # flight recording (verify jobs)
+//	open http://localhost:8080/debug/dashboard         # live flight deck
 //	curl -s localhost:8080/metrics | grep chrysalisd_
 //	go tool pprof localhost:8080/debug/pprof/profile
 //
@@ -29,9 +32,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
+	"chrysalis/internal/obs"
 	"chrysalis/internal/serve"
 )
 
@@ -61,8 +66,13 @@ func main() {
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain bound")
 		traceEvents  = flag.Int("trace-events", 0, "per-job span ring-buffer capacity (0 = default)")
 		logLevel     = flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
+		showVersion  = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *showVersion {
+		fmt.Printf("chrysalisd %s (%s, %s/%s)\n", obs.Version, runtime.Version(), runtime.GOOS, runtime.GOARCH)
+		return
+	}
 	if *workers < 0 || *queueDepth < 0 || *cacheSize < 0 {
 		fmt.Fprintln(os.Stderr, "chrysalisd: -workers, -queue and -cache must be non-negative")
 		os.Exit(1)

@@ -1,0 +1,179 @@
+package audit
+
+import (
+	"encoding/json"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"chrysalis/internal/dataflow"
+	"chrysalis/internal/dnn"
+	"chrysalis/internal/energy"
+	"chrysalis/internal/intermittent"
+	"chrysalis/internal/msp430"
+	"chrysalis/internal/sim"
+	"chrysalis/internal/solar"
+	"chrysalis/internal/units"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// harConfig mirrors the sim package's harSetup: HAR on the MSP430 with
+// an 8 cm² panel — the same scenario the golden trace test uses.
+func harConfig(t *testing.T, capC units.Capacitance, env solar.Environment) sim.Config {
+	t.Helper()
+	es, err := energy.NewSolar(energy.Spec{PanelArea: 8, Cap: capC}, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hw := msp430.Config{}.HW()
+	budget, _ := es.CycleBudget(msp430.Config{}.ActivePower())
+	if math.IsInf(float64(budget), 1) {
+		budget = 1
+	}
+	plans, err := intermittent.PlanWorkload(dnn.HAR(), dataflow.OS, hw, 0.05, intermittent.FixedBudget(budget*0.9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim.Config{Energy: es, HW: hw, Plans: plans}
+}
+
+func TestAuditPassesOnCleanRun(t *testing.T) {
+	for _, env := range []solar.Environment{solar.Bright(), solar.Dark()} {
+		cfg := harConfig(t, 100e-6, env)
+		rec := sim.NewRecorder(0)
+		cfg.Record = rec
+		res, err := sim.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Completed {
+			t.Fatalf("%s: run should complete", env.Name())
+		}
+		rep := Run(rec, Options{})
+		if !rep.OK() {
+			t.Fatalf("%s: clean run should audit clean, got %s\nfirst findings: %+v",
+				env.Name(), rep, rep.Findings[:min(3, len(rep.Findings))])
+		}
+		if rep.Cycles == 0 || rep.Checks == 0 {
+			t.Fatalf("%s: audit examined nothing: %s", env.Name(), rep)
+		}
+	}
+}
+
+// TestAuditGoldenLedger pins the HAR/bright per-cycle ledger (the same
+// scenario as the sim package's golden trace). Regenerate with
+// `go test ./internal/audit/ -run Golden -update` after intentional
+// simulator changes.
+func TestAuditGoldenLedger(t *testing.T) {
+	cfg := harConfig(t, 100e-6, solar.Bright())
+	rec := sim.NewRecorder(0)
+	cfg.Record = rec
+	if _, err := sim.Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	rep := Run(rec, Options{})
+	if !rep.OK() {
+		t.Fatalf("golden scenario must audit clean: %s", rep)
+	}
+
+	type golden struct {
+		Report *Report           `json:"report"`
+		Cycles []sim.CycleLedger `json:"cycles"`
+	}
+	got, err := json.MarshalIndent(golden{Report: rep, Cycles: rec.Cycles()}, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+
+	path := filepath.Join("testdata", "har_bright_ledger.golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if string(want) != string(got) {
+		t.Errorf("ledger diverged from golden %s — rerun with -update if intended.\ngot:\n%s", path, clip(string(got), 2000))
+	}
+}
+
+func clip(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "\n…"
+}
+
+// TestAuditCatchesCorruptedLeakage is the differential test proving the
+// audit has teeth: triple the capacitor's actual leakage coefficient
+// behind the spec's back and the leak-model reconstruction must flag
+// every cycle where leakage matters.
+func TestAuditCatchesCorruptedLeakage(t *testing.T) {
+	cfg := harConfig(t, 100e-6, solar.Bright())
+	// The spec still says DefaultKcap; the component now leaks 3×.
+	cfg.Energy.Cap.Kcap *= 3
+	rec := sim.NewRecorder(0)
+	cfg.Record = rec
+	if _, err := sim.Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	rep := Run(rec, Options{})
+	if rep.OK() {
+		t.Fatal("audit passed a run whose leakage contradicts its spec")
+	}
+	found := false
+	for _, f := range rep.Findings {
+		if f.Check == "leak-model" {
+			found = true
+			if f.Detail == "" || f.Delta == 0 {
+				t.Errorf("leak-model finding lacks detail: %+v", f)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("expected leak-model findings, got %+v", rep.Findings)
+	}
+	if rep.MaxLeakRelErr < 0.5 {
+		t.Errorf("3× leakage should show a large relative error, got %g", rep.MaxLeakRelErr)
+	}
+}
+
+// TestAuditCatchesDoctoredLedger corrupts a recorded flow directly and
+// checks the balance equations notice.
+func TestAuditNilAndEmpty(t *testing.T) {
+	if rep := Run(nil, Options{}); !rep.OK() {
+		t.Errorf("nil recorder should audit clean: %s", rep)
+	}
+	if rep := Run(sim.NewRecorder(16), Options{}); !rep.OK() || rep.Cycles != 0 {
+		t.Errorf("empty recorder should audit clean with zero cycles: %s", rep)
+	}
+}
+
+func TestReportString(t *testing.T) {
+	rep := &Report{Cycles: 3, Checks: 12}
+	if !strings.Contains(rep.String(), "PASS") {
+		t.Errorf("clean report should say PASS: %s", rep)
+	}
+	rep.Findings = append(rep.Findings, Finding{Check: "cap-balance"})
+	if !strings.Contains(rep.String(), "FAIL") {
+		t.Errorf("dirty report should say FAIL: %s", rep)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

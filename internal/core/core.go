@@ -11,6 +11,7 @@ import (
 	"math"
 	"strings"
 
+	"chrysalis/internal/audit"
 	"chrysalis/internal/dataflow"
 	"chrysalis/internal/dnn"
 	"chrysalis/internal/energy"
@@ -299,9 +300,19 @@ func Verify(spec Spec, res Result) (sim.Result, error) {
 // checkpoints, resumes, retries) in time order — the hook the serving
 // layer uses to stream live telemetry.
 func VerifyWithTrace(spec Spec, res Result, tr sim.Tracer) (sim.Result, error) {
+	run, _, err := VerifyFlight(spec, res, tr, nil)
+	return run, err
+}
+
+// VerifyFlight is the full-introspection verification path: it replays
+// the design through the step simulator with an optional event tracer
+// AND an optional flight recorder, then — when a recorder was attached —
+// audits the recorded physics for energy-conservation violations. The
+// audit report is nil when rec is nil.
+func VerifyFlight(spec Spec, res Result, tr sim.Tracer, rec *sim.Recorder) (sim.Result, *audit.Report, error) {
 	sc, err := spec.scenario()
 	if err != nil {
-		return sim.Result{}, err
+		return sim.Result{}, nil, err
 	}
 	scd := sc // defaults applied inside EvaluateCandidate; mirror here
 	if scd.Envs == nil {
@@ -309,11 +320,11 @@ func VerifyWithTrace(spec Spec, res Result, tr sim.Tracer) (sim.Result, error) {
 	}
 	cand, err := candidateFromResult(spec, res)
 	if err != nil {
-		return sim.Result{}, err
+		return sim.Result{}, nil, err
 	}
 	ev, err := explore.EvaluateCandidate(sc, cand)
 	if err != nil {
-		return sim.Result{}, err
+		return sim.Result{}, nil, err
 	}
 	plans := make([]intermittent.Plan, len(ev.Mappings))
 	for i, m := range ev.Mappings {
@@ -321,13 +332,21 @@ func VerifyWithTrace(spec Spec, res Result, tr sim.Tracer) (sim.Result, error) {
 	}
 	es, err := energy.NewSolar(energy.Spec{PanelArea: res.PanelArea, Cap: res.Cap}, scd.Envs[0])
 	if err != nil {
-		return sim.Result{}, err
+		return sim.Result{}, nil, err
 	}
 	hw, err := hwFromResult(spec, res)
 	if err != nil {
-		return sim.Result{}, err
+		return sim.Result{}, nil, err
 	}
-	return sim.Run(sim.Config{Energy: es, HW: hw, Plans: plans, Trace: tr})
+	run, err := sim.Run(sim.Config{Energy: es, HW: hw, Plans: plans, Trace: tr, Record: rec})
+	if err != nil {
+		return sim.Result{}, nil, err
+	}
+	var rep *audit.Report
+	if rec != nil {
+		rep = audit.Run(rec, audit.Options{})
+	}
+	return run, rep, nil
 }
 
 func candidateFromResult(spec Spec, res Result) (explore.Candidate, error) {

@@ -1,0 +1,38 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// Version is the CHRYSALIS release string, surfaced by the
+// chrysalis_build_info metric and the -version flags of the CLIs. Bump
+// it with the PR that changes user-visible behavior.
+const Version = "0.4.0"
+
+// Revision returns the VCS revision the binary was built from, when the
+// Go toolchain stamped one, else "unknown".
+func Revision() string {
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" {
+				if len(s.Value) > 12 {
+					return s.Value[:12]
+				}
+				return s.Value
+			}
+		}
+	}
+	return "unknown"
+}
+
+// RegisterBuildInfo publishes the chrysalis_build_info gauge: constant
+// value 1 with the build identity as labels, the standard Prometheus
+// idiom for joining version metadata onto other series.
+func RegisterBuildInfo(r *Registry) {
+	r.GaugeVec("chrysalis_build_info",
+		"Build identity of the running binary (constant 1).",
+		"version", "revision", "go_version", "goos", "goarch").
+		With(Version, Revision(), runtime.Version(), runtime.GOOS, runtime.GOARCH).
+		Set(1)
+}

@@ -209,6 +209,20 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 	return f.child(nil, func() renderable { return &Gauge{} }).(*Gauge)
 }
 
+// GaugeVec is a gauge family partitioned by label values.
+type GaugeVec struct{ f *family }
+
+// GaugeVec returns the labeled gauge family with the given name.
+func (r *Registry) GaugeVec(name, help string, labelKeys ...string) *GaugeVec {
+	return &GaugeVec{f: r.lookup(name, help, "gauge", labelKeys)}
+}
+
+// With returns the child gauge for the given label values. Callers on
+// hot paths should cache the result; the child itself is lock-free.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	return v.f.child(values, func() renderable { return &Gauge{} }).(*Gauge)
+}
+
 // CounterFunc registers a counter whose value is sampled from fn at
 // render time — for values owned by another subsystem (e.g. the
 // evaluator plan-cache counters).

@@ -4,15 +4,19 @@ import (
 	"container/list"
 	"sync"
 
+	"chrysalis/internal/audit"
 	"chrysalis/internal/core"
 	"chrysalis/internal/sim"
 )
 
 // cacheEntry is a finished design: the search result plus, for verify
-// jobs, the step-simulator replay summary.
+// jobs, the step-simulator replay summary, the flight recording and the
+// energy-conservation audit (so cache hits still serve waveforms).
 type cacheEntry struct {
 	result core.Result
 	sim    *sim.Result
+	rec    *sim.Recorder
+	audit  *audit.Report
 }
 
 // lruCache is a content-addressed result cache: keys are canonical

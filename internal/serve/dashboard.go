@@ -1,0 +1,269 @@
+package serve
+
+import (
+	"fmt"
+	"html/template"
+	"math"
+	"net/http"
+	"runtime"
+	"strings"
+	"time"
+
+	"chrysalis/internal/obs"
+	"chrysalis/internal/sim"
+)
+
+// The live dashboard: one server-rendered HTML page with zero external
+// assets — styles, sparkline SVGs and the refresh script are all
+// inlined, so it works on an air-gapped bench next to the device under
+// test. Waveform sparklines are rendered server-side from the flight
+// recorder's min/max-preserving bins (the shaded band is the true
+// min/max envelope, the line the per-bin last sample); the page
+// re-renders itself over the jobs' existing SSE streams.
+
+// dashJobs bounds the job table (most recent first).
+const dashJobs = 12
+
+// sparkline geometry (pixels).
+const (
+	sparkW = 260
+	sparkH = 48
+)
+
+// recent returns up to n job records, newest first.
+func (m *manager) recent(n int) []*job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*job, 0, n)
+	for i := len(m.order) - 1; i >= 0 && len(out) < n; i-- {
+		if j, ok := m.jobs[m.order[i]]; ok {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// dashStats is the headline counter row.
+type dashStats struct {
+	Queued, Running, Done, Failed, Cancelled int64
+	CacheHits, CacheMisses                   int64
+	CacheEntries, JobRecords                 int
+	P50ms, P95ms                             float64
+	LatCount                                 int64
+}
+
+// dashJob is one row of the job table.
+type dashJob struct {
+	ID       string
+	Workload string
+	State    JobState
+	Cached   bool
+	Latency  string
+	Best     string
+	Audit    string
+	AuditOK  bool
+	HasAudit bool
+	Cycles   int
+	Samples  int64
+	Spark    template.HTML
+}
+
+// dashData feeds the dashboard template.
+type dashData struct {
+	Version   string
+	Revision  string
+	GoVersion string
+	Platform  string
+	Now       string
+	Stats     dashStats
+	Jobs      []dashJob
+	ActiveID  string
+}
+
+// dashRow snapshots one job for the table, including its v_cap
+// sparkline when a flight recorder is attached.
+func (j *job) dashRow() dashJob {
+	j.mu.Lock()
+	row := dashJob{
+		ID:     j.id,
+		State:  j.state,
+		Cached: j.cached,
+	}
+	row.Workload = j.js.spec.WorkloadName
+	if row.Workload == "" {
+		row.Workload = "(inline)"
+	}
+	switch {
+	case !j.finished.IsZero() && !j.started.IsZero():
+		row.Latency = j.finished.Sub(j.started).Round(time.Millisecond).String()
+	case !j.started.IsZero():
+		row.Latency = time.Since(j.started).Round(time.Millisecond).String() + "…"
+	}
+	if j.progress != nil {
+		row.Best = fmt.Sprintf("%.4g", j.progress.Best)
+	}
+	if j.audit != nil {
+		row.HasAudit = true
+		row.AuditOK = j.audit.OK()
+		if row.AuditOK {
+			row.Audit = "PASS"
+		} else {
+			row.Audit = fmt.Sprintf("FAIL (%d)", len(j.audit.Findings))
+		}
+	}
+	rec := j.rec
+	j.mu.Unlock()
+
+	// Snapshot the recorder outside the job lock: it has its own mutex
+	// and may be mid-replay on a worker goroutine.
+	if rec != nil {
+		wf := rec.Waveform()
+		row.Cycles = len(wf.Cycles)
+		row.Samples = wf.RawSamples
+		row.Spark = sparklineSVG(wf.Channel("v_cap"), sparkW, sparkH)
+	}
+	return row
+}
+
+// sparklineSVG renders one waveform channel as an inline SVG: a shaded
+// min/max envelope band under the last-sample line, so brownout dips
+// and charge peaks stay visible no matter how coarse the bins are.
+func sparklineSVG(ch *sim.WaveChannel, w, h int) template.HTML {
+	if ch == nil || len(ch.Points) == 0 {
+		return ""
+	}
+	pts := ch.Points
+	t0, t1 := pts[0].T, pts[len(pts)-1].T
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, p := range pts {
+		lo = math.Min(lo, p.Min)
+		hi = math.Max(hi, p.Max)
+	}
+	if t1 <= t0 {
+		t1 = t0 + 1
+	}
+	if hi <= lo {
+		hi = lo + 1e-9
+	}
+	xp := func(t float64) float64 { return 1 + (t-t0)/(t1-t0)*float64(w-2) }
+	yp := func(v float64) float64 { return float64(h-1) - (v-lo)/(hi-lo)*float64(h-2) }
+
+	var band, line strings.Builder
+	for _, p := range pts {
+		fmt.Fprintf(&band, "%.1f,%.1f ", xp(p.T), yp(p.Max))
+	}
+	for i := len(pts) - 1; i >= 0; i-- {
+		fmt.Fprintf(&band, "%.1f,%.1f ", xp(pts[i].T), yp(pts[i].Min))
+	}
+	for _, p := range pts {
+		fmt.Fprintf(&line, "%.1f,%.1f ", xp(p.T), yp(p.Last))
+	}
+	svg := fmt.Sprintf(
+		`<svg width="%d" height="%d" viewBox="0 0 %d %d" role="img" aria-label="%s waveform">`+
+			`<polygon points="%s" fill="#2d6a4f55" stroke="none"/>`+
+			`<polyline points="%s" fill="none" stroke="#74c69d" stroke-width="1"/>`+
+			`<title>%s: %.4g–%.4g %s over %.4g s</title></svg>`,
+		w, h, w, h, template.HTMLEscapeString(ch.Name),
+		strings.TrimSpace(band.String()), strings.TrimSpace(line.String()),
+		template.HTMLEscapeString(ch.Name), lo, hi, template.HTMLEscapeString(ch.Unit), t1-t0)
+	return template.HTML(svg)
+}
+
+var dashTmpl = template.Must(template.New("dashboard").Parse(`<!DOCTYPE html>
+<html lang="en"><head><meta charset="utf-8">
+<title>chrysalisd flight deck</title>
+<style>
+body{background:#0b1215;color:#d8e2dc;font:14px/1.5 ui-monospace,Menlo,Consolas,monospace;margin:2em auto;max-width:72em;padding:0 1em}
+h1{color:#95d5b2;font-size:1.3em}
+small,.dim{color:#6c8a80}
+table{border-collapse:collapse;width:100%;margin-top:1em}
+th,td{border-bottom:1px solid #1f2d2a;padding:.35em .6em;text-align:left;vertical-align:middle}
+th{color:#74c69d}
+.cards{display:flex;flex-wrap:wrap;gap:.8em;margin-top:1em}
+.card{background:#111c1f;border:1px solid #1f2d2a;border-radius:6px;padding:.5em .9em}
+.card b{color:#95d5b2;font-size:1.2em}
+.pass{color:#74c69d}.fail{color:#e56b6f}.run{color:#f4d58d}
+</style></head><body>
+<h1>chrysalisd flight deck</h1>
+<p class="dim">chrysalis {{.Version}} ({{.Revision}}) · {{.GoVersion}} · {{.Platform}} · rendered {{.Now}}</p>
+<div class="cards">
+<div class="card">jobs queued <b>{{.Stats.Queued}}</b></div>
+<div class="card">running <b>{{.Stats.Running}}</b></div>
+<div class="card">done <b>{{.Stats.Done}}</b></div>
+<div class="card">failed <b>{{.Stats.Failed}}</b></div>
+<div class="card">cancelled <b>{{.Stats.Cancelled}}</b></div>
+<div class="card">cache hit/miss <b>{{.Stats.CacheHits}}/{{.Stats.CacheMisses}}</b></div>
+<div class="card">cached designs <b>{{.Stats.CacheEntries}}</b></div>
+<div class="card">job p50/p95 <b>{{printf "%.0f" .Stats.P50ms}}/{{printf "%.0f" .Stats.P95ms}} ms</b> <small>n={{.Stats.LatCount}}</small></div>
+</div>
+<table>
+<tr><th>job</th><th>workload</th><th>state</th><th>latency</th><th>best</th><th>cycles</th><th>samples</th><th>audit</th><th>v_cap (min/max band)</th></tr>
+{{range .Jobs}}<tr>
+<td>{{.ID}}{{if .Cached}} <small class="dim">cached</small>{{end}}</td>
+<td>{{.Workload}}</td>
+<td{{if eq .State "running"}} class="run"{{end}}>{{.State}}</td>
+<td>{{.Latency}}</td>
+<td>{{.Best}}</td>
+<td>{{if .Cycles}}{{.Cycles}}{{end}}</td>
+<td>{{if .Samples}}{{.Samples}}{{end}}</td>
+<td>{{if .HasAudit}}<span class="{{if .AuditOK}}pass{{else}}fail{{end}}">{{.Audit}}</span>{{end}}</td>
+<td>{{.Spark}}</td>
+</tr>{{else}}<tr><td colspan="9" class="dim">no jobs yet — POST /v1/designs with "verify": true to see a flight recording here</td></tr>{{end}}
+</table>
+<p><small class="dim">waveform detail: GET /v1/designs/{id}/waveform (json | ?format=csv) · audit verdict rides the job status and the "audit" SSE event</small></p>
+<script>
+(function () {
+	var active = "{{.ActiveID}}";
+	if (!active) return;
+	var es = new EventSource("/v1/designs/" + active + "/events");
+	var last = 0;
+	function refresh() {
+		var now = Date.now();
+		if (now - last < 1500) return;
+		last = now;
+		location.reload();
+	}
+	["state", "progress", "sim", "audit", "done"].forEach(function (n) {
+		es.addEventListener(n, refresh);
+	});
+	es.onerror = function () { es.close(); setTimeout(function () { location.reload(); }, 3000); };
+})();
+</script>
+</body></html>
+`))
+
+// handleDashboard renders the live flight deck.
+func (s *Server) handleDashboard(w http.ResponseWriter, _ *http.Request) {
+	met := s.mgr.met
+	p50, p95, n := met.quantiles()
+	data := dashData{
+		Version:   obs.Version,
+		Revision:  obs.Revision(),
+		GoVersion: runtime.Version(),
+		Platform:  runtime.GOOS + "/" + runtime.GOARCH,
+		Now:       time.Now().UTC().Format(time.RFC3339),
+		Stats: dashStats{
+			Queued:       met.jobsQueued.Value(),
+			Running:      met.jobsRunning.Value(),
+			Done:         met.jobsDone.Value(),
+			Failed:       met.jobsFailed.Value(),
+			Cancelled:    met.jobsCancelled.Value(),
+			CacheHits:    met.cacheHits.Value(),
+			CacheMisses:  met.cacheMisses.Value(),
+			CacheEntries: s.mgr.cache.len(),
+			JobRecords:   s.mgr.jobCount(),
+			P50ms:        p50 * 1000,
+			P95ms:        p95 * 1000,
+			LatCount:     n,
+		},
+	}
+	for _, j := range s.mgr.recent(dashJobs) {
+		row := j.dashRow()
+		if data.ActiveID == "" && !row.State.terminal() {
+			data.ActiveID = row.ID
+		}
+		data.Jobs = append(data.Jobs, row)
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_ = dashTmpl.Execute(w, data)
+}

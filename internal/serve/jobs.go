@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"chrysalis/internal/audit"
 	"chrysalis/internal/core"
 	"chrysalis/internal/obs"
 	"chrysalis/internal/sim"
@@ -87,6 +88,7 @@ type JobStatus struct {
 	Progress  *ProgressInfo `json:"progress,omitempty"`
 	Result    *core.Result  `json:"result,omitempty"`
 	Verify    *SimSummary   `json:"verify,omitempty"`
+	Audit     *audit.Report `json:"audit,omitempty"`
 }
 
 // job is one design-search unit of work.
@@ -100,6 +102,8 @@ type job struct {
 	err      string
 	result   *core.Result
 	sim      *sim.Result
+	rec      *sim.Recorder
+	audit    *audit.Report
 	created  time.Time
 	started  time.Time
 	finished time.Time
@@ -140,7 +144,17 @@ func (j *job) status() JobStatus {
 		s := simSummary(*j.sim)
 		st.Verify = &s
 	}
+	st.Audit = j.audit
 	return st
+}
+
+// recorder returns the job's flight recorder, if the job carries one.
+// The recorder is safe to snapshot while the verify replay is running —
+// the waveform endpoint and the dashboard read it live.
+func (j *job) recorder() *sim.Recorder {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.rec
 }
 
 // manager owns the job table, the single-flight index, the result
@@ -214,6 +228,8 @@ func (m *manager) submit(js jobSpec) (j *job, reused bool, err error) {
 		res := entry.result
 		j.result = &res
 		j.sim = entry.sim
+		j.rec = entry.rec
+		j.audit = entry.audit
 		j.started, j.finished = now, now
 		j.stream.publish("done", j.status())
 		j.stream.close()
@@ -384,13 +400,20 @@ func (m *manager) run(j *job) {
 	j.mu.Unlock()
 
 	if j.js.verify {
-		// Replay on the step simulator, streaming a bounded prefix of
-		// its events (the rest are summarized by the drop count) while
-		// the trace adapter maps the full stream onto Perfetto slices.
+		// Replay on the step simulator with a flight recorder attached,
+		// streaming a bounded prefix of its events (the rest are
+		// summarized by the drop count) while the trace adapter maps the
+		// full stream onto Perfetto slices. The recorder is published on
+		// the job before the replay starts so the waveform endpoint and
+		// the dashboard can snapshot it mid-flight.
+		rec := sim.NewRecorder(0)
+		j.mu.Lock()
+		j.rec = rec
+		j.mu.Unlock()
 		published := 0
 		dropped := 0
 		adapter := sim.TraceTo(j.trace)
-		simRes, verr := core.VerifyWithTrace(spec, res, func(e sim.Event) {
+		simRes, auditRep, verr := core.VerifyFlight(spec, res, func(e sim.Event) {
 			adapter.Trace(e)
 			if published >= maxStreamHistory/2 {
 				dropped++
@@ -404,7 +427,7 @@ func (m *manager) run(j *job) {
 				"layer":     e.Layer,
 				"voltage_v": float64(e.Voltage),
 			})
-		})
+		}, rec)
 		adapter.Close()
 		if verr != nil {
 			m.finish(j, JobFailed, fmt.Errorf("verify replay: %w", verr))
@@ -415,7 +438,11 @@ func (m *manager) run(j *job) {
 		}
 		j.mu.Lock()
 		j.sim = &simRes
+		j.audit = auditRep
 		j.mu.Unlock()
+		// Publish the physics verdict on the stream: dashboards and SSE
+		// clients learn whether energy conservation held without polling.
+		j.stream.publish("audit", auditRep)
 	}
 	m.finish(j, JobDone, nil)
 }
@@ -440,7 +467,7 @@ func (m *manager) finish(j *job, state JobState, err error) {
 	}
 	var entry *cacheEntry
 	if state == JobDone && j.result != nil {
-		entry = &cacheEntry{result: *j.result, sim: j.sim}
+		entry = &cacheEntry{result: *j.result, sim: j.sim, rec: j.rec, audit: j.audit}
 	}
 	j.mu.Unlock()
 

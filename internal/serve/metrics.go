@@ -78,6 +78,7 @@ func newMetrics() *metrics {
 	reg.CounterFunc("chrysalisd_evaluator_cache_misses_total",
 		"Plan-ladder fingerprint cache misses (ladder builds) inside the evaluation engine.",
 		func() int64 { _, miss := explore.EvalCacheCounters(); return miss })
+	obs.RegisterBuildInfo(reg)
 	return m
 }
 
@@ -163,7 +164,8 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 // requestLogLevel demotes high-frequency scrape and probe endpoints to
 // debug so the default info level stays readable.
 func requestLogLevel(path string) slog.Level {
-	if path == "/metrics" || path == "/healthz" || strings.HasPrefix(path, "/debug/pprof") {
+	if path == "/metrics" || path == "/healthz" || path == "/debug/dashboard" ||
+		strings.HasPrefix(path, "/debug/pprof") {
 		return slog.LevelDebug
 	}
 	return slog.LevelInfo

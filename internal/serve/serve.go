@@ -13,11 +13,15 @@
 //     and, for verify jobs, step-simulator events)
 //   - GET  /v1/designs/{id}/trace   Chrome trace-event / Perfetto JSON
 //     of the job's pipeline spans (also mounted as /jobs/{id}/trace)
+//   - GET  /v1/designs/{id}/waveform  flight-recorder energy waveform
+//     and per-cycle ledgers as JSON (default) or CSV (?format=csv)
 //   - POST /v1/simulate           synchronous step-simulation
 //   - GET  /v1/workloads          workload catalog
 //   - GET  /v1/presets            deployment-scenario presets
 //   - GET  /healthz               liveness
 //   - GET  /metrics               Prometheus-style text metrics
+//   - GET  /debug/dashboard       live HTML flight deck (inline SVG
+//     waveforms, refreshed over the jobs' SSE streams, zero assets)
 //   - GET  /debug/pprof/*         Go runtime profiles
 //
 // Internally a bounded worker pool (sized from GOMAXPROCS by default)
@@ -109,7 +113,9 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("DELETE /v1/designs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/designs/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("GET /v1/designs/{id}/trace", s.handleTrace)
+	s.mux.HandleFunc("GET /v1/designs/{id}/waveform", s.handleWaveform)
 	s.mux.HandleFunc("GET /jobs/{id}/trace", s.handleTrace)
+	s.mux.HandleFunc("GET /debug/dashboard", s.handleDashboard)
 	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
 	s.mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
 	s.mux.HandleFunc("GET /v1/presets", s.handlePresets)

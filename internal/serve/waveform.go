@@ -1,0 +1,56 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+
+	"chrysalis/internal/audit"
+	"chrysalis/internal/sim"
+)
+
+// WaveformResponse is the JSON form of GET /v1/designs/{id}/waveform:
+// the flight recorder's downsampled energy-state channels and per-cycle
+// ledgers, plus the audit verdict once the replay finished. For a still
+// running verify job it is a live snapshot of the waveform so far.
+type WaveformResponse struct {
+	ID       string        `json:"id"`
+	State    JobState      `json:"state"`
+	Audit    *audit.Report `json:"audit,omitempty"`
+	Waveform sim.Waveform  `json:"waveform"`
+}
+
+// handleWaveform serves a job's flight recording as JSON (default) or
+// CSV (?format=csv, or Accept: text/csv). Only verify jobs carry a
+// recorder; others get a 404 explaining how to request one.
+func (s *Server) handleWaveform(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.mgr.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	rec := j.recorder()
+	if rec == nil {
+		writeError(w, http.StatusNotFound,
+			fmt.Errorf("job %s has no flight recording — submit the design with \"verify\": true to record one", j.id))
+		return
+	}
+	format := r.URL.Query().Get("format")
+	if format == "" && strings.Contains(r.Header.Get("Accept"), "text/csv") {
+		format = "csv"
+	}
+	switch format {
+	case "", "json":
+		st := j.status()
+		writeJSON(w, http.StatusOK, WaveformResponse{
+			ID: j.id, State: st.State, Audit: st.Audit, Waveform: rec.Waveform(),
+		})
+	case "csv":
+		wf := rec.Waveform()
+		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+		w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%q", j.id+"-waveform.csv"))
+		_ = wf.WriteCSV(w)
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown format %q (want json or csv)", format))
+	}
+}

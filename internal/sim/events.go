@@ -78,9 +78,10 @@ type Event struct {
 // be fast; they run inside the stepping loop.
 type Tracer func(Event)
 
-// Recorder is a Tracer that appends events to memory, with an optional
-// cap to bound long runs.
-type Recorder struct {
+// EventRecorder is a Tracer that appends events to memory, with an
+// optional cap to bound long runs. (The energy-state flight recorder
+// is the separate Recorder type in recorder.go.)
+type EventRecorder struct {
 	Events []Event
 	// Max bounds the recording (0 = unbounded). Once full, further
 	// events are counted but not stored.
@@ -89,7 +90,7 @@ type Recorder struct {
 }
 
 // Trace implements the Tracer contract for the recorder.
-func (r *Recorder) Trace(e Event) {
+func (r *EventRecorder) Trace(e Event) {
 	if r.Max > 0 && len(r.Events) >= r.Max {
 		r.Dropped++
 		return
@@ -98,7 +99,7 @@ func (r *Recorder) Trace(e Event) {
 }
 
 // Count returns how many events of kind k were recorded.
-func (r *Recorder) Count(k EventKind) int {
+func (r *EventRecorder) Count(k EventKind) int {
 	n := 0
 	for _, e := range r.Events {
 		if e.Kind == k {

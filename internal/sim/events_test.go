@@ -8,7 +8,7 @@ import (
 
 func TestTracerEventOrdering(t *testing.T) {
 	cfg := harSetup(t, 8, 100e-6, solar.Bright())
-	var rec Recorder
+	var rec EventRecorder
 	cfg.Trace = rec.Trace
 	res, err := Run(cfg)
 	if err != nil {
@@ -68,7 +68,7 @@ func TestTracerProtocolInvariants(t *testing.T) {
 	// Under a dark scenario with many brownouts: power-off must alternate
 	// with power-on, and every resume happens right after a power-on.
 	cfg := harSetup(t, 8, 100e-6, solar.Dark())
-	var rec Recorder
+	var rec EventRecorder
 	cfg.Trace = rec.Trace
 	res, err := Run(cfg)
 	if err != nil {
@@ -99,7 +99,7 @@ func TestTracerProtocolInvariants(t *testing.T) {
 }
 
 func TestRecorderCap(t *testing.T) {
-	rec := Recorder{Max: 3}
+	rec := EventRecorder{Max: 3}
 	for i := 0; i < 10; i++ {
 		rec.Trace(Event{Kind: EvPowerOn})
 	}
@@ -132,7 +132,7 @@ func TestTracerNilIsFree(t *testing.T) {
 		t.Fatal(err)
 	}
 	b := harSetup(t, 8, 100e-6, solar.Bright())
-	var rec Recorder
+	var rec EventRecorder
 	b.Trace = rec.Trace
 	rb, err := Run(b)
 	if err != nil {

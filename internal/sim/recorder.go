@@ -1,0 +1,780 @@
+package sim
+
+// The flight recorder: a bounded-memory capture of the full energy-state
+// vector of a simulation — the physics the paper is actually about.
+// Where the span tracer (traceexport.go) answers "when did what happen",
+// the recorder answers "where did every joule go": capacitor voltage,
+// stored energy, harvest/load/leakage power and the cumulative load-side
+// energy categories, sampled every step into min/max-preserving bins,
+// plus an exact per-power-cycle energy ledger the audit pass
+// (internal/audit) folds into conservation checks.
+//
+// Memory is bounded no matter how long the simulated horizon: when the
+// bin count exceeds the configured point budget, adjacent bins merge
+// pairwise and the bin width doubles, so a 24-hour series costs the same
+// memory as a 2-second run while every bin still carries the true
+// min/max of the raw samples it absorbed (peaks are never clipped away,
+// unlike plain decimation — or the old hard 100k-sample cap, which
+// silently dropped the tail of long runs).
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sync"
+
+	"chrysalis/internal/energy"
+	"chrysalis/internal/pmic"
+	"chrysalis/internal/units"
+)
+
+// DefaultWavePoints is the per-channel point budget when the caller
+// passes no capacity to NewRecorder.
+const DefaultWavePoints = 4096
+
+// legacyVoltagePoints bounds the recorder backing the deprecated
+// Config.SampleEvery / Result.VoltageTrace path.
+const legacyVoltagePoints = 8192
+
+// maxCycleLedgers bounds the per-cycle ledger table; beyond it adjacent
+// ledgers merge pairwise (conservation-preserving), so pathological
+// scenarios with millions of power cycles stay bounded too.
+const maxCycleLedgers = 4096
+
+// maxViolations bounds the recorder's event-ordering violation list.
+const maxViolations = 64
+
+// Waveform channel indices. Order is the export order.
+const (
+	ChVCap     = iota // capacitor voltage (V)
+	ChEStored         // stored capacitor energy (J)
+	ChPHarvest        // raw transducer output power (W)
+	ChPLoad           // cap-side power delivered to the load (W)
+	ChPLeak           // capacitor leakage power (W)
+	ChEHarvest        // cumulative raw harvested energy (J)
+	ChECompute        // cumulative inference compute energy (J)
+	ChENVMIO          // cumulative NVM tile read/write energy (J)
+	ChECkpt           // cumulative checkpoint save+resume energy (J)
+	ChCycle           // power-cycle index (count)
+
+	numChannels
+)
+
+// channelMeta names each channel for exports.
+var channelMeta = [numChannels]struct{ Name, Unit string }{
+	{"v_cap", "V"},
+	{"e_stored", "J"},
+	{"p_harvest", "W"},
+	{"p_load", "W"},
+	{"p_leak", "W"},
+	{"e_harvest", "J"},
+	{"e_compute", "J"},
+	{"e_nvm_io", "J"},
+	{"e_ckpt", "J"},
+	{"cycle", "count"},
+}
+
+// chanAgg aggregates one channel over one bin.
+type chanAgg struct {
+	min, max, sum, last float64
+}
+
+func (a *chanAgg) add(v float64) {
+	if v < a.min {
+		a.min = v
+	}
+	if v > a.max {
+		a.max = v
+	}
+	a.sum += v
+	a.last = v
+}
+
+func (a *chanAgg) merge(b chanAgg) {
+	if b.min < a.min {
+		a.min = b.min
+	}
+	if b.max > a.max {
+		a.max = b.max
+	}
+	a.sum += b.sum
+	a.last = b.last
+}
+
+// wavebin is one downsampling bin: a time interval plus per-channel
+// aggregates of every raw sample that fell into it.
+type wavebin struct {
+	t0, t1 float64
+	count  int64
+	ch     [numChannels]chanAgg
+}
+
+// WavePoint is one exported bin of one channel.
+type WavePoint struct {
+	T    float64 `json:"t_s"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+	Mean float64 `json:"mean"`
+	Last float64 `json:"last"`
+}
+
+// WaveChannel is one exported waveform channel.
+type WaveChannel struct {
+	Name   string      `json:"name"`
+	Unit   string      `json:"unit"`
+	Points []WavePoint `json:"points"`
+}
+
+// CycleLedger is the exact energy bookkeeping of one power-cycle
+// segment: the interval from one power-on to the next (segment 0 covers
+// the initial cold-start charge). All energies are capacitor-side
+// joules except HarvestedJ/ConversionLossJ (transducer-side) and
+// CkptLoadJ (load-side checkpoint+resume cost). Conservation holds per
+// segment by construction:
+//
+//	ChargedJ = DeliveredJ + LeakedJ + DrainedJ + (EndStoredJ − StartStoredJ)
+//	HarvestedJ = ChargedJ + ConversionLossJ + SpilledJ
+type CycleLedger struct {
+	Index int `json:"index"`
+	// Merged counts how many raw segments this ledger aggregates (>1
+	// after ledger-table compaction on pathological cycle counts).
+	Merged int     `json:"merged,omitempty"`
+	StartS float64 `json:"start_s"`
+	EndS   float64 `json:"end_s"`
+	// OnSeconds is the powered time inside the segment.
+	OnSeconds float64 `json:"on_s"`
+
+	StartStoredJ float64 `json:"start_stored_j"`
+	EndStoredJ   float64 `json:"end_stored_j"`
+
+	HarvestedJ      float64 `json:"harvested_j"`
+	ChargedJ        float64 `json:"charged_j"`
+	ConversionLossJ float64 `json:"conversion_loss_j"`
+	SpilledJ        float64 `json:"spilled_j"`
+	DeliveredJ      float64 `json:"delivered_j"`
+	LeakedJ         float64 `json:"leaked_j"`
+	// DrainedJ is capacitor energy removed directly by discrete
+	// checkpoint-save and resume events (drainExtra).
+	DrainedJ float64 `json:"drained_j"`
+	// CkptLoadJ is the load-side energy of those same events.
+	CkptLoadJ float64 `json:"ckpt_load_j"`
+
+	// VSqIntegral is ∫V²dt over the segment (V²·s), integrated at the
+	// capacitor's pre-discharge voltage each step — the exact basis of
+	// the leakage debit, so the audit's reconstruction k_cap·C·∫V²dt
+	// matches the recorded LeakedJ up to float rounding.
+	VSqIntegral float64 `json:"vsq_integral"`
+
+	MinV float64 `json:"min_v"`
+	MaxV float64 `json:"max_v"`
+	// MinVOn is the minimum end-of-step voltage observed while the
+	// power gate was on, excluding steps that contained a discrete
+	// checkpoint/resume drain (those may legitimately dip below U_off
+	// within the step). +Inf internally when the segment never powered;
+	// snapshots report 0 then (OnSamples disambiguates).
+	MinVOn float64 `json:"min_v_on"`
+	// OnSamples counts the end-of-step samples MinVOn aggregates; 0
+	// means MinVOn is meaningless (e.g. the segment's only powered step
+	// contained a drain).
+	OnSamples int `json:"on_samples"`
+
+	Checkpoints int `json:"checkpoints"`
+	Resumes     int `json:"resumes"`
+	Retries     int `json:"retries"`
+	TilesDone   int `json:"tiles_done"`
+}
+
+func (l *CycleLedger) mergeFrom(b CycleLedger) {
+	l.Merged += b.Merged
+	l.EndS = b.EndS
+	l.OnSeconds += b.OnSeconds
+	l.EndStoredJ = b.EndStoredJ
+	l.HarvestedJ += b.HarvestedJ
+	l.ChargedJ += b.ChargedJ
+	l.ConversionLossJ += b.ConversionLossJ
+	l.SpilledJ += b.SpilledJ
+	l.DeliveredJ += b.DeliveredJ
+	l.LeakedJ += b.LeakedJ
+	l.DrainedJ += b.DrainedJ
+	l.CkptLoadJ += b.CkptLoadJ
+	l.VSqIntegral += b.VSqIntegral
+	l.MinV = math.Min(l.MinV, b.MinV)
+	l.MaxV = math.Max(l.MaxV, b.MaxV)
+	l.MinVOn = math.Min(l.MinVOn, b.MinVOn)
+	l.OnSamples += b.OnSamples
+	l.Checkpoints += b.Checkpoints
+	l.Resumes += b.Resumes
+	l.Retries += b.Retries
+	l.TilesDone += b.TilesDone
+}
+
+// Violation is one event-stream invariant the recorder saw broken.
+type Violation struct {
+	TimeS float64 `json:"t_s"`
+	Msg   string  `json:"msg"`
+}
+
+// Waveform is a point-in-time snapshot of a recorder: the downsampled
+// channels plus the per-cycle ledgers. It marshals to JSON directly and
+// writes CSV via WriteCSV.
+type Waveform struct {
+	StartS     float64       `json:"start_s"`
+	EndS       float64       `json:"end_s"`
+	BinSeconds float64       `json:"bin_s"`
+	RawSamples int64         `json:"raw_samples"`
+	Channels   []WaveChannel `json:"channels"`
+	Cycles     []CycleLedger `json:"cycles,omitempty"`
+
+	// binCounts carries per-bin raw-sample counts for the CSV export
+	// (kept out of the per-channel JSON to stay compact).
+	binCounts []int64
+}
+
+// Channel returns the named channel, or nil.
+func (w *Waveform) Channel(name string) *WaveChannel {
+	for i := range w.Channels {
+		if w.Channels[i].Name == name {
+			return &w.Channels[i]
+		}
+	}
+	return nil
+}
+
+// WriteCSV renders the waveform in wide CSV form: one row per bin with
+// t_s, the raw-sample count, and min/max/mean/last columns per channel.
+func (w *Waveform) WriteCSV(out io.Writer) error {
+	if _, err := fmt.Fprint(out, "t_s,samples"); err != nil {
+		return err
+	}
+	for _, ch := range w.Channels {
+		fmt.Fprintf(out, ",%s_min,%s_max,%s_mean,%s_last", ch.Name, ch.Name, ch.Name, ch.Name)
+	}
+	fmt.Fprintln(out)
+	if len(w.Channels) == 0 {
+		return nil
+	}
+	n := len(w.Channels[0].Points)
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(out, "%g,%d", w.Channels[0].Points[i].T, w.binCount(i))
+		for _, ch := range w.Channels {
+			p := ch.Points[i]
+			if _, err := fmt.Fprintf(out, ",%g,%g,%g,%g", p.Min, p.Max, p.Mean, p.Last); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// binCount returns the raw-sample count of bin i.
+func (w *Waveform) binCount(i int) int64 {
+	if i < len(w.binCounts) {
+		return w.binCounts[i]
+	}
+	return 0
+}
+
+// Recorder samples the simulator's full energy-state vector each step
+// into bounded min/max-preserving bins and maintains exact per-cycle
+// energy ledgers. Attach one via Config.Record; the same recorder may
+// span a whole RunSeries (clock and capacitor state carry over). All
+// methods are safe for concurrent use with a running simulation, and a
+// nil *Recorder is inert.
+type Recorder struct {
+	// BinSeconds is the initial bin width (0 = one bin per raw sample
+	// until the point budget forces merging). Set before the first run.
+	BinSeconds units.Seconds
+
+	mu        sync.Mutex
+	maxPoints int
+	binDur    float64
+	bins      []wavebin
+	binCounts []int64 // scratch for snapshots; rebuilt per Waveform call
+	raw       int64
+
+	es     *energy.Subsystem
+	espec  energy.Spec
+	policy Policy
+
+	// Cumulative-channel bookkeeping across runOnce calls.
+	base       Breakdown
+	prevBD     Breakdown
+	cumHarvest float64
+
+	// Per-cycle ledgers.
+	cycles       []CycleLedger
+	open         CycleLedger
+	opened       bool
+	cycleIndex   int
+	powered      bool
+	freshRun     bool // a begin() happened since the last power-on event
+	pendingCycle bool
+	tilesSince   int // tile-done events since the last checkpoint
+	pendDrain    float64
+	pendCkpt     float64
+	lastT        float64
+	lastStored   float64
+	haveLast     bool
+
+	lastEventT float64
+	violations []Violation
+	dropped    int64 // violations beyond maxViolations
+}
+
+// NewRecorder returns a recorder with the given per-channel point
+// budget (<= 0 selects DefaultWavePoints).
+func NewRecorder(maxPoints int) *Recorder {
+	if maxPoints <= 0 {
+		maxPoints = DefaultWavePoints
+	}
+	return &Recorder{maxPoints: maxPoints}
+}
+
+// begin attaches the recorder to a subsystem at simulation time t. It
+// is called at the start of every runOnce (and before idle phases) and
+// is idempotent: repeated calls fold the previous inference's breakdown
+// into the cumulative base and re-anchor the ledger to the current
+// stored energy.
+func (r *Recorder) begin(es *energy.Subsystem, t units.Seconds, policy Policy) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.es == nil {
+		r.es = es
+		r.espec = es.Spec()
+		if r.binDur == 0 {
+			r.binDur = float64(r.BinSeconds)
+		}
+	}
+	r.policy = policy
+	r.freshRun = true
+	// Fold the finished inference's breakdown into the running base so
+	// cumulative channels stay continuous across a series.
+	r.base.Infer += r.prevBD.Infer
+	r.base.NVMIO += r.prevBD.NVMIO
+	r.base.Ckpt += r.prevBD.Ckpt
+	r.prevBD = Breakdown{}
+
+	stored := float64(es.Cap.Stored())
+	if !r.opened {
+		r.openLedgerLocked(float64(t), stored)
+	} else if r.haveLast && stored != r.lastStored {
+		// State changed outside recorded steps (unreachable via the
+		// public API, but keep the ledger sound): close and re-open at
+		// the observed boundary.
+		r.closeLedgerLocked()
+		r.openLedgerLocked(float64(t), stored)
+	}
+	r.lastT = float64(t)
+	r.lastStored = stored
+	r.haveLast = true
+}
+
+func (r *Recorder) openLedgerLocked(t, stored float64) {
+	r.open = CycleLedger{
+		Index:        r.cycleIndex,
+		Merged:       1,
+		StartS:       t,
+		EndS:         t,
+		StartStoredJ: stored,
+		EndStoredJ:   stored,
+		MinV:         math.Inf(1),
+		MaxV:         math.Inf(-1),
+		MinVOn:       math.Inf(1),
+	}
+	r.opened = true
+}
+
+func (r *Recorder) closeLedgerLocked() {
+	if !r.opened {
+		return
+	}
+	// Skip empty pre-sample segments (no time advanced, no flows).
+	// Infinities (MinVOn of a never-powered segment) are kept internal
+	// so ledger merges stay correct; snapshots sanitize them.
+	if r.open.EndS > r.open.StartS || r.open.HarvestedJ != 0 || r.open.TilesDone != 0 {
+		r.cycles = append(r.cycles, r.open)
+		if len(r.cycles) > maxCycleLedgers {
+			r.compactCyclesLocked()
+		}
+	}
+	r.opened = false
+}
+
+// compactCyclesLocked merges adjacent ledger pairs, halving the table.
+// Each merge sums the flows and chains the stored-energy boundaries, so
+// conservation checks survive compaction unchanged.
+func (r *Recorder) compactCyclesLocked() {
+	half := len(r.cycles) / 2
+	for i := 0; i < half; i++ {
+		l := r.cycles[2*i]
+		l.mergeFrom(r.cycles[2*i+1])
+		r.cycles[i] = l
+	}
+	if len(r.cycles)%2 == 1 {
+		r.cycles[half] = r.cycles[len(r.cycles)-1]
+		half++
+	}
+	r.cycles = r.cycles[:half]
+}
+
+// event consumes one simulator event, updating per-cycle counters and
+// checking event-stream invariants. Called from the simulation loop.
+func (r *Recorder) event(e Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ts := float64(e.Time)
+	if ts < r.lastEventT {
+		r.violateLocked(ts, fmt.Sprintf("event %v at %gs precedes prior event at %gs", e.Kind, ts, r.lastEventT))
+	}
+	r.lastEventT = ts
+	switch e.Kind {
+	case EvPowerOn:
+		// Each runOnce re-detects an already-on gate as a fresh power-on
+		// (Result.PowerCycles counts it too), so a powered power-on is
+		// only a violation when no run boundary intervened.
+		if r.powered && !r.freshRun {
+			r.violateLocked(ts, "power-on while already powered")
+		}
+		r.freshRun = false
+		r.powered = true
+		r.cycleIndex++
+		r.pendingCycle = true
+		r.tilesSince = 0
+	case EvPowerOff:
+		if !r.powered {
+			r.violateLocked(ts, "power-off while already off")
+		}
+		// Under the eager policy every completed tile is durable before
+		// any brownout; completed-but-unsaved tiles at power-off mean
+		// the checkpoint-before-brownout ordering broke.
+		if r.policy == PolicyEveryTile && r.tilesSince > 0 {
+			r.violateLocked(ts, fmt.Sprintf("%d tiles completed without checkpoint before brownout", r.tilesSince))
+		}
+		r.powered = false
+	case EvTileStart, EvTileDone, EvCheckpoint:
+		if !r.powered {
+			r.violateLocked(ts, fmt.Sprintf("%v while power is off", e.Kind))
+		}
+		switch e.Kind {
+		case EvTileDone:
+			if r.opened {
+				r.open.TilesDone++
+			}
+			r.tilesSince++
+		case EvCheckpoint:
+			if r.opened {
+				r.open.Checkpoints++
+			}
+			r.tilesSince = 0
+		}
+	case EvResume:
+		if !r.powered {
+			r.violateLocked(ts, "resume while power is off")
+		}
+		if r.opened {
+			r.open.Resumes++
+		}
+	case EvRetry:
+		if r.opened {
+			r.open.Retries++
+		}
+	}
+}
+
+func (r *Recorder) violateLocked(ts float64, msg string) {
+	if len(r.violations) >= maxViolations {
+		r.dropped++
+		return
+	}
+	r.violations = append(r.violations, Violation{TimeS: ts, Msg: msg})
+}
+
+// drain records a discrete capacitor drain (checkpoint save / resume):
+// capJ removed capacitor-side, loadJ the load-side cost. Flushed into
+// the ledger by the next step call so transition-step drains land in
+// the segment they belong to.
+func (r *Recorder) drain(capJ, loadJ units.Energy) {
+	r.mu.Lock()
+	r.pendDrain += float64(capJ)
+	r.pendCkpt += float64(loadJ)
+	r.mu.Unlock()
+}
+
+// step records one simulation step: the energy flows of the step report,
+// the cumulative breakdown of the in-flight inference, and the
+// subsystem's end-of-step state. tm is the time at the END of the step.
+func (r *Recorder) step(tm, dt units.Seconds, rep energy.StepReport, bd Breakdown) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t := float64(tm)
+	v := float64(r.es.Cap.Voltage())
+	stored := float64(r.es.Cap.Stored())
+
+	// A power-on observed since the last step closes the ledger at the
+	// previous step boundary; the transition step's flows (and any
+	// resume drain) belong to the new cycle.
+	if r.pendingCycle {
+		r.closeLedgerLocked()
+		r.openLedgerLocked(r.lastT, r.lastStored)
+		r.pendingCycle = false
+	}
+
+	drainedNow := r.pendDrain != 0 || r.pendCkpt != 0
+	l := &r.open
+	l.EndS = t
+	l.EndStoredJ = stored
+	l.HarvestedJ += float64(rep.Harvested)
+	l.ChargedJ += float64(rep.Charged)
+	l.ConversionLossJ += float64(rep.ConversionLoss)
+	l.SpilledJ += float64(rep.Spilled)
+	l.DeliveredJ += float64(rep.Delivered)
+	l.LeakedJ += float64(rep.Leaked)
+	l.DrainedJ += r.pendDrain
+	l.CkptLoadJ += r.pendCkpt
+	r.pendDrain, r.pendCkpt = 0, 0
+	// The capacitor debits leakage at its pre-discharge voltage: the
+	// stored energy at the start of the step plus the harvest credit.
+	// Both are known here exactly, so the V² integral reproduces the
+	// leak-basis trajectory rather than approximating it from
+	// end-of-step samples.
+	vLeak := float64(units.VoltageForEnergy(r.espec.Cap, units.Energy(r.lastStored)+rep.Charged))
+	l.VSqIntegral += vLeak * vLeak * float64(dt)
+	if v < l.MinV {
+		l.MinV = v
+	}
+	if v > l.MaxV {
+		l.MaxV = v
+	}
+	// Gate state comes from the step report, not the event stream:
+	// idle-phase stepping has no events, but the PMIC still switches.
+	if rep.State == pmic.On {
+		l.OnSeconds += float64(dt)
+		if !drainedNow {
+			l.OnSamples++
+			if v < l.MinVOn {
+				l.MinVOn = v
+			}
+		}
+	}
+
+	r.cumHarvest += float64(rep.Harvested)
+	r.prevBD = bd
+
+	var vals [numChannels]float64
+	vals[ChVCap] = v
+	vals[ChEStored] = stored
+	if dt > 0 {
+		vals[ChPHarvest] = float64(rep.Harvested) / float64(dt)
+		vals[ChPLoad] = float64(rep.Delivered) / float64(dt)
+		vals[ChPLeak] = float64(rep.Leaked) / float64(dt)
+	}
+	vals[ChEHarvest] = r.cumHarvest
+	vals[ChECompute] = float64(r.base.Infer + bd.Infer)
+	vals[ChENVMIO] = float64(r.base.NVMIO + bd.NVMIO)
+	vals[ChECkpt] = float64(r.base.Ckpt + bd.Ckpt)
+	vals[ChCycle] = float64(r.cycleIndex)
+	r.sampleLocked(t, &vals)
+
+	r.lastT = t
+	r.lastStored = stored
+}
+
+// sampleLocked folds one raw sample into the current bin, opening a new
+// bin (and compacting on budget overflow) as needed.
+func (r *Recorder) sampleLocked(t float64, vals *[numChannels]float64) {
+	r.raw++
+	n := len(r.bins)
+	if n == 0 || (r.binDur > 0 && t-r.bins[n-1].t0 >= r.binDur) || (r.binDur == 0 && t > r.bins[n-1].t1) {
+		b := wavebin{t0: t, t1: t, count: 0}
+		for i := range b.ch {
+			b.ch[i] = chanAgg{min: math.Inf(1), max: math.Inf(-1)}
+		}
+		r.bins = append(r.bins, b)
+		if len(r.bins) > r.maxPoints {
+			r.compactBinsLocked()
+		}
+		n = len(r.bins)
+	}
+	b := &r.bins[n-1]
+	b.t1 = t
+	b.count++
+	for i := range vals {
+		b.ch[i].add(vals[i])
+	}
+}
+
+// compactBinsLocked merges adjacent bin pairs and doubles the bin
+// width, keeping the true min/max of every absorbed sample.
+func (r *Recorder) compactBinsLocked() {
+	if r.binDur == 0 {
+		span := r.bins[len(r.bins)-1].t1 - r.bins[0].t0
+		r.binDur = 2 * span / float64(len(r.bins))
+		if r.binDur <= 0 {
+			r.binDur = math.SmallestNonzeroFloat64
+		}
+	} else {
+		r.binDur *= 2
+	}
+	half := len(r.bins) / 2
+	for i := 0; i < half; i++ {
+		b := r.bins[2*i]
+		nb := r.bins[2*i+1]
+		b.t1 = nb.t1
+		b.count += nb.count
+		for c := range b.ch {
+			b.ch[c].merge(nb.ch[c])
+		}
+		r.bins[i] = b
+	}
+	if len(r.bins)%2 == 1 {
+		r.bins[half] = r.bins[len(r.bins)-1]
+		half++
+	}
+	r.bins = r.bins[:half]
+}
+
+// RawSamples returns the number of raw samples folded into the bins.
+func (r *Recorder) RawSamples() int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.raw
+}
+
+// Points returns the current bin count (≤ the configured budget + 1).
+func (r *Recorder) Points() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.bins)
+}
+
+// EnergySpec returns the (defaults-filled) spec of the subsystem the
+// recorder observed — the constants the audit pass reconstructs
+// leakage and voltage bounds from. Zero before the first run.
+func (r *Recorder) EnergySpec() energy.Spec {
+	if r == nil {
+		return energy.Spec{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.espec
+}
+
+// Policy returns the checkpoint policy of the recorded run.
+func (r *Recorder) Policy() Policy {
+	if r == nil {
+		return PolicyEveryTile
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.policy
+}
+
+// Violations returns the event-stream invariant violations observed so
+// far (bounded at 64) and how many more were dropped.
+func (r *Recorder) Violations() ([]Violation, int64) {
+	if r == nil {
+		return nil, 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Violation(nil), r.violations...), r.dropped
+}
+
+// Cycles snapshots the per-cycle ledgers, including the open segment.
+func (r *Recorder) Cycles() []CycleLedger {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.cyclesLocked()
+}
+
+func (r *Recorder) cyclesLocked() []CycleLedger {
+	out := append([]CycleLedger(nil), r.cycles...)
+	if r.opened && (r.open.EndS > r.open.StartS || r.open.HarvestedJ != 0) {
+		out = append(out, r.open)
+	}
+	// Sanitize infinities so snapshots JSON-marshal cleanly: a segment
+	// with no powered time reports MinVOn = 0 (OnSeconds disambiguates),
+	// and a segment with no samples reports zero voltage bounds.
+	for i := range out {
+		if math.IsInf(out[i].MinVOn, 1) {
+			out[i].MinVOn = 0
+		}
+		if math.IsInf(out[i].MinV, 1) {
+			out[i].MinV, out[i].MaxV = 0, 0
+		}
+	}
+	return out
+}
+
+// Waveform snapshots the recorder into an exportable waveform.
+func (r *Recorder) Waveform() Waveform {
+	if r == nil {
+		return Waveform{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	w := Waveform{
+		BinSeconds: r.binDur,
+		RawSamples: r.raw,
+		Cycles:     r.cyclesLocked(),
+	}
+	if len(r.bins) > 0 {
+		w.StartS = r.bins[0].t0
+		w.EndS = r.bins[len(r.bins)-1].t1
+	}
+	w.binCounts = make([]int64, len(r.bins))
+	for i := range r.bins {
+		w.binCounts[i] = r.bins[i].count
+	}
+	w.Channels = make([]WaveChannel, numChannels)
+	for c := 0; c < numChannels; c++ {
+		ch := WaveChannel{
+			Name:   channelMeta[c].Name,
+			Unit:   channelMeta[c].Unit,
+			Points: make([]WavePoint, len(r.bins)),
+		}
+		for i := range r.bins {
+			a := r.bins[i].ch[c]
+			ch.Points[i] = WavePoint{
+				T:    r.bins[i].t0,
+				Min:  a.min,
+				Max:  a.max,
+				Mean: a.sum / float64(r.bins[i].count),
+				Last: a.last,
+			}
+		}
+		w.Channels[c] = ch
+	}
+	return w
+}
+
+// voltageTraceSince materializes the deprecated Result.VoltageTrace
+// view for one inference: one sample per bin ending after start,
+// carrying the bin's last observed voltage at the bin's end time.
+func (r *Recorder) voltageTraceSince(start float64) []VoltageSample {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []VoltageSample
+	for i := range r.bins {
+		if r.bins[i].t1 <= start {
+			continue
+		}
+		out = append(out, VoltageSample{
+			Time:    units.Seconds(r.bins[i].t1),
+			Voltage: units.Voltage(r.bins[i].ch[ChVCap].last),
+		})
+	}
+	return out
+}

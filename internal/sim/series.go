@@ -75,15 +75,23 @@ func RunSeries(cfg Config, n int, idle units.Seconds) (SeriesResult, error) {
 		tm = end
 
 		// Idle gap: the device sleeps but keeps harvesting; idle is
-		// advanced in coarse steps since nothing switches quickly.
+		// advanced in coarse steps since nothing switches quickly. The
+		// flight recorder keeps observing so waveforms and energy
+		// ledgers stay continuous across the gap.
 		if idle > 0 && i < n-1 {
 			idleDt := idle / 100
 			if idleDt < dt {
 				idleDt = dt
 			}
+			if cfg.Record != nil {
+				cfg.Record.begin(es, tm, cfg.Policy)
+			}
 			for done := units.Seconds(0); done < idle; done += idleDt {
-				es.Step(tm, 0, idleDt)
+				rep := es.Step(tm, 0, idleDt)
 				tm += idleDt
+				if cfg.Record != nil {
+					cfg.Record.step(tm, idleDt, rep, Breakdown{})
+				}
 			}
 		}
 	}

@@ -59,9 +59,19 @@ type Config struct {
 	// tile starts/completions, checkpoints, resumes, retries) in time
 	// order.
 	Trace Tracer
+	// Record, when non-nil, captures the full energy-state vector each
+	// step (voltage, stored energy, power flows, cumulative energy
+	// categories, cycle index) into bounded min/max-preserving bins
+	// plus per-power-cycle ledgers. One recorder may span a whole
+	// RunSeries; see Recorder.
+	Record *Recorder
 	// SampleEvery records the capacitor voltage at this interval into
-	// Result.VoltageTrace (0 disables; at most maxVoltageSamples are
-	// kept).
+	// Result.VoltageTrace. Long runs are downsampled into
+	// min/max-preserving bins instead of being truncated, so the trace
+	// stays bounded while covering the whole run.
+	//
+	// Deprecated: attach a Recorder via Record for the full waveform;
+	// VoltageTrace is derived from the same machinery.
 	SampleEvery units.Seconds
 	// Policy selects the checkpoint strategy (default PolicyEveryTile).
 	Policy Policy
@@ -132,9 +142,6 @@ type VoltageSample struct {
 	Voltage units.Voltage
 }
 
-// maxVoltageSamples bounds waveform memory for long runs.
-const maxVoltageSamples = 100_000
-
 // Result summarizes one simulated inference.
 type Result struct {
 	Completed bool
@@ -156,7 +163,11 @@ type Result struct {
 	SystemEfficiency float64
 
 	// VoltageTrace holds the sampled capacitor waveform when
-	// Config.SampleEvery is set.
+	// Config.SampleEvery is set: one point per downsampling bin,
+	// carrying the bin's last observed voltage.
+	//
+	// Deprecated: use Config.Record and Recorder.Waveform for the full
+	// multi-channel waveform.
 	VoltageTrace []VoltageSample
 }
 
@@ -243,6 +254,18 @@ func runOnce(cfg Config, start units.Seconds) (Result, units.Seconds) {
 
 	es := cfg.Energy
 
+	// The flight recorder: either the caller's (possibly spanning a
+	// whole series) or, for the deprecated SampleEvery voltage trace, a
+	// local one scoped to this inference.
+	rec := cfg.Record
+	if rec == nil && cfg.SampleEvery > 0 {
+		rec = NewRecorder(legacyVoltagePoints)
+		rec.BinSeconds = cfg.SampleEvery
+	}
+	if rec != nil {
+		rec.begin(es, start, cfg.Policy)
+	}
+
 	tiles := flatten(cfg.Plans)
 	staticP := units.Power(float64(cfg.HW.PMemPerByte)*float64(cfg.HW.VMBytes) + float64(cfg.HW.PIdle))
 
@@ -285,23 +308,20 @@ func runOnce(cfg Config, start units.Seconds) (Result, units.Seconds) {
 	var uncommittedInfer, uncommittedIO units.Energy
 
 	emit := func(kind EventKind, tileIdx int) {
-		if cfg.Trace == nil {
+		if cfg.Trace == nil && rec == nil {
 			return
 		}
 		layer := -1
 		if tileIdx >= 0 && tileIdx < len(tiles) {
 			layer = tiles[tileIdx].layer
 		}
-		cfg.Trace(Event{Kind: kind, Time: tm, Tile: tileIdx, Layer: layer, Voltage: es.Cap.Voltage()})
-	}
-
-	var nextSample units.Seconds = tm
-	sample := func() {
-		if cfg.SampleEvery <= 0 || tm < nextSample || len(res.VoltageTrace) >= maxVoltageSamples {
-			return
+		e := Event{Kind: kind, Time: tm, Tile: tileIdx, Layer: layer, Voltage: es.Cap.Voltage()}
+		if rec != nil {
+			rec.event(e)
 		}
-		res.VoltageTrace = append(res.VoltageTrace, VoltageSample{Time: tm, Voltage: es.Cap.Voltage()})
-		nextSample = tm + cfg.SampleEvery
+		if cfg.Trace != nil {
+			cfg.Trace(e)
+		}
 	}
 
 	wasOn := false
@@ -320,7 +340,6 @@ func runOnce(cfg Config, start units.Seconds) (Result, units.Seconds) {
 		res.Breakdown.ConversionLoss += rep.ConversionLoss
 		res.Breakdown.CapLeakage += rep.Leaked
 		res.Breakdown.SpilledHarvest += rep.Spilled
-		sample()
 
 		// 1. Account energy delivered during this step (load was active).
 		if wasOn {
@@ -375,7 +394,10 @@ func runOnce(cfg Config, start units.Seconds) (Result, units.Seconds) {
 				if save {
 					saveE := intermittent.SaveEnergy(cfg.HW, t.ckptB)
 					res.Breakdown.Ckpt += saveE
-					drainExtra(es, saveE)
+					drained := drainExtra(es, saveE)
+					if rec != nil {
+						rec.drain(drained, saveE)
+					}
 					res.Checkpoints++
 					emit(EvCheckpoint, idx)
 					committed = idx + 1
@@ -389,61 +411,80 @@ func runOnce(cfg Config, start units.Seconds) (Result, units.Seconds) {
 				if idx >= len(tiles) {
 					res.Completed = true
 					emit(EvDone, -1)
-					break
+				} else {
+					curNeed = tileEnergy(idx)
 				}
-				curNeed = tileEnergy(idx)
 			}
 		}
 
-		// 2. Handle gate transitions.
-		on := rep.State == pmic.On
-		if on && !wasOn {
-			res.PowerCycles++
-			emit(EvPowerOn, idx)
-			if needsResu {
-				// Pay the resume cost out of the fresh cycle.
-				t := tiles[idx]
-				resE := intermittent.ResumeEnergy(cfg.HW, t.ckptB)
-				res.Breakdown.Ckpt += resE
-				drainExtra(es, resE)
-				res.Resumes++
-				emit(EvResume, idx)
-				needsResu = false
+		// 2. Handle gate transitions (skipped on the completion step —
+		// the run ends before the gate can act again).
+		if !res.Completed {
+			on := rep.State == pmic.On
+			if on && !wasOn {
+				res.PowerCycles++
+				emit(EvPowerOn, idx)
+				if needsResu {
+					// Pay the resume cost out of the fresh cycle.
+					t := tiles[idx]
+					resE := intermittent.ResumeEnergy(cfg.HW, t.ckptB)
+					res.Breakdown.Ckpt += resE
+					drained := drainExtra(es, resE)
+					if rec != nil {
+						rec.drain(drained, resE)
+					}
+					res.Resumes++
+					emit(EvResume, idx)
+					needsResu = false
+				}
 			}
+			if !on && wasOn {
+				// Brownout. Everything since the last durable point is
+				// lost: the in-flight tile's partial energy plus any
+				// completed-but-unsaved tiles under lazy policies.
+				emit(EvPowerOff, idx)
+				lost := tileSpentInfer + tileSpentIO
+				if inTile && progress > 0 {
+					res.TileRetries++
+					emit(EvRetry, idx)
+				}
+				if idx > committed {
+					// Roll back to the last checkpoint.
+					res.TileRetries += idx - committed
+					res.TilesDone -= idx - committed
+					lost += uncommittedInfer + uncommittedIO
+					idx = committed
+				}
+				if lost > 0 {
+					res.Breakdown.Infer -= tileSpentInfer + uncommittedInfer
+					res.Breakdown.NVMIO -= tileSpentIO + uncommittedIO
+					res.Breakdown.Wasted += lost
+				}
+				progress = 0
+				curNeed = tileEnergy(idx)
+				inTile = false
+				tileSpentInfer, tileSpentIO = 0, 0
+				uncommittedInfer, uncommittedIO = 0, 0
+				// A restore is needed whenever execution was interrupted:
+				// even with no checkpoint yet, the runtime re-initializes
+				// its state from NVM on the next power-up.
+				needsResu = true
+			}
+			wasOn = on
 		}
-		if !on && wasOn {
-			// Brownout. Everything since the last durable point is
-			// lost: the in-flight tile's partial energy plus any
-			// completed-but-unsaved tiles under lazy policies.
-			emit(EvPowerOff, idx)
-			lost := tileSpentInfer + tileSpentIO
-			if inTile && progress > 0 {
-				res.TileRetries++
-				emit(EvRetry, idx)
-			}
-			if idx > committed {
-				// Roll back to the last checkpoint.
-				res.TileRetries += idx - committed
-				res.TilesDone -= idx - committed
-				lost += uncommittedInfer + uncommittedIO
-				idx = committed
-			}
-			if lost > 0 {
-				res.Breakdown.Infer -= tileSpentInfer + uncommittedInfer
-				res.Breakdown.NVMIO -= tileSpentIO + uncommittedIO
-				res.Breakdown.Wasted += lost
-			}
-			progress = 0
-			curNeed = tileEnergy(idx)
-			inTile = false
-			tileSpentInfer, tileSpentIO = 0, 0
-			uncommittedInfer, uncommittedIO = 0, 0
-			// A restore is needed whenever execution was interrupted:
-			// even with no checkpoint yet, the runtime re-initializes
-			// its state from NVM on the next power-up.
-			needsResu = true
+
+		// Record the step's flows and end-of-step state (after drains,
+		// so ledgers balance exactly).
+		if rec != nil {
+			rec.step(tm, dt, rep, res.Breakdown)
 		}
-		wasOn = on
+		if res.Completed {
+			break
+		}
+	}
+
+	if cfg.SampleEvery > 0 && rec != nil {
+		res.VoltageTrace = rec.voltageTraceSince(float64(start))
 	}
 
 	res.E2ELatency = tm - start
@@ -457,8 +498,10 @@ func runOnce(cfg Config, start units.Seconds) (Result, units.Seconds) {
 }
 
 // drainExtra removes energy directly from the capacitor for discrete
-// events (checkpoint save/resume) that happen inside one step.
-func drainExtra(es *energy.Subsystem, e units.Energy) {
+// events (checkpoint save/resume) that happen inside one step. It
+// returns the capacitor-side energy actually removed (the load-side
+// cost divided by the PMIC load efficiency, clamped to what is stored).
+func drainExtra(es *energy.Subsystem, e units.Energy) units.Energy {
 	spec := es.Spec()
 	capSide := units.Energy(float64(e) / spec.PMIC.LoadEff)
 	stored := es.Cap.Stored()
@@ -466,6 +509,7 @@ func drainExtra(es *energy.Subsystem, e units.Energy) {
 		capSide = stored
 	}
 	es.Cap.SetVoltage(units.VoltageForEnergy(spec.Cap, stored-capSide))
+	return capSide
 }
 
 // nvmFraction estimates the share of a plan's dynamic tile energy that

@@ -5,6 +5,10 @@ import (
 	"chrysalis/internal/sim"
 )
 
+// Version is the CHRYSALIS release string — also the version label on
+// the chrysalis_build_info metric and the -version output of the CLIs.
+const Version = obs.Version
+
 // Trace records pipeline spans — outer-GA generations, explorer
 // score/evaluate calls, plan-ladder builds and step-simulator power
 // cycles — into a bounded ring buffer and exports them as Chrome
