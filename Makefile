@@ -2,12 +2,12 @@
 
 GO ?= go
 
-.PHONY: all ci build vet test race race-cache bench bench-json bench-smoke experiments examples fuzz cover clean serve-smoke trace-smoke audit-smoke
+.PHONY: all ci build vet test race race-cache race-explore bench bench-json bench-smoke experiments examples fuzz cover clean serve-smoke trace-smoke audit-smoke
 
 all: build vet test
 
 # Everything the CI workflow runs.
-ci: build vet test race bench-smoke trace-smoke audit-smoke
+ci: build vet test race race-explore bench-smoke trace-smoke audit-smoke
 
 build:
 	$(GO) build ./...
@@ -29,6 +29,12 @@ bench:
 race-cache:
 	$(GO) test -race -run 'Cache|Concurrent' ./internal/explore/ ./internal/serve/
 
+# Race-check the parallel search path end-to-end: the worker dispatcher,
+# the Workers=1-vs-N determinism stress tests and the shard-cache hammer.
+race-explore:
+	$(GO) test -race -run 'Parallel|Workers|Hammer|Shard|Dispatch|Concurrent' \
+		./internal/search/ ./internal/explore/ ./internal/serve/
+
 # One-iteration pass over every benchmark: catches bit-rotted bench
 # code without paying for steady-state timing.
 bench-smoke:
@@ -36,13 +42,20 @@ bench-smoke:
 
 # Benchmark trajectory record: run the evaluation-engine
 # micro-benchmarks at a fixed iteration count and serialize the
-# results to a committed JSON file for cross-PR comparison.
-BENCH_JSON ?= BENCH_PR4.json
-BENCH_MICRO = CostModel|PlanWorkload|AnalyticEvaluate|StepSimulator|GASearch|AccelSearch|NSGAFront
+# results to a committed JSON file for cross-PR comparison. The search
+# benchmarks additionally run at -cpu 1,4 so the record captures both
+# the serial regression check and the parallel speedup; -baseline
+# computes speedup_vs_baseline ratios against the previous PR's record.
+BENCH_JSON ?= BENCH_PR5.json
+BENCH_BASELINE ?= BENCH_PR4.json
+BENCH_MICRO = CostModel|PlanWorkload|AnalyticEvaluate|StepSimulator|NSGAFront
+BENCH_MULTI = GASearch|AccelSearch
 
 bench-json:
-	$(GO) test -run='^$$' -bench='^Benchmark($(BENCH_MICRO))$$' -benchtime=100x -benchmem . \
-		| $(GO) run ./cmd/benchjson -note "fixed -benchtime=100x" -out $(BENCH_JSON)
+	{ $(GO) test -run='^$$' -bench='^Benchmark($(BENCH_MICRO))$$' -benchtime=100x -benchmem . ; \
+	  $(GO) test -run='^$$' -bench='^Benchmark($(BENCH_MULTI))$$' -benchtime=300x -benchmem -cpu 1,4 . ; } \
+		| $(GO) run ./cmd/benchjson -note "micro fixed -benchtime=100x, search 300x; speedup_vs_pr4 = baseline ns/op / new ns/op" \
+			-baseline $(BENCH_BASELINE) -out $(BENCH_JSON)
 
 # Regenerate every paper table/figure at full budget.
 experiments:

@@ -85,7 +85,9 @@ type Spec = core.Spec
 // index, cumulative evaluations, best objective value so far), and its
 // Stop field is polled between generations to end a search early —
 // the hooks behind chrysalisd's live SSE telemetry and job
-// cancellation.
+// cancellation. Its Workers field sets the candidate-evaluation
+// concurrency (0 = all cores, negative = serial); the returned design
+// is bit-identical for any worker count.
 type SearchConfig = core.SearchConfig
 
 // Result is the ideal AuT solution (the paper's Table II outputs).

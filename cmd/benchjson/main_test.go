@@ -30,12 +30,52 @@ ok  	chrysalis	12.3s
 	if cm.Name != "CostModel" || cm.Iterations != 16525977 || cm.NsPerOp != 70.69 {
 		t.Errorf("CostModel parsed wrong: %+v", cm)
 	}
+	if cm.Procs != 4 {
+		t.Errorf("CostModel procs = %d, want 4", cm.Procs)
+	}
 	ga := rec.Benchmarks[1]
 	if ga.BytesPerOp != 48712 || ga.AllocsPerOp != 619 {
 		t.Errorf("GASearch mem stats wrong: %+v", ga)
 	}
 	if nb := rec.Benchmarks[2]; nb.BytesPerOp != 0 || nb.AllocsPerOp != 0 || nb.NsPerOp != 1234 {
 		t.Errorf("no-benchmem line parsed wrong: %+v", nb)
+	}
+}
+
+func TestParseNoProcsSuffix(t *testing.T) {
+	// GOMAXPROCS=1 runs (and `-cpu 1`) emit no -N suffix at all.
+	input := "BenchmarkAccelSearch   \t      36\t  32000000 ns/op\t41796949 B/op\t   39250 allocs/op\n"
+	rec, err := parse(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Benchmarks) != 1 {
+		t.Fatalf("parsed %d benchmarks, want 1", len(rec.Benchmarks))
+	}
+	b := rec.Benchmarks[0]
+	if b.Name != "AccelSearch" || b.Procs != 0 || b.NsPerOp != 32000000 {
+		t.Errorf("suffix-less line parsed wrong: %+v", b)
+	}
+}
+
+func TestApplyBaseline(t *testing.T) {
+	rec := Record{Benchmarks: []Benchmark{
+		{Name: "AccelSearch", Procs: 0, NsPerOp: 16e6},
+		{Name: "AccelSearch", Procs: 4, NsPerOp: 8e6},
+		{Name: "Unmatched", NsPerOp: 100},
+	}}
+	base := Record{Benchmarks: []Benchmark{
+		{Name: "AccelSearch", NsPerOp: 32e6},
+	}}
+	applyBaseline(&rec, base)
+	if got := rec.Benchmarks[0].SpeedupVsBaseline; got != 2 {
+		t.Errorf("single-proc speedup = %g, want 2", got)
+	}
+	if got := rec.Benchmarks[1].SpeedupVsBaseline; got != 4 {
+		t.Errorf("4-proc speedup = %g, want 4", got)
+	}
+	if got := rec.Benchmarks[2].SpeedupVsBaseline; got != 0 {
+		t.Errorf("unmatched benchmark got speedup %g, want 0 (absent)", got)
 	}
 }
 

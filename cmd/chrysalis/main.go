@@ -36,6 +36,7 @@ func main() {
 		maxLatency   = flag.Float64("max-latency", 0, "latency bound in seconds for the sp objective (0 = 30)")
 		budget       = flag.Int("budget", 400, "approximate search-evaluation budget")
 		seed         = flag.Int64("seed", 1, "search seed")
+		searchWkrs   = flag.Int("search-workers", 0, "candidate-evaluation concurrency (0 = all cores, negative = serial); never changes results, only wall-clock time")
 		algorithm    = flag.String("algorithm", "ga", "search algorithm: ga or random")
 		verify       = flag.Bool("verify", false, "replay the winning design on the step-based simulator")
 		explain      = flag.Bool("explain", false, "print the Figure-4 style loop nest of each layer's mapping")
@@ -86,6 +87,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	spec.Search.Workers = *searchWkrs
 	if *workloadFile != "" {
 		data, err := os.ReadFile(*workloadFile)
 		if err != nil {

@@ -60,6 +60,7 @@ func main() {
 	var (
 		addr         = flag.String("addr", ":8080", "listen address")
 		workers      = flag.Int("workers", 0, "design-job worker pool size (0 = GOMAXPROCS)")
+		searchWkrs   = flag.Int("search-workers", 0, "default per-job search-evaluation concurrency (0 = auto); grants are capped by a process-global semaphore sized to GOMAXPROCS minus the -workers pool width, so jobs x search workers never oversubscribes the machine; never changes results")
 		queueDepth   = flag.Int("queue", 64, "maximum queued jobs before submissions get 503")
 		cacheSize    = flag.Int("cache", 128, "result-cache capacity in designs")
 		jobTimeout   = flag.Duration("job-timeout", 0, "per-job search deadline (0 = none)")
@@ -73,8 +74,8 @@ func main() {
 		fmt.Printf("chrysalisd %s (%s, %s/%s)\n", obs.Version, runtime.Version(), runtime.GOOS, runtime.GOARCH)
 		return
 	}
-	if *workers < 0 || *queueDepth < 0 || *cacheSize < 0 {
-		fmt.Fprintln(os.Stderr, "chrysalisd: -workers, -queue and -cache must be non-negative")
+	if *workers < 0 || *searchWkrs < 0 || *queueDepth < 0 || *cacheSize < 0 {
+		fmt.Fprintln(os.Stderr, "chrysalisd: -workers, -search-workers, -queue and -cache must be non-negative")
 		os.Exit(1)
 	}
 	level, err := parseLogLevel(*logLevel)
@@ -85,12 +86,13 @@ func main() {
 
 	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 	srv := serve.New(serve.Options{
-		Workers:     *workers,
-		QueueDepth:  *queueDepth,
-		CacheSize:   *cacheSize,
-		JobTimeout:  *jobTimeout,
-		TraceEvents: *traceEvents,
-		Logger:      logger,
+		Workers:       *workers,
+		SearchWorkers: *searchWkrs,
+		QueueDepth:    *queueDepth,
+		CacheSize:     *cacheSize,
+		JobTimeout:    *jobTimeout,
+		TraceEvents:   *traceEvents,
+		Logger:        logger,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 

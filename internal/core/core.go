@@ -63,6 +63,13 @@ type SearchConfig struct {
 	// scaled to interactive runtimes).
 	Budget int
 	Seed   int64
+	// Workers is the candidate-evaluation concurrency: 0 (the default)
+	// uses every core (GOMAXPROCS), negative forces serial, >= 1 is
+	// taken literally. Candidate generation stays sequential and seeded,
+	// so results are bit-identical for any worker count — Workers is a
+	// throughput knob, not part of a design's identity (serving layers
+	// exclude it from cache keys).
+	Workers int
 	// Progress, when non-nil, receives a callback after every outer-GA
 	// generation: the 1-based generation index, cumulative candidate
 	// evaluations and best objective value so far. It runs on the search
@@ -160,8 +167,11 @@ type Result struct {
 	AvgLatency units.Seconds
 	LatSP      float64
 	Evals      int
-	Objective  string
-	Baseline   string
+	// Workers is the resolved evaluation concurrency the search used
+	// (informational; results are identical for any worker count).
+	Workers   int
+	Objective string
+	Baseline  string
 }
 
 // Run executes the full CHRYSALIS pipeline for a spec under the full
@@ -206,6 +216,7 @@ func gaConfig(s SearchConfig) (search.GAConfig, error) {
 		cfg.Progress = s.Progress
 		cfg.Stop = s.Stop
 		cfg.Trace = s.Trace
+		cfg.Workers = s.Workers
 		return cfg, nil
 	default:
 		return search.GAConfig{}, fmt.Errorf("core: unknown search algorithm %q (want ga or random)", s.Algorithm)
@@ -215,6 +226,7 @@ func gaConfig(s SearchConfig) (search.GAConfig, error) {
 	cfg.Progress = s.Progress
 	cfg.Stop = s.Stop
 	cfg.Trace = s.Trace
+	cfg.Workers = s.Workers
 	return cfg, nil
 }
 
@@ -256,6 +268,7 @@ func assemble(out explore.Outcome) Result {
 		AvgLatency: ev.AvgLatency,
 		LatSP:      ev.LatSP,
 		Evals:      out.Evals,
+		Workers:    out.Workers,
 		Objective:  out.Scenario.Objective.String(),
 		Baseline:   out.Baseline.String(),
 	}

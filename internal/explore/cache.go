@@ -1,6 +1,7 @@
 package explore
 
 import (
+	"math"
 	"sync"
 	"sync/atomic"
 
@@ -117,18 +118,79 @@ func EvalCacheCounters() (hits, misses int64) {
 	return globalCacheHits.Load(), globalCacheMisses.Load()
 }
 
+// cacheShards stripes the fingerprint map. 16 shards keeps the worst
+// case (every worker missing a different fingerprint at once) lock-free
+// for up to 16 hardware workers while costing only 16 small maps; the
+// common case never touches the stripe lock at all thanks to the
+// per-worker last-lookup slots.
+const cacheShards = 16
+
+// lastSlots is how many per-worker last-lookup slots a cache carries.
+// Workers index slots by worker&`(lastSlots-1)`, so up to 16 workers
+// get private slots and larger pools share gracefully.
+const lastSlots = 16
+
+// fingerprintHash mixes every fingerprint field into a shard index with
+// an FNV-1a over the fixed-width fields plus the workload name. It is
+// allocation-free and deliberately avoids hash/maphash so the module's
+// floor stays at go1.22.
+func fingerprintHash(fp fingerprint) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	mix(uint64(fp.platform))
+	mix(uint64(fp.arch))
+	mix(uint64(fp.npe))
+	mix(uint64(fp.cache))
+	mix(math.Float64bits(fp.rexc))
+	mix(uint64(fp.elemBytes))
+	mix(uint64(fp.layers))
+	for i := 0; i < len(fp.workload); i++ {
+		h ^= uint64(fp.workload[i])
+		h *= prime64
+	}
+	return h
+}
+
+// planShard is one mutex stripe of the fingerprint map.
+type planShard struct {
+	mu   sync.RWMutex
+	sets map[fingerprint]*ladderSet
+	// Pad each shard to its own cache line so neighboring stripe locks
+	// don't false-share under concurrent misses.
+	_ [24]byte
+}
+
+// lastSlot is one per-worker last-lookup pointer, padded to a cache
+// line: a single shared atomic.Pointer fast path ping-pongs its line
+// between every core on the hit path, which is exactly the steady state
+// on the MSP platform (one fingerprint, every lookup a hit).
+type lastSlot struct {
+	p atomic.Pointer[lastLookup]
+	_ [56]byte
+}
+
 // planCache memoizes ladder sets per hardware fingerprint for one
 // Evaluator. It is safe for concurrent use (search.GAConfig.Workers >
-// 1): lookups take a read lock; concurrent misses on the same
-// fingerprint may build the set twice, but both builds are
-// deterministic and identical, so the loser's work is simply discarded.
+// 1): lookups take a striped read lock keyed by the fingerprint hash;
+// concurrent misses on the same fingerprint may build the set twice,
+// but both builds are deterministic and identical, so the loser's work
+// is simply discarded.
 type planCache struct {
+	shards [cacheShards]planShard
 	// last short-circuits the common case of consecutive lookups with
-	// the same fingerprint (on MSP the fingerprint never changes), so
-	// the steady-state hit skips the map hash and the read lock.
-	last   atomic.Pointer[lastLookup]
-	mu     sync.RWMutex
-	sets   map[fingerprint]*ladderSet
+	// the same fingerprint (on MSP the fingerprint never changes), one
+	// slot per worker so the steady-state hit touches no shared line.
+	last   [lastSlots]lastSlot
 	hits   atomic.Int64
 	misses atomic.Int64
 }
@@ -141,25 +203,32 @@ type lastLookup struct {
 }
 
 func newPlanCache() *planCache {
-	return &planCache{sets: make(map[fingerprint]*ladderSet)}
+	pc := &planCache{}
+	for i := range pc.shards {
+		pc.shards[i].sets = make(map[fingerprint]*ladderSet)
+	}
+	return pc
 }
 
 // get returns the ladder set for the candidate's fingerprint, building
-// and caching it on a miss.
-func (pc *planCache) get(sc Scenario, cand Candidate) (*ladderSet, error) {
+// and caching it on a miss. worker selects the caller's last-lookup
+// slot; serial callers pass 0.
+func (pc *planCache) get(sc Scenario, cand Candidate, worker int) (*ladderSet, error) {
 	fp := fingerprintOf(sc, cand)
-	if le := pc.last.Load(); le != nil && le.fp == fp {
+	slot := &pc.last[worker&(lastSlots-1)].p
+	if le := slot.Load(); le != nil && le.fp == fp {
 		pc.hits.Add(1)
 		globalCacheHits.Add(1)
 		return le.ls, nil
 	}
-	pc.mu.RLock()
-	ls, ok := pc.sets[fp]
-	pc.mu.RUnlock()
+	shard := &pc.shards[fingerprintHash(fp)&(cacheShards-1)]
+	shard.mu.RLock()
+	ls, ok := shard.sets[fp]
+	shard.mu.RUnlock()
 	if ok {
 		pc.hits.Add(1)
 		globalCacheHits.Add(1)
-		pc.last.Store(&lastLookup{fp: fp, ls: ls})
+		slot.Store(&lastLookup{fp: fp, ls: ls})
 		return ls, nil
 	}
 	var sp *obs.Span
@@ -177,14 +246,14 @@ func (pc *planCache) get(sc Scenario, cand Candidate) (*ladderSet, error) {
 	}
 	pc.misses.Add(1)
 	globalCacheMisses.Add(1)
-	pc.mu.Lock()
-	if racedIn, ok := pc.sets[fp]; ok {
+	shard.mu.Lock()
+	if racedIn, ok := shard.sets[fp]; ok {
 		built = racedIn // lost a build race; entries are identical
 	} else {
-		pc.sets[fp] = built
+		shard.sets[fp] = built
 	}
-	pc.mu.Unlock()
-	pc.last.Store(&lastLookup{fp: fp, ls: built})
+	shard.mu.Unlock()
+	slot.Store(&lastLookup{fp: fp, ls: built})
 	return built, nil
 }
 
@@ -195,28 +264,56 @@ type subsKey struct {
 	cap   units.Capacitance
 }
 
+// subsKeyHash mixes the two energy genes into a shard index (FNV-1a
+// over the float bit patterns, like fingerprintHash).
+func subsKeyHash(k subsKey) uint64 {
+	const prime64 = 1099511628211
+	h := uint64(14695981039346656037)
+	for _, v := range [2]uint64{math.Float64bits(float64(k.panel)), math.Float64bits(float64(k.cap))} {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	return h
+}
+
+// subsShard is one mutex stripe of the energy-gene map.
+type subsShard struct {
+	mu sync.RWMutex
+	m  map[subsKey][]*energy.Subsystem
+	_  [24]byte
+}
+
 // subsystemCache memoizes the per-environment energy subsystems keyed
-// on the candidate's energy genes. The outer GA revisits gene values
-// constantly (elites, crossover copies), and the evaluation path only
-// issues the subsystem's read-only closed-form queries (CycleBudget,
-// sim.Analytic), so one instance safely serves concurrent evaluations.
+// on the candidate's energy genes, striped across mutex shards like
+// planCache (the outer GA revisits gene values constantly — elites,
+// crossover copies — from every worker at once). The evaluation path
+// only issues the subsystem's read-only closed-form queries
+// (CycleBudget, sim.Analytic), so one instance safely serves concurrent
+// evaluations.
 type subsystemCache struct {
-	envs []solar.Environment
-	mu   sync.RWMutex
-	m    map[subsKey][]*energy.Subsystem
+	envs   []solar.Environment
+	shards [cacheShards]subsShard
 }
 
 func newSubsystemCache(envs []solar.Environment) *subsystemCache {
-	return &subsystemCache{envs: envs, m: make(map[subsKey][]*energy.Subsystem)}
+	c := &subsystemCache{envs: envs}
+	for i := range c.shards {
+		c.shards[i].m = make(map[subsKey][]*energy.Subsystem)
+	}
+	return c
 }
 
 // get returns the candidate's subsystems, building them on a miss. Like
 // planCache, racing misses may build twice; the loser is discarded.
 func (c *subsystemCache) get(cand Candidate) ([]*energy.Subsystem, error) {
 	k := subsKey{panel: cand.PanelArea, cap: cand.Cap}
-	c.mu.RLock()
-	v, ok := c.m[k]
-	c.mu.RUnlock()
+	shard := &c.shards[subsKeyHash(k)&(cacheShards-1)]
+	shard.mu.RLock()
+	v, ok := shard.m[k]
+	shard.mu.RUnlock()
 	if ok {
 		return v, nil
 	}
@@ -224,12 +321,12 @@ func (c *subsystemCache) get(cand Candidate) ([]*energy.Subsystem, error) {
 	if err != nil {
 		return nil, err
 	}
-	c.mu.Lock()
-	if raced, ok := c.m[k]; ok {
+	shard.mu.Lock()
+	if raced, ok := shard.m[k]; ok {
 		built = raced
 	} else {
-		c.m[k] = built
+		shard.m[k] = built
 	}
-	c.mu.Unlock()
+	shard.mu.Unlock()
 	return built, nil
 }

@@ -14,6 +14,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
+	"sort"
 	"sync"
 
 	"chrysalis/internal/accel"
@@ -389,12 +391,42 @@ func (e *Evaluator) CacheStats() (hits, misses int64) {
 }
 
 // ladderSetFor returns the candidate's ladder set, memoized when the
-// evaluator carries a cache and built fresh otherwise.
-func (e *Evaluator) ladderSetFor(cand Candidate) (*ladderSet, error) {
+// evaluator carries a cache and built fresh otherwise. worker selects
+// the cache's per-worker fast-path slot; serial callers pass 0.
+func (e *Evaluator) ladderSetFor(worker int, cand Candidate) (*ladderSet, error) {
 	if e.cache != nil {
-		return e.cache.get(e.sc, cand)
+		return e.cache.get(e.sc, cand, worker)
 	}
 	return buildLadderSet(e.sc, cand)
+}
+
+// evalArena is the per-evaluation scratch every scoring pass needs: the
+// per-layer winning plans, materialized into reusable backing storage.
+// Arenas are pooled (arenaPool), so the steady-state score path — the
+// one the outer GA runs thousands of times — does not allocate the
+// plan storage per candidate.
+type evalArena struct {
+	backing []intermittent.Plan
+	plans   []*intermittent.Plan
+}
+
+var arenaPool = sync.Pool{New: func() any { return &evalArena{} }}
+
+// takeArena returns a pooled arena resized for n layers, with plans[i]
+// aliasing backing[i]. Return it with arenaPool.Put once every datum
+// derived from the plans has been copied out.
+func takeArena(n int) *evalArena {
+	a := arenaPool.Get().(*evalArena)
+	if cap(a.backing) < n {
+		a.backing = make([]intermittent.Plan, n)
+		a.plans = make([]*intermittent.Plan, n)
+	}
+	a.backing = a.backing[:n]
+	a.plans = a.plans[:n]
+	for i := range a.plans {
+		a.plans[i] = &a.backing[i]
+	}
+	return a
 }
 
 // subsystemsFor returns the candidate's per-environment energy
@@ -411,17 +443,19 @@ func (e *Evaluator) subsystemsFor(cand Candidate) ([]*energy.Subsystem, error) {
 // layer's total energy, subject to every tile fitting the tightest
 // per-cycle budget across environments (Eq. 8). The per-layer plan
 // ladders come from the fingerprint cache; only the budget scan runs
-// per candidate. The returned pointers alias the shared immutable
-// ladder entries and must not be mutated.
-func (e *Evaluator) innerSearch(cand Candidate, budget intermittent.BudgetFunc) ([]*intermittent.Plan, error) {
-	ls, err := e.cache.get(e.sc, cand)
+// per candidate, over slim rungs, and only each layer's winner is
+// materialized as a full Plan — into the caller's arena, which the
+// returned pointers alias.
+func (e *Evaluator) innerSearch(worker int, cand Candidate, budget intermittent.BudgetFunc, a *evalArena) ([]*intermittent.Plan, error) {
+	ls, err := e.cache.get(e.sc, cand, worker)
 	if err != nil {
 		return nil, err
 	}
 	w := e.sc.Workload
-	plans := make([]*intermittent.Plan, len(w.Layers))
 	for li := range w.Layers {
-		var best *intermittent.LadderEntry
+		var bestLd *intermittent.Ladder
+		bestIdx := -1
+		bestE := units.Energy(math.Inf(1))
 		for ci := range ls.ctxs {
 			for _, part := range []dataflow.Partition{dataflow.ByChannel, dataflow.BySpatial} {
 				ld := ls.ladderAt(li, ci, part)
@@ -429,19 +463,18 @@ func (e *Evaluator) innerSearch(cand Candidate, budget intermittent.BudgetFunc) 
 				if !ok {
 					continue
 				}
-				entry := &ld.Entries[i]
-				if best == nil || entry.Plan.Energy < best.Plan.Energy {
-					best = entry
+				if r := &ld.Rungs[i]; bestIdx < 0 || r.Energy < bestE {
+					bestLd, bestIdx, bestE = ld, i, r.Energy
 				}
 			}
 		}
-		if best == nil {
+		if bestIdx < 0 {
 			return nil, fmt.Errorf("explore: layer %s infeasible on %s: %w",
 				w.Layers[li].Name, cand, intermittent.ErrNoFeasibleTile)
 		}
-		plans[li] = &best.Plan
+		bestLd.PlanInto(bestIdx, &a.backing[li])
 	}
-	return plans, nil
+	return a.plans, nil
 }
 
 // innerSearchDirect is the uncached form of innerSearch: it scans each
@@ -450,7 +483,7 @@ func (e *Evaluator) innerSearch(cand Candidate, budget intermittent.BudgetFunc) 
 // ladders that a single evaluation could never amortize. It explores
 // the space in the same order with the same tie-breaks as the cached
 // path, so the two produce bit-identical choices.
-func (e *Evaluator) innerSearchDirect(cand Candidate, budget intermittent.BudgetFunc) ([]*intermittent.Plan, error) {
+func (e *Evaluator) innerSearchDirect(cand Candidate, budget intermittent.BudgetFunc, a *evalArena) ([]*intermittent.Plan, error) {
 	sc := e.sc
 	dfs := dataflowChoices(sc)
 	hws := make([]dataflow.HW, len(dfs))
@@ -462,8 +495,6 @@ func (e *Evaluator) innerSearchDirect(cand Candidate, budget intermittent.Budget
 		hws[i] = hw
 	}
 	w := sc.Workload
-	backing := make([]intermittent.Plan, len(w.Layers))
-	plans := make([]*intermittent.Plan, len(w.Layers))
 	for li, l := range w.Layers {
 		bestE := units.Energy(math.Inf(1))
 		foundAny := false
@@ -475,7 +506,7 @@ func (e *Evaluator) innerSearchDirect(cand Candidate, budget intermittent.Budget
 				}
 				if p.Energy < bestE {
 					bestE = p.Energy
-					backing[li] = p
+					a.backing[li] = p
 					foundAny = true
 				}
 			}
@@ -484,22 +515,22 @@ func (e *Evaluator) innerSearchDirect(cand Candidate, budget intermittent.Budget
 			return nil, fmt.Errorf("explore: layer %s infeasible on %s: %w",
 				l.Name, cand, intermittent.ErrNoFeasibleTile)
 		}
-		plans[li] = &backing[li]
 	}
-	return plans, nil
+	return a.plans, nil
 }
 
 // searchPlans dispatches to the configured inner mapping search and
-// returns the chosen per-layer plans by pointer (into the shared
-// ladders on cached paths — callers must not mutate them).
-func (e *Evaluator) searchPlans(cand Candidate, budget intermittent.BudgetFunc) ([]*intermittent.Plan, error) {
+// returns the chosen per-layer plans by pointer into the caller's
+// arena. The pointers are only valid until the arena is returned to
+// the pool.
+func (e *Evaluator) searchPlans(worker int, cand Candidate, budget intermittent.BudgetFunc, a *evalArena) ([]*intermittent.Plan, error) {
 	switch {
 	case e.sc.Mapper == MapperGA:
-		return e.innerSearchGA(cand, budget)
+		return e.innerSearchGA(worker, cand, budget, a)
 	case e.cache != nil:
-		return e.innerSearch(cand, budget)
+		return e.innerSearch(worker, cand, budget, a)
 	default:
-		return e.innerSearchDirect(cand, budget)
+		return e.innerSearchDirect(cand, budget, a)
 	}
 }
 
@@ -521,20 +552,27 @@ type quickScore struct {
 // feasibility and the plan-cache hits/misses it incurred; with tracing
 // off the fast path is untouched.
 func (e *Evaluator) score(cand Candidate) (quickScore, error) {
+	return e.scoreWorker(0, cand)
+}
+
+// scoreWorker is score with an explicit worker slot, the form the
+// parallel search loops call so each worker hits its own cache
+// fast-path slot.
+func (e *Evaluator) scoreWorker(worker int, cand Candidate) (quickScore, error) {
 	if tr := e.sc.Trace; tr != nil {
 		h0, m0 := e.CacheStats()
 		sp := tr.Start("explore", "score")
-		s, err := e.scoreInner(cand)
+		s, err := e.scoreInner(worker, cand)
 		h1, m1 := e.CacheStats()
 		sp.End(obs.A("feasible", s.feasible), obs.A("cache_hits", h1-h0),
 			obs.A("cache_misses", m1-m0), obs.A("err", err != nil))
 		return s, err
 	}
-	return e.scoreInner(cand)
+	return e.scoreInner(worker, cand)
 }
 
 // scoreInner is the uninstrumented scoring path.
-func (e *Evaluator) scoreInner(cand Candidate) (quickScore, error) {
+func (e *Evaluator) scoreInner(worker int, cand Candidate) (quickScore, error) {
 	if err := e.checkCandidate(cand); err != nil {
 		return quickScore{}, err
 	}
@@ -543,7 +581,9 @@ func (e *Evaluator) scoreInner(cand Candidate) (quickScore, error) {
 		return quickScore{}, err
 	}
 	budget := cycleBudget(subsystems)
-	plans, err := e.searchPlans(cand, budget)
+	a := takeArena(len(e.sc.Workload.Layers))
+	defer arenaPool.Put(a)
+	plans, err := e.searchPlans(worker, cand, budget, a)
 	if err != nil {
 		return quickScore{}, err
 	}
@@ -614,7 +654,9 @@ func (e *Evaluator) evaluateInner(cand Candidate) (Evaluation, error) {
 	}
 	budget := cycleBudget(subsystems)
 
-	plans, err := e.searchPlans(cand, budget)
+	a := takeArena(len(sc.Workload.Layers))
+	defer arenaPool.Put(a)
+	plans, err := e.searchPlans(0, cand, budget, a)
 	if err != nil {
 		return ev, err
 	}
@@ -787,16 +829,68 @@ type Outcome struct {
 	Value float64
 	// Evals is the number of candidate evaluations spent.
 	Evals int
+	// Workers is the resolved candidate-evaluation concurrency the run
+	// used (1 = serial). It never affects the other fields: Outcomes are
+	// bit-identical for any worker count at the same seed.
+	Workers int
 	// CacheHits / CacheMisses count the evaluator plan-cache outcomes
 	// across the run (misses = distinct hardware fingerprints built).
 	CacheHits   int64
 	CacheMisses int64
 }
 
+// resolveWorkers maps the Workers convention shared by Explore,
+// ParetoScan and ParetoSearch onto an explicit worker count: 0 (the
+// zero value) selects GOMAXPROCS — one design request uses the whole
+// machine by default — negative opts out to serial, and >= 1 is taken
+// literally.
+func resolveWorkers(w int) int {
+	if w == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if w < 1 {
+		return 1
+	}
+	return w
+}
+
+// bestTracker folds (evaluation index, value, genome) observations into
+// the winning genome under concurrent evaluation. Ties on the objective
+// value are broken toward the LOWEST evaluation index: a serial fold
+// only replaces the best on strict improvement, so the first (lowest-
+// index) genome reaching a value wins — the tracker reproduces exactly
+// that choice regardless of the order parallel workers report in.
+type bestTracker struct {
+	mu     sync.Mutex
+	value  float64
+	index  int
+	genome []float64
+}
+
+func newBestTracker() *bestTracker {
+	return &bestTracker{value: math.Inf(1), index: math.MaxInt}
+}
+
+func (b *bestTracker) observe(idx int, v float64, genome []float64) {
+	if math.IsInf(v, 1) {
+		return
+	}
+	b.mu.Lock()
+	if v < b.value || (v == b.value && idx < b.index) {
+		b.value = v
+		b.index = idx
+		b.genome = append(b.genome[:0], genome...)
+	}
+	b.mu.Unlock()
+}
+
 // Explore runs the bi-level search for a scenario under a baseline's
-// search space. cfg seeds and sizes the outer GA. All candidate
-// evaluations share one Evaluator, so the inner mapping search is
-// memoized across the whole run.
+// search space. cfg seeds and sizes the outer GA; cfg.Workers follows
+// the resolveWorkers convention (0 = GOMAXPROCS, negative = serial).
+// All candidate evaluations share one Evaluator, so the inner mapping
+// search is memoized across the whole run. Candidate generation stays
+// sequential and seeded, so the Outcome is bit-identical for any worker
+// count (Outcome.Workers aside).
 func Explore(sc Scenario, b Baseline, cfg search.GAConfig) (Outcome, error) {
 	e, err := NewEvaluator(sc)
 	if err != nil {
@@ -804,6 +898,7 @@ func Explore(sc Scenario, b Baseline, cfg search.GAConfig) (Outcome, error) {
 	}
 	sc = e.Scenario()
 	g := spec(sc, b)
+	cfg.Workers = resolveWorkers(cfg.Workers)
 
 	var runSpan *obs.Span
 	if sc.Trace != nil {
@@ -816,26 +911,17 @@ func Explore(sc Scenario, b Baseline, cfg search.GAConfig) (Outcome, error) {
 		}()
 	}
 
-	var (
-		mu         sync.Mutex
-		bestGenome []float64
-		bestV      = math.Inf(1)
-	)
+	bt := newBestTracker()
 	problem := search.Problem{
 		Dim: g.dim(),
-		Eval: func(genome []float64) float64 {
+		EvalCtx: func(ec search.EvalContext, genome []float64) float64 {
 			cand := decode(sc, g, genome)
-			s, err := e.score(cand)
+			s, err := e.scoreWorker(ec.Worker, cand)
 			if err != nil {
 				return math.Inf(1)
 			}
 			v := objectiveOf(sc, cand.PanelArea, s)
-			mu.Lock()
-			if v < bestV {
-				bestV = v
-				bestGenome = append(bestGenome[:0], genome...)
-			}
-			mu.Unlock()
+			bt.observe(ec.Index, v, genome)
 			return v
 		},
 	}
@@ -843,19 +929,19 @@ func Explore(sc Scenario, b Baseline, cfg search.GAConfig) (Outcome, error) {
 	if err != nil {
 		return Outcome{}, err
 	}
-	if math.IsInf(bestV, 1) {
+	if math.IsInf(bt.value, 1) {
 		return Outcome{}, fmt.Errorf("explore: no feasible design for %s/%s under %s: %w",
 			sc.Workload.Name, sc.Platform, b, ErrNoFeasibleDesign)
 	}
 	// Materialize the full evaluation once, for the winning candidate
 	// only; the per-candidate search loop above runs the lean score path.
-	best, err := e.Evaluate(decode(sc, g, bestGenome))
+	best, err := e.Evaluate(decode(sc, g, bt.genome))
 	if err != nil {
 		return Outcome{}, err
 	}
 	hits, misses := e.CacheStats()
-	return Outcome{Scenario: sc, Baseline: b, Best: best, Value: bestV, Evals: res.Evals,
-		CacheHits: hits, CacheMisses: misses}, nil
+	return Outcome{Scenario: sc, Baseline: b, Best: best, Value: bt.value, Evals: res.Evals,
+		Workers: cfg.Workers, CacheHits: hits, CacheMisses: misses}, nil
 }
 
 // ParetoPoint pairs a candidate with its (panel, latency) coordinates.
@@ -868,35 +954,64 @@ type ParetoPoint struct {
 
 // ParetoScan samples the design space at random and returns all
 // feasible points plus the Pareto front over (panel area, latency) —
-// the Figure 6 analysis.
+// the Figure 6 analysis. It evaluates across all cores; use
+// ParetoScanWorkers to pick the worker count explicitly.
 func ParetoScan(sc Scenario, n int, seed int64) (points, front []ParetoPoint, err error) {
+	return ParetoScanWorkers(sc, n, seed, 0)
+}
+
+// ParetoScanWorkers is ParetoScan with an explicit evaluation
+// concurrency (resolveWorkers convention: 0 = GOMAXPROCS, negative =
+// serial). Sampling stays sequential and seeded and the collected
+// points are ordered by sample index, so the result is bit-identical
+// for any worker count.
+func ParetoScanWorkers(sc Scenario, n int, seed int64, workers int) (points, front []ParetoPoint, err error) {
 	e, err := NewEvaluator(sc)
 	if err != nil {
 		return nil, nil, err
 	}
 	sc = e.Scenario()
 	g := spec(sc, Full)
+	workers = resolveWorkers(workers)
 
-	var all []ParetoPoint
+	type taggedPoint struct {
+		idx int
+		p   ParetoPoint
+	}
+	var (
+		mu     sync.Mutex
+		tagged []taggedPoint
+	)
 	problem := search.Problem{
 		Dim: g.dim(),
-		Eval: func(genome []float64) float64 {
+		EvalCtx: func(ec search.EvalContext, genome []float64) float64 {
 			cand := decode(sc, g, genome)
-			s, evalErr := e.score(cand)
+			s, evalErr := e.scoreWorker(ec.Worker, cand)
 			if evalErr != nil || !s.feasible {
 				return math.Inf(1)
 			}
-			all = append(all, ParetoPoint{
+			tp := taggedPoint{idx: ec.Index, p: ParetoPoint{
 				Candidate: cand,
 				PanelArea: cand.PanelArea,
 				Latency:   s.avgLatency,
 				LatSP:     s.latSP,
-			})
+			}}
+			mu.Lock()
+			tagged = append(tagged, tp)
+			mu.Unlock()
 			return s.latSP
 		},
 	}
-	if _, err := search.RunRandom(problem, n, seed, false); err != nil {
+	if _, err := search.RunRandomWorkers(problem, n, seed, false, workers); err != nil {
 		return nil, nil, err
+	}
+	// Restore sample order: parallel workers append in completion order,
+	// but the evaluation index is assigned at (sequential) generation
+	// time, so sorting on it reproduces the serial trajectory exactly.
+	sort.Slice(tagged, func(i, j int) bool { return tagged[i].idx < tagged[j].idx })
+	all := make([]ParetoPoint, len(tagged))
+	for i, tp := range tagged {
+		all[i] = tp.p
 	}
 	pts := make([]search.Point2, len(all))
 	for i, p := range all {
@@ -911,7 +1026,8 @@ func ParetoScan(sc Scenario, n int, seed int64) (points, front []ParetoPoint, er
 // ParetoSearch runs a true multi-objective search (NSGA-II) over the
 // hardware space for the (panel area, average latency) front — a
 // stronger generator for the paper's Figure 6 curve than the random
-// scan, at the same evaluation budget.
+// scan, at the same evaluation budget. cfg.Workers follows the
+// resolveWorkers convention; the front is bit-identical for any count.
 func ParetoSearch(sc Scenario, cfg search.GAConfig) (front []ParetoPoint, evals int, err error) {
 	e, err := NewEvaluator(sc)
 	if err != nil {
@@ -919,11 +1035,12 @@ func ParetoSearch(sc Scenario, cfg search.GAConfig) (front []ParetoPoint, evals 
 	}
 	sc = e.Scenario()
 	g := spec(sc, Full)
+	cfg.Workers = resolveWorkers(cfg.Workers)
 	problem := search.BiProblem{
 		Dim: g.dim(),
-		Eval: func(genome []float64) (float64, float64) {
+		EvalCtx: func(ec search.EvalContext, genome []float64) (float64, float64) {
 			cand := decode(sc, g, genome)
-			s, evalErr := e.score(cand)
+			s, evalErr := e.scoreWorker(ec.Worker, cand)
 			if evalErr != nil || !s.feasible {
 				return math.Inf(1), math.Inf(1)
 			}

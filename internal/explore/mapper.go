@@ -50,13 +50,16 @@ func gaMapperConfig(layers int, seed int64) search.GAConfig {
 // innerSearchGA is the CHRYSALIS-GAMMA mapping search: one genome
 // holds (dataflow, partition, tile-count index) for every layer and a
 // GA minimizes the summed Eq. 5 energy subject to per-layer Eq. 8
-// feasibility. Genome decoding resolves plans from the fingerprint
+// feasibility. Genome decoding resolves rungs from the fingerprint
 // cache's ladders (binary search by tile count) instead of re-running
 // the cost model per evaluation; only the winning genome's plans are
-// collected, as pointers into the shared ladder entries.
-func (e *Evaluator) innerSearchGA(cand Candidate, budget intermittent.BudgetFunc) ([]*intermittent.Plan, error) {
+// materialized, into the caller's arena. The nested GA itself always
+// runs serially (it never sets Workers) — the outer candidate loop is
+// the parallel axis, and each call here is already confined to one
+// worker.
+func (e *Evaluator) innerSearchGA(worker int, cand Candidate, budget intermittent.BudgetFunc, a *evalArena) ([]*intermittent.Plan, error) {
 	w := e.sc.Workload
-	ls, err := e.ladderSetFor(cand)
+	ls, err := e.ladderSetFor(worker, cand)
 	if err != nil {
 		return nil, err
 	}
@@ -73,21 +76,24 @@ func (e *Evaluator) innerSearchGA(cand Candidate, budget intermittent.BudgetFunc
 		spaces[i].ntiles[dataflow.BySpatial] = dataflow.CandidateNTiles(l, dataflow.BySpatial)
 	}
 
-	// resolve maps one layer's genes to its ladder entry, nil when the
-	// tile count is VM-infeasible or the budget check (Eq. 8) fails.
-	resolve := func(genome []float64, i int) *intermittent.LadderEntry {
+	// resolve maps one layer's genes to its ladder and rung index; ok is
+	// false when the tile count is VM-infeasible or the budget check
+	// (Eq. 8) fails.
+	resolve := func(genome []float64, i int) (*intermittent.Ladder, int, bool) {
 		dfi := search.MapChoice(genome[3*i], len(ls.ctxs))
 		part := dataflow.Partition(search.MapChoice(genome[3*i+1], 2))
 		nt := spaces[i].ntiles[part]
 		n := nt[search.MapChoice(genome[3*i+2], len(nt))]
-		entry, ok := ls.ladderAt(i, dfi, part).ByNTile(n)
+		ld := ls.ladderAt(i, dfi, part)
+		ri, ok := ld.ByNTile(n)
 		if !ok {
-			return nil // tile does not fit VM
+			return nil, 0, false // tile does not fit VM
 		}
-		if avail := budget(entry.Power); avail <= 0 || entry.Plan.TileEnergy > avail {
-			return nil // Eq. 8 violated
+		r := &ld.Rungs[ri]
+		if avail := budget(r.Power); avail <= 0 || r.TileEnergy > avail {
+			return nil, 0, false // Eq. 8 violated
 		}
-		return entry
+		return ld, ri, true
 	}
 
 	problem := search.Problem{
@@ -95,11 +101,11 @@ func (e *Evaluator) innerSearchGA(cand Candidate, budget intermittent.BudgetFunc
 		Eval: func(genome []float64) float64 {
 			var total float64
 			for i := range w.Layers {
-				entry := resolve(genome, i)
-				if entry == nil {
+				ld, ri, ok := resolve(genome, i)
+				if !ok {
 					return math.Inf(1)
 				}
-				total += float64(entry.Plan.Energy)
+				total += float64(ld.Rungs[ri].Energy)
 			}
 			return total
 		},
@@ -112,9 +118,12 @@ func (e *Evaluator) innerSearchGA(cand Candidate, budget intermittent.BudgetFunc
 	if math.IsInf(res.BestValue, 1) {
 		return nil, fmt.Errorf("explore: gamma mapper found no feasible mapping for %s on %s", w.Name, cand)
 	}
-	plans := make([]*intermittent.Plan, len(w.Layers))
 	for i := range w.Layers {
-		plans[i] = &resolve(res.Best, i).Plan
+		ld, ri, ok := resolve(res.Best, i)
+		if !ok {
+			return nil, fmt.Errorf("explore: gamma mapper winner unresolvable for layer %d of %s", i, w.Name)
+		}
+		ld.PlanInto(ri, &a.backing[i])
 	}
-	return plans, nil
+	return a.plans, nil
 }

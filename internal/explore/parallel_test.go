@@ -1,0 +1,205 @@
+package explore
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"sync"
+	"testing"
+
+	"chrysalis/internal/accel"
+	"chrysalis/internal/dnn"
+	"chrysalis/internal/units"
+)
+
+// exploreWorkers runs Explore with an explicit worker count and strips
+// the (deliberately worker-dependent) Workers field so the rest of the
+// Outcome can be compared bit for bit.
+func exploreWorkers(t *testing.T, sc Scenario, b Baseline, workers int) Outcome {
+	t.Helper()
+	cfg := smallGA(11)
+	cfg.Workers = workers
+	out, err := Explore(sc, b, cfg)
+	if err != nil {
+		t.Fatalf("Explore(%v, workers=%d): %v", b, workers, err)
+	}
+	out.Workers = 0
+	// Cache totals depend on which worker's fast-path slot saw the
+	// fingerprint first, not on the search trajectory; the determinism
+	// contract covers the design outcome, so normalize them too.
+	out.CacheHits, out.CacheMisses = 0, 0
+	return out
+}
+
+// TestExploreWorkersBitIdentical is the determinism contract test: the
+// same seed must produce a bit-identical Outcome whether candidates are
+// evaluated serially or across 8 workers, on every platform (MSP430,
+// TPU-pinned and Eyeriss-pinned accelerators) and every Table VI
+// baseline.
+func TestExploreWorkersBitIdentical(t *testing.T) {
+	tpu, eyeriss := accel.TPU, accel.Eyeriss
+	platforms := []struct {
+		name string
+		sc   Scenario
+	}{
+		{"msp430", Scenario{Workload: dnn.HAR(), Platform: MSP, Objective: LatSP}},
+		{"accel-tpu", Scenario{Workload: dnn.HAR(), Platform: Accel, Objective: LatSP, Arch: &tpu}},
+		{"accel-eyeriss", Scenario{Workload: dnn.HAR(), Platform: Accel, Objective: LatSP, Arch: &eyeriss}},
+	}
+	for _, tc := range platforms {
+		for _, b := range Baselines() {
+			t.Run(fmt.Sprintf("%s/%s", tc.name, b), func(t *testing.T) {
+				serial := exploreWorkers(t, tc.sc, b, 1)
+				parallel := exploreWorkers(t, tc.sc, b, 8)
+				if !reflect.DeepEqual(serial, parallel) {
+					t.Errorf("Outcome differs between Workers=1 and Workers=8\nserial:   value=%v cand=%v\nparallel: value=%v cand=%v",
+						serial.Value, serial.Best.Candidate, parallel.Value, parallel.Best.Candidate)
+				}
+			})
+		}
+	}
+}
+
+// TestExploreWorkersDefaultsToAllCores checks the Workers=0 default
+// resolves to GOMAXPROCS and is reported in the Outcome.
+func TestExploreWorkersDefaultsToAllCores(t *testing.T) {
+	sc := Scenario{Workload: dnn.HAR(), Platform: MSP, Objective: LatSP}
+	out, err := Explore(sc, Full, smallGA(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Workers != resolveWorkers(0) {
+		t.Errorf("default Outcome.Workers = %d, want %d", out.Workers, resolveWorkers(0))
+	}
+	cfg := smallGA(11)
+	cfg.Workers = -1
+	out, err = Explore(sc, Full, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Workers != 1 {
+		t.Errorf("Workers=-1 Outcome.Workers = %d, want 1 (serial opt-out)", out.Workers)
+	}
+}
+
+// TestParetoScanWorkersBitIdentical checks the random-scan Pareto path
+// returns identically ordered points and front for any worker count.
+func TestParetoScanWorkersBitIdentical(t *testing.T) {
+	sc := Scenario{Workload: dnn.HAR(), Platform: MSP, Objective: LatSP}
+	sPts, sFront, err := ParetoScanWorkers(sc, 120, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pPts, pFront, err := ParetoScanWorkers(sc, 120, 3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sPts, pPts) {
+		t.Error("ParetoScan points differ between 1 and 8 workers")
+	}
+	if !reflect.DeepEqual(sFront, pFront) {
+		t.Error("ParetoScan front differs between 1 and 8 workers")
+	}
+}
+
+// TestParetoSearchWorkersBitIdentical checks the NSGA-II front path.
+func TestParetoSearchWorkersBitIdentical(t *testing.T) {
+	sc := Scenario{Workload: dnn.HAR(), Platform: MSP, Objective: LatSP}
+	run := func(workers int) []ParetoPoint {
+		cfg := smallGA(5)
+		cfg.Workers = workers
+		front, _, err := ParetoSearch(sc, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return front
+	}
+	if serial, parallel := run(1), run(8); !reflect.DeepEqual(serial, parallel) {
+		t.Error("ParetoSearch fronts differ between 1 and 8 workers")
+	}
+}
+
+// TestBestTrackerTieBreak checks ties on the objective value resolve to
+// the lowest evaluation index regardless of observation order — the
+// serial fold's first-wins semantics.
+func TestBestTrackerTieBreak(t *testing.T) {
+	bt := newBestTracker()
+	bt.observe(7, 1.5, []float64{0.7})
+	bt.observe(3, 1.5, []float64{0.3}) // same value, lower index: must win
+	bt.observe(9, 1.5, []float64{0.9}) // same value, higher index: must lose
+	if bt.index != 3 || bt.genome[0] != 0.3 {
+		t.Errorf("tie-break picked index %d genome %v, want index 3 genome [0.3]", bt.index, bt.genome)
+	}
+	bt.observe(20, 1.0, []float64{0.2}) // strictly better value wins at any index
+	if bt.index != 20 || bt.value != 1.0 {
+		t.Errorf("strict improvement lost: index %d value %v", bt.index, bt.value)
+	}
+	bt.observe(1, math.Inf(1), []float64{0.1}) // infeasible never recorded
+	if bt.index != 20 {
+		t.Error("infeasible observation overwrote the best")
+	}
+}
+
+// TestPlanCacheShardHammer hammers the sharded plan cache from many
+// goroutines over many distinct fingerprints (more than the shard
+// count, so stripes are contended and shared) and checks the counter
+// invariant: every lookup is either a hit or a miss, and every distinct
+// fingerprint missed at least once.
+func TestPlanCacheShardHammer(t *testing.T) {
+	tpu := accel.TPU
+	sc := Scenario{Workload: dnn.SimpleConv(), Platform: Accel, Objective: LatSP, Arch: &tpu}
+	e, err := NewEvaluator(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 24 distinct fingerprints (> cacheShards=16): NPE varies, and NPE is
+	// a fingerprint field.
+	const distinct = 24
+	cands := make([]Candidate, distinct)
+	for i := range cands {
+		cands[i] = Candidate{
+			PanelArea: 10,
+			Cap:       470e-6,
+			Accel:     &accel.Config{Arch: accel.TPU, NPE: 4 + i, CacheBytes: units.Bytes(256)},
+		}
+	}
+	const goroutines = 16
+	const rounds = 30
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				cand := cands[(worker+r)%distinct]
+				if _, err := e.cache.get(e.sc, cand, worker); err != nil {
+					t.Errorf("worker %d: %v", worker, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	hits, misses := e.CacheStats()
+	lookups := int64(goroutines * rounds)
+	if hits+misses != lookups {
+		t.Errorf("hits(%d)+misses(%d) = %d, want %d lookups", hits, misses, hits+misses, lookups)
+	}
+	if misses < distinct {
+		t.Errorf("misses = %d, want >= %d (every distinct fingerprint builds at least once)", misses, distinct)
+	}
+	// Entries must all be retrievable and shared after the hammer.
+	for i, cand := range cands {
+		ls1, err := e.cache.get(e.sc, cand, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ls2, err := e.cache.get(e.sc, cand, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ls1 != ls2 {
+			t.Errorf("candidate %d: different ladder-set pointers from different workers", i)
+		}
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"chrysalis/internal/dataflow"
 	"chrysalis/internal/dnn"
@@ -195,20 +196,31 @@ func MinFeasibleTiles(l dnn.Layer, elemBytes int, df dataflow.Dataflow, part dat
 	return Plan{}, noFeasibleTileError(l.Name)
 }
 
-// LadderEntry is one rung of a Ladder: a VM-feasible tile count with
-// its fully-evaluated plan and memoized tile power draw.
-type LadderEntry struct {
-	// NTile is the requested tile count (equal to Plan.Cost.Mapping.NTile).
+// Rung is one step of a Ladder: a VM-feasible tile count reduced to
+// the four scalars the budget scan and the energy comparison consume.
+// The full Plan is deliberately NOT stored — a ladder covering the
+// whole mapping space of a deep workload used to pin hundreds of
+// ~400-byte plans per (layer, dataflow, partition) tuple, which
+// dominated the search's allocation profile; a Rung is 32 bytes, and
+// PlanAt rematerializes the one winning plan on demand, bit-identical
+// to the plan the build pass computed.
+type Rung struct {
+	// NTile is the requested tile count (a candidate divisor of the
+	// partition dimension).
 	NTile int
 	// Power memoizes Plan.TilePower() for budget queries.
 	Power units.Power
-	// Plan is the complete intermittent plan at this tile count.
-	Plan Plan
+	// TileEnergy is the per-tile cycle budget requirement (Eq. 8 LHS).
+	TileEnergy units.Energy
+	// Energy is the layer's total E_all at this tile count (Eq. 5) —
+	// the quantity inner searches minimize across rungs.
+	Energy units.Energy
 }
 
 // Ladder is the precomputed feasibility ladder for one (layer,
 // dataflow, partition, hardware, rexc) tuple: every VM-feasible
-// candidate tile count with its plan, in ascending NTile order.
+// candidate tile count, in ascending NTile order, reduced to slim
+// Rungs, plus the inputs needed to rematerialize any rung's full Plan.
 //
 // The key invariant making ladders cacheable is that plans are
 // budget-independent: Eq. 4–6 depend only on the layer, the mapping and
@@ -222,29 +234,63 @@ type Ladder struct {
 	Dataflow  dataflow.Dataflow
 	Partition dataflow.Partition
 	Rexc      float64
-	Entries   []LadderEntry
+	// HW holds the cost constants the rungs were evaluated under, kept
+	// so PlanAt can re-run the cost model for a chosen rung.
+	HW    dataflow.HW
+	Rungs []Rung
 }
 
-// BuildLadder evaluates the full sorted sequence of VM-feasible
-// (NTile, Plan) entries for a layer once. rexc < 0 selects
-// DefaultExceptionRate; rexc >= 1 is rejected.
+// ntileScratch pools the candidate-tile-count buffer BuildLadder scans,
+// so steady-state ladder builds (every plan-cache miss builds one
+// ladder per layer × dataflow × partition) allocate no per-call slice.
+var ntileScratch = sync.Pool{New: func() any { return new([]int) }}
+
+// BuildLadder evaluates the full sorted sequence of VM-feasible tile
+// counts for a layer once, storing one slim Rung per count. rexc < 0
+// selects DefaultExceptionRate; rexc >= 1 is rejected.
 func BuildLadder(l dnn.Layer, elemBytes int, df dataflow.Dataflow, part dataflow.Partition,
 	hw dataflow.HW, rexc float64) (Ladder, error) {
 	rexc, err := normalizeRexc(rexc)
 	if err != nil {
 		return Ladder{}, err
 	}
-	ld := Ladder{Layer: l, ElemBytes: elemBytes, Dataflow: df, Partition: part, Rexc: rexc}
-	for _, n := range dataflow.CandidateNTiles(l, part) {
+	buf := ntileScratch.Get().(*[]int)
+	ntiles := dataflow.AppendCandidateNTiles((*buf)[:0], l, part)
+	ld := Ladder{Layer: l, ElemBytes: elemBytes, Dataflow: df, Partition: part, Rexc: rexc, HW: hw,
+		Rungs: make([]Rung, 0, len(ntiles))}
+	for _, n := range ntiles {
 		m := dataflow.Mapping{Dataflow: df, Partition: part, NTile: n}
 		c, ok := dataflow.TryEvaluate(l, elemBytes, m, hw)
 		if !ok {
 			continue // tile does not fit VM at this count
 		}
 		p := planFromCost(l, c, hw, rexc)
-		ld.Entries = append(ld.Entries, LadderEntry{NTile: n, Power: p.TilePower(), Plan: p})
+		ld.Rungs = append(ld.Rungs, Rung{NTile: n, Power: p.TilePower(), TileEnergy: p.TileEnergy, Energy: p.Energy})
 	}
+	*buf = ntiles
+	ntileScratch.Put(buf)
 	return ld, nil
+}
+
+// PlanAt rematerializes the full Plan of rung i by re-running the cost
+// model under the ladder's stored inputs. Because planFromCost is a
+// pure function of (layer, cost, hw, rexc), the result is bit-identical
+// to the plan the build pass evaluated for that rung.
+func (ld *Ladder) PlanAt(i int) Plan {
+	var p Plan
+	ld.PlanInto(i, &p)
+	return p
+}
+
+// PlanInto is PlanAt writing into caller-owned storage (a reusable
+// evaluation arena), so hot search loops materialize winning plans with
+// zero allocations.
+func (ld *Ladder) PlanInto(i int, dst *Plan) {
+	m := dataflow.Mapping{Dataflow: ld.Dataflow, Partition: ld.Partition, NTile: ld.Rungs[i].NTile}
+	// The rung exists, so the same inputs evaluated feasibly at build
+	// time; TryEvaluate cannot fail here.
+	c, _ := dataflow.TryEvaluate(ld.Layer, ld.ElemBytes, m, ld.HW)
+	*dst = planFromCost(ld.Layer, c, ld.HW, ld.Rexc)
 }
 
 // BuildLadderTraced is BuildLadder wrapped in an obs span carrying the
@@ -261,7 +307,7 @@ func BuildLadderTraced(tr *obs.Trace, l dnn.Layer, elemBytes int, df dataflow.Da
 	sp := tr.Start("explore", "build-ladder",
 		obs.A("layer", l.Name), obs.A("dataflow", df.String()), obs.A("partition", part.String()))
 	ld, err := BuildLadder(l, elemBytes, df, part, hw, rexc)
-	sp.End(obs.A("rungs", len(ld.Entries)), obs.A("err", err != nil))
+	sp.End(obs.A("rungs", len(ld.Rungs)), obs.A("err", err != nil))
 	return ld, err
 }
 
@@ -273,9 +319,9 @@ func (ld *Ladder) MinFeasibleIndex(budget BudgetFunc) (int, bool) {
 	if budget == nil {
 		return 0, false
 	}
-	for i := range ld.Entries {
-		e := &ld.Entries[i]
-		if avail := budget(e.Power); avail > 0 && e.Plan.TileEnergy <= avail {
+	for i := range ld.Rungs {
+		r := &ld.Rungs[i]
+		if avail := budget(r.Power); avail > 0 && r.TileEnergy <= avail {
 			return i, true
 		}
 	}
@@ -290,20 +336,20 @@ func (ld *Ladder) MinFeasible(budget BudgetFunc) (Plan, error) {
 		return Plan{}, errNilBudget
 	}
 	if i, ok := ld.MinFeasibleIndex(budget); ok {
-		return ld.Entries[i].Plan, nil
+		return ld.PlanAt(i), nil
 	}
 	return Plan{}, noFeasibleTileError(ld.Layer.Name)
 }
 
-// ByNTile returns the rung whose requested tile count is n, using
-// binary search over the ascending entries. ok is false when that count
-// was VM-infeasible (and therefore excluded from the ladder).
-func (ld *Ladder) ByNTile(n int) (*LadderEntry, bool) {
-	i := sort.Search(len(ld.Entries), func(i int) bool { return ld.Entries[i].NTile >= n })
-	if i < len(ld.Entries) && ld.Entries[i].NTile == n {
-		return &ld.Entries[i], true
+// ByNTile returns the index of the rung whose requested tile count is
+// n, using binary search over the ascending rungs. ok is false when
+// that count was VM-infeasible (and therefore excluded from the ladder).
+func (ld *Ladder) ByNTile(n int) (int, bool) {
+	i := sort.Search(len(ld.Rungs), func(i int) bool { return ld.Rungs[i].NTile >= n })
+	if i < len(ld.Rungs) && ld.Rungs[i].NTile == n {
+		return i, true
 	}
-	return nil, false
+	return 0, false
 }
 
 // PlanWorkload plans every layer of a workload with a fixed dataflow,

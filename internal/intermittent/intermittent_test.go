@@ -263,34 +263,43 @@ func TestLadderMatchesPerCallScan(t *testing.T) {
 	}
 }
 
-// TestLadderEntriesAscendingAndBudgetFree checks the two Ladder
-// invariants the fingerprint cache relies on: entries are sorted by
-// ascending NTile, and rung plans are budget-independent (identical to
-// a direct PlanLayer evaluation of the same mapping).
+// TestLadderEntriesAscendingAndBudgetFree checks the Ladder invariants
+// the fingerprint cache relies on: rungs are sorted by ascending NTile,
+// the slim rung scalars are budget-independent (identical to a direct
+// PlanLayer evaluation of the same mapping), and PlanAt rematerializes
+// the full plan bit-identically.
 func TestLadderEntriesAscendingAndBudgetFree(t *testing.T) {
 	l := convLayer(t)
 	ld, err := BuildLadder(l, 2, dataflow.OS, dataflow.ByChannel, hwMSP(), 0.05)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(ld.Entries) == 0 {
+	if len(ld.Rungs) == 0 {
 		t.Fatal("expected at least one VM-feasible rung")
 	}
-	for i, e := range ld.Entries {
-		if i > 0 && e.NTile <= ld.Entries[i-1].NTile {
-			t.Fatalf("entries not ascending at %d: %d after %d", i, e.NTile, ld.Entries[i-1].NTile)
+	for i, r := range ld.Rungs {
+		if i > 0 && r.NTile <= ld.Rungs[i-1].NTile {
+			t.Fatalf("rungs not ascending at %d: %d after %d", i, r.NTile, ld.Rungs[i-1].NTile)
 		}
-		m := dataflow.Mapping{Dataflow: dataflow.OS, Partition: dataflow.ByChannel, NTile: e.NTile}
+		m := dataflow.Mapping{Dataflow: dataflow.OS, Partition: dataflow.ByChannel, NTile: r.NTile}
 		p, err := PlanLayer(l, 2, m, hwMSP(), 0.05)
 		if err != nil {
-			t.Fatalf("NTile=%d: %v", e.NTile, err)
+			t.Fatalf("NTile=%d: %v", r.NTile, err)
 		}
-		if !reflect.DeepEqual(e.Plan, p) {
-			t.Fatalf("NTile=%d: ladder rung differs from direct PlanLayer", e.NTile)
+		if !reflect.DeepEqual(ld.PlanAt(i), p) {
+			t.Fatalf("NTile=%d: PlanAt differs from direct PlanLayer", r.NTile)
 		}
-		if e.Power != p.TilePower() {
-			t.Fatalf("NTile=%d: memoized power %v != %v", e.NTile, e.Power, p.TilePower())
+		if r.Power != p.TilePower() || r.TileEnergy != p.TileEnergy || r.Energy != p.Energy {
+			t.Fatalf("NTile=%d: rung scalars %+v differ from plan (power %v tile %v energy %v)",
+				r.NTile, r, p.TilePower(), p.TileEnergy, p.Energy)
 		}
+		idx, ok := ld.ByNTile(r.NTile)
+		if !ok || idx != i {
+			t.Fatalf("ByNTile(%d) = (%d, %v), want (%d, true)", r.NTile, idx, ok, i)
+		}
+	}
+	if _, ok := ld.ByNTile(-1); ok {
+		t.Fatal("ByNTile must miss on counts excluded from the ladder")
 	}
 }
 

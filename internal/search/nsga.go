@@ -14,6 +14,10 @@ type BiProblem struct {
 	// Eval returns the two objective values (both minimized). Either
 	// may be +Inf for infeasible points.
 	Eval func(genome []float64) (f1, f2 float64)
+	// EvalCtx, when non-nil, is used instead of Eval and receives the
+	// evaluation's EvalContext (see Problem.EvalCtx): the global ordinal
+	// and the worker slot, for objectives with per-worker state.
+	EvalCtx func(ec EvalContext, genome []float64) (f1, f2 float64)
 }
 
 // Validate checks the problem definition.
@@ -21,10 +25,19 @@ func (p BiProblem) Validate() error {
 	if p.Dim <= 0 {
 		return fmt.Errorf("search: dimension must be positive, got %d", p.Dim)
 	}
-	if p.Eval == nil {
+	if p.Eval == nil && p.EvalCtx == nil {
 		return fmt.Errorf("search: Eval must not be nil")
 	}
 	return nil
+}
+
+// evalFn returns the unified evaluation function, preferring EvalCtx.
+func (p BiProblem) evalFn() func(ec EvalContext, genome []float64) (float64, float64) {
+	if p.EvalCtx != nil {
+		return p.EvalCtx
+	}
+	eval := p.Eval
+	return func(_ EvalContext, genome []float64) (float64, float64) { return eval(genome) }
 }
 
 // nsgaIndividual carries a genome, its objectives, and NSGA-II bookkeeping.
@@ -57,18 +70,25 @@ func RunNSGA2(p BiProblem, cfg GAConfig) ([]FrontPoint, int, error) {
 		return nil, 0, err
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
+	eval := p.evalFn()
 	evals := 0
-	eval := func(g []float64) (float64, float64) {
-		evals++
-		return p.Eval(g)
+	// Genome generation stays sequential and seeded; only objective
+	// evaluations fan out across cfg.Workers, per batch, so the search
+	// trajectory is identical for any worker count (the same contract as
+	// RunGA).
+	evalBatch := func(batch []nsgaIndividual) {
+		base := evals
+		forEachIndex(len(batch), cfg.Workers, func(worker, i int) {
+			batch[i].f1, batch[i].f2 = eval(EvalContext{Index: base + i, Worker: worker}, batch[i].genome)
+		})
+		evals += len(batch)
 	}
 
 	pop := make([]nsgaIndividual, cfg.Population)
 	for i := range pop {
-		g := randomGenome(rng, p.Dim)
-		f1, f2 := eval(g)
-		pop[i] = nsgaIndividual{genome: g, f1: f1, f2: f2}
+		pop[i] = nsgaIndividual{genome: randomGenome(rng, p.Dim)}
 	}
+	evalBatch(pop)
 	rankAndCrowd(pop)
 
 	for gen := 0; gen < cfg.Generations; gen++ {
@@ -79,9 +99,9 @@ func RunNSGA2(p BiProblem, cfg GAConfig) ([]FrontPoint, int, error) {
 			b := nsgaTournament(rng, pop)
 			child := crossover(rng, a.genome, b.genome)
 			mutate(rng, child, cfg.MutRate, cfg.MutSigma)
-			f1, f2 := eval(child)
-			children = append(children, nsgaIndividual{genome: child, f1: f1, f2: f2})
+			children = append(children, nsgaIndividual{genome: child})
 		}
+		evalBatch(children)
 		// Environmental selection over parents ∪ children.
 		union := append(pop, children...)
 		rankAndCrowd(union)

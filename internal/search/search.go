@@ -15,6 +15,7 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"chrysalis/internal/obs"
 )
@@ -23,6 +24,26 @@ import (
 type Problem struct {
 	Dim  int
 	Eval func(genome []float64) float64
+	// EvalCtx, when non-nil, is used instead of Eval and additionally
+	// receives the evaluation's context: its global ordinal and the
+	// worker slot running it. Objectives that track per-worker state
+	// (cache fast paths) or need deterministic tie-breaking across
+	// parallel runs (lowest evaluation index wins) use it; everything
+	// else can keep the plain Eval form.
+	EvalCtx func(ec EvalContext, genome []float64) float64
+}
+
+// EvalContext identifies one objective evaluation inside a run.
+type EvalContext struct {
+	// Index is the global, generation-order ordinal of this evaluation
+	// (0-based). It is identical for any worker count because candidate
+	// generation stays sequential: evaluation i always sees the same
+	// genome.
+	Index int
+	// Worker is the slot of the worker goroutine performing the
+	// evaluation, in [0, workers). Serial runs always use slot 0. The
+	// genome→worker assignment is NOT deterministic — only Index is.
+	Worker int
 }
 
 // Validate checks the problem definition.
@@ -30,10 +51,19 @@ func (p Problem) Validate() error {
 	if p.Dim <= 0 {
 		return fmt.Errorf("search: dimension must be positive, got %d", p.Dim)
 	}
-	if p.Eval == nil {
+	if p.Eval == nil && p.EvalCtx == nil {
 		return fmt.Errorf("search: Eval must not be nil")
 	}
 	return nil
+}
+
+// evalFn returns the unified evaluation function, preferring EvalCtx.
+func (p Problem) evalFn() func(ec EvalContext, genome []float64) float64 {
+	if p.EvalCtx != nil {
+		return p.EvalCtx
+	}
+	eval := p.Eval
+	return func(_ EvalContext, genome []float64) float64 { return eval(genome) }
 }
 
 // Result is the outcome of an optimization run.
@@ -156,7 +186,7 @@ func RunGA(p Problem, cfg GAConfig) (Result, error) {
 		}
 	}
 	evalBatch := func(batch []individual) {
-		evaluateBatch(p, batch, cfg.Workers)
+		evaluateBatch(p, res.Evals, batch, cfg.Workers)
 		record(batch)
 	}
 
@@ -218,38 +248,82 @@ func RunGA(p Problem, cfg GAConfig) (Result, error) {
 }
 
 // evaluateBatch fills in the values of a batch, optionally across
-// workers.
-func evaluateBatch(p Problem, batch []individual, workers int) {
-	if workers <= 1 || len(batch) < 2 {
-		for i := range batch {
-			batch[i].value = p.Eval(batch[i].genome)
+// workers. base is the global ordinal of batch[0] (the run's cumulative
+// evaluation count before this batch), so batch[i] evaluates as
+// EvalContext{Index: base+i} regardless of worker count.
+func evaluateBatch(p Problem, base int, batch []individual, workers int) {
+	eval := p.evalFn()
+	forEachIndex(len(batch), workers, func(worker, i int) {
+		batch[i].value = eval(EvalContext{Index: base + i, Worker: worker}, batch[i].genome)
+	})
+}
+
+// dispatchChunk sizes the per-grab work chunk for forEachIndex: small
+// enough that workers stay balanced on skewed objective costs, large
+// enough that the shared counter isn't contended per index.
+func dispatchChunk(n, workers int) int {
+	chunk := n / (workers * 4)
+	if chunk < 1 {
+		chunk = 1
+	}
+	return chunk
+}
+
+// forEachIndex runs fn(worker, i) for every i in [0, n), distributed
+// across the given number of worker goroutines via chunked claims on a
+// shared atomic counter. The earlier implementation pushed every index
+// through an unbuffered channel, which cost two scheduler handoffs per
+// element and dominated cheap objectives; claiming chunks amortizes the
+// synchronization to a few atomic adds per worker (see
+// BenchmarkBatchDispatch). workers <= 1 (or n < 2) degenerates to a
+// plain serial loop on the caller's goroutine with worker slot 0.
+func forEachIndex(n, workers int, fn func(worker, i int)) {
+	if workers <= 1 || n < 2 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
 		}
 		return
 	}
-	if workers > len(batch) {
-		workers = len(batch)
+	if workers > n {
+		workers = n
 	}
+	chunk := dispatchChunk(n, workers)
+	var next atomic.Int64
 	var wg sync.WaitGroup
-	idx := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
-			for i := range idx {
-				batch[i].value = p.Eval(batch[i].genome)
+			for {
+				end := int(next.Add(int64(chunk)))
+				start := end - chunk
+				if start >= n {
+					return
+				}
+				if end > n {
+					end = n
+				}
+				for i := start; i < end; i++ {
+					fn(worker, i)
+				}
 			}
-		}()
+		}(w)
 	}
-	for i := range batch {
-		idx <- i
-	}
-	close(idx)
 	wg.Wait()
 }
 
 // RunRandom minimizes by uniform random sampling (the wo/search
 // ablation baseline).
 func RunRandom(p Problem, n int, seed int64, keepVisited bool) (Result, error) {
+	return RunRandomWorkers(p, n, seed, keepVisited, 1)
+}
+
+// RunRandomWorkers is RunRandom with concurrent objective evaluation.
+// Genome generation stays sequential and seeded and the best-so-far
+// fold runs in sample order, so the result is bit-identical for any
+// worker count; only the objective calls run in parallel (Eval/EvalCtx
+// must be safe for concurrent use when workers > 1).
+func RunRandomWorkers(p Problem, n int, seed int64, keepVisited bool, workers int) (Result, error) {
 	if err := p.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -257,11 +331,20 @@ func RunRandom(p Problem, n int, seed int64, keepVisited bool) (Result, error) {
 		return Result{}, fmt.Errorf("search: sample count must be >= 1, got %d", n)
 	}
 	rng := rand.New(rand.NewSource(seed))
+	genomes := make([][]float64, n)
+	for i := range genomes {
+		genomes[i] = randomGenome(rng, p.Dim)
+	}
+	values := make([]float64, n)
+	eval := p.evalFn()
+	forEachIndex(n, workers, func(worker, i int) {
+		values[i] = eval(EvalContext{Index: i, Worker: worker}, genomes[i])
+	})
+
 	var res Result
 	res.BestValue = math.Inf(1)
 	for i := 0; i < n; i++ {
-		g := randomGenome(rng, p.Dim)
-		v := p.Eval(g)
+		g, v := genomes[i], values[i]
 		res.Evals++
 		if keepVisited {
 			res.Visited = append(res.Visited, Sample{Genome: g, Value: v})
@@ -294,13 +377,14 @@ func RunGrid(p Problem, k int) (Result, error) {
 	}
 	var res Result
 	res.BestValue = math.Inf(1)
+	eval := p.evalFn()
 	g := make([]float64, p.Dim)
 	idx := make([]int, p.Dim)
 	for {
 		for d, i := range idx {
 			g[d] = float64(i) / float64(k-1)
 		}
-		v := p.Eval(g)
+		v := eval(EvalContext{Index: res.Evals}, g)
 		res.Evals++
 		if v < res.BestValue {
 			res.BestValue = v

@@ -1,0 +1,69 @@
+package serve
+
+import "sync"
+
+// workerGate is a weighted semaphore over the server's spare CPU slots,
+// shared by every job the pool runs. The job pool itself is sized to
+// GOMAXPROCS, so with every pool slot busy there is no headroom for
+// intra-job search parallelism: the gate's capacity is the slack left
+// after the pool's own width (max(0, GOMAXPROCS − pool width)), and a
+// job's search may only fan out across slots it actually acquired.
+// Acquisition is non-blocking by design — a job that finds no spare
+// slots runs its search serially rather than waiting, so the pool's
+// throughput is never sacrificed to one job's speedup and the total
+// search-worker count across the process never exceeds GOMAXPROCS.
+type workerGate struct {
+	mu       sync.Mutex
+	capacity int
+	free     int
+}
+
+func newWorkerGate(capacity int) *workerGate {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &workerGate{capacity: capacity, free: capacity}
+}
+
+// tryAcquire grabs up to want slots without blocking and returns how
+// many it got (possibly zero). want <= 0 acquires nothing.
+func (g *workerGate) tryAcquire(want int) int {
+	if want <= 0 {
+		return 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	got := want
+	if got > g.free {
+		got = g.free
+	}
+	g.free -= got
+	return got
+}
+
+// release returns n slots to the gate.
+func (g *workerGate) release(n int) {
+	if n <= 0 {
+		return
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.free += n
+	if g.free > g.capacity {
+		g.free = g.capacity
+	}
+}
+
+// inUse reports currently held slots (for metrics).
+func (g *workerGate) inUse() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.capacity - g.free
+}
+
+// cap reports the gate's total capacity (for metrics).
+func (g *workerGate) cap() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.capacity
+}

@@ -1,0 +1,140 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+	"testing"
+)
+
+func TestWorkerGateAcquireRelease(t *testing.T) {
+	g := newWorkerGate(3)
+	if g.cap() != 3 || g.inUse() != 0 {
+		t.Fatalf("fresh gate: cap=%d inUse=%d", g.cap(), g.inUse())
+	}
+	if got := g.tryAcquire(2); got != 2 {
+		t.Errorf("tryAcquire(2) = %d, want 2", got)
+	}
+	if got := g.tryAcquire(5); got != 1 {
+		t.Errorf("tryAcquire(5) with 1 free = %d, want 1", got)
+	}
+	if got := g.tryAcquire(1); got != 0 {
+		t.Errorf("tryAcquire on empty gate = %d, want 0", got)
+	}
+	if g.inUse() != 3 {
+		t.Errorf("inUse = %d, want 3", g.inUse())
+	}
+	g.release(3)
+	if g.inUse() != 0 {
+		t.Errorf("after release inUse = %d, want 0", g.inUse())
+	}
+	// Over-release clamps at capacity instead of minting slots.
+	g.release(10)
+	if got := g.tryAcquire(10); got != 3 {
+		t.Errorf("over-release minted slots: tryAcquire(10) = %d, want 3", got)
+	}
+	// Degenerate gates (pool width >= GOMAXPROCS) grant nothing.
+	empty := newWorkerGate(-2)
+	if empty.cap() != 0 || empty.tryAcquire(4) != 0 {
+		t.Error("negative-capacity gate should clamp to zero and grant nothing")
+	}
+	// Non-positive wants are no-ops.
+	if g.tryAcquire(0) != 0 || g.tryAcquire(-1) != 0 {
+		t.Error("non-positive tryAcquire should grant nothing")
+	}
+}
+
+func TestWorkerGateConcurrentNeverOversubscribes(t *testing.T) {
+	const capacity = 4
+	g := newWorkerGate(capacity)
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(want int) {
+			defer wg.Done()
+			for r := 0; r < 200; r++ {
+				got := g.tryAcquire(want)
+				if got > want {
+					t.Errorf("granted %d > requested %d", got, want)
+				}
+				if held := g.inUse(); held > capacity {
+					t.Errorf("in-use %d exceeds capacity %d", held, capacity)
+				}
+				g.release(got)
+			}
+		}(1 + i%3)
+	}
+	wg.Wait()
+	if g.inUse() != 0 {
+		t.Errorf("leaked slots: inUse = %d", g.inUse())
+	}
+}
+
+// TestSearchWorkersRequestAndStatus submits a job with an explicit
+// search_workers and checks (a) the granted width is reported in the
+// job status, (b) search_workers does NOT participate in the cache key
+// (a second request differing only there must be a cache hit with the
+// same result), and (c) the gate's metrics gauges are exported.
+func TestSearchWorkersRequestAndStatus(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1, Logger: testLogger(t)})
+
+	req := smallJob()
+	req.SearchWorkers = 2
+	resp, body := postJSON(t, ts.URL+"/v1/designs", req)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d body %s", resp.StatusCode, body)
+	}
+	var st JobStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	st = pollJob(t, ts.URL, st.ID)
+	if st.State != JobDone {
+		t.Fatalf("job state %s (%s)", st.State, st.Error)
+	}
+	if st.Workers < 1 {
+		t.Errorf("job status workers = %d, want >= 1", st.Workers)
+	}
+	if st.Result == nil || st.Result.Workers != st.Workers {
+		t.Errorf("result workers not threaded: job=%d result=%+v", st.Workers, st.Result)
+	}
+	first := *st.Result
+
+	// Same request with a different worker count: identical cache key,
+	// so it must be served from the cache with a bit-identical result.
+	req2 := smallJob()
+	req2.SearchWorkers = 7
+	resp2, body2 := postJSON(t, ts.URL+"/v1/designs", req2)
+	if resp2.StatusCode != http.StatusOK && resp2.StatusCode != http.StatusAccepted {
+		t.Fatalf("resubmit: status %d", resp2.StatusCode)
+	}
+	var st2 JobStatus
+	if err := json.Unmarshal(body2, &st2); err != nil {
+		t.Fatal(err)
+	}
+	st2 = pollJob(t, ts.URL, st2.ID)
+	if !st2.Cached {
+		t.Error("request differing only in search_workers missed the cache")
+	}
+	second := *st2.Result
+	second.Workers = first.Workers // the one legitimately run-dependent field
+	if first.PanelArea != second.PanelArea || first.AvgLatency != second.AvgLatency ||
+		first.LatSP != second.LatSP || first.Evals != second.Evals {
+		t.Errorf("cached result differs:\nfirst:  %+v\nsecond: %+v", first, second)
+	}
+
+	if v := metricValue(t, ts.URL, "chrysalisd_search_worker_slots"); v < 0 {
+		t.Errorf("slots gauge = %g", v)
+	}
+	if v := metricValue(t, ts.URL, "chrysalisd_search_worker_slots_in_use"); v != 0 {
+		t.Errorf("in-use gauge after drain = %g, want 0", v)
+	}
+
+	// Negative worker requests are rejected at submission.
+	bad := smallJob()
+	bad.SearchWorkers = -1
+	respBad, _ := postJSON(t, ts.URL+"/v1/designs", bad)
+	if respBad.StatusCode != http.StatusBadRequest {
+		t.Errorf("negative search_workers: status %d, want 400", respBad.StatusCode)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"runtime"
 	"sync"
 	"time"
 
@@ -86,9 +87,13 @@ type JobStatus struct {
 	DoneAt    *time.Time    `json:"done_at,omitempty"`
 	Error     string        `json:"error,omitempty"`
 	Progress  *ProgressInfo `json:"progress,omitempty"`
-	Result    *core.Result  `json:"result,omitempty"`
-	Verify    *SimSummary   `json:"verify,omitempty"`
-	Audit     *audit.Report `json:"audit,omitempty"`
+	// Workers is the search-evaluation concurrency granted to this job
+	// by the process-global worker gate (informational; results are
+	// bit-identical for any worker count).
+	Workers int           `json:"workers,omitempty"`
+	Result  *core.Result  `json:"result,omitempty"`
+	Verify  *SimSummary   `json:"verify,omitempty"`
+	Audit   *audit.Report `json:"audit,omitempty"`
 }
 
 // job is one design-search unit of work.
@@ -99,6 +104,7 @@ type job struct {
 	mu       sync.Mutex
 	state    JobState
 	cached   bool
+	workers  int
 	err      string
 	result   *core.Result
 	sim      *sim.Result
@@ -126,6 +132,7 @@ func (j *job) status() JobStatus {
 		Cached:    j.cached,
 		CreatedAt: j.created,
 		Error:     j.err,
+		Workers:   j.workers,
 		Result:    j.result,
 	}
 	if !j.started.IsZero() {
@@ -172,6 +179,7 @@ type manager struct {
 
 	cache *lruCache
 	queue chan *job
+	gate  *workerGate
 	wg    sync.WaitGroup
 
 	baseCtx    context.Context
@@ -187,6 +195,7 @@ func newManager(opts Options) *manager {
 		inflight:   make(map[string]*job),
 		cache:      newLRU(opts.CacheSize),
 		queue:      make(chan *job, opts.QueueDepth),
+		gate:       newWorkerGate(runtime.GOMAXPROCS(0) - opts.Workers),
 		baseCtx:    ctx,
 		baseCancel: cancel,
 	}
@@ -196,6 +205,12 @@ func newManager(opts Options) *manager {
 	m.met.reg.GaugeFunc("chrysalisd_job_records",
 		"Job records currently retained.",
 		func() int64 { return int64(m.jobCount()) })
+	m.met.reg.GaugeFunc("chrysalisd_search_worker_slots",
+		"Extra search-worker slots available beyond the job pool (GOMAXPROCS - pool width).",
+		func() int64 { return int64(m.gate.cap()) })
+	m.met.reg.GaugeFunc("chrysalisd_search_worker_slots_in_use",
+		"Extra search-worker slots currently held by running jobs.",
+		func() int64 { return int64(m.gate.inUse()) })
 	for i := 0; i < opts.Workers; i++ {
 		m.wg.Add(1)
 		go m.worker()
@@ -356,6 +371,26 @@ func (m *manager) run(j *job) {
 	}
 	defer cancel()
 
+	// Size the job's search concurrency: the job's own pool slot plus
+	// whatever slack the worker gate can grant toward the requested
+	// width (request's search_workers, falling back to the server
+	// default, falling back to GOMAXPROCS). Zero grant means a serial
+	// search — never a queued one.
+	want := j.js.searchWorkers
+	if want <= 0 {
+		want = m.opts.SearchWorkers
+	}
+	if want <= 0 {
+		want = runtime.GOMAXPROCS(0)
+	}
+	granted := m.gate.tryAcquire(want - 1)
+	workers := 1 + granted
+	defer func() {
+		if granted > 0 {
+			m.gate.release(granted)
+		}
+	}()
+
 	j.mu.Lock()
 	if j.state != JobQueued { // cancelled while queued
 		j.mu.Unlock()
@@ -364,7 +399,9 @@ func (m *manager) run(j *job) {
 	j.state = JobRunning
 	j.started = time.Now()
 	j.cancel = cancel
+	j.workers = workers
 	spec := j.js.spec
+	spec.Search.Workers = workers
 	j.mu.Unlock()
 
 	m.met.jobsRunning.Add(1)
@@ -382,6 +419,12 @@ func (m *manager) run(j *job) {
 	spec.Search.Stop = func() bool { return ctx.Err() != nil }
 
 	res, err := core.RunBaseline(spec, j.js.baseline)
+	// The search is over: hand the extra slots back before the (serial)
+	// verify replay so queued jobs can fan out while this one replays.
+	if granted > 0 {
+		m.gate.release(granted)
+		granted = 0
+	}
 	if ctxErr := ctx.Err(); ctxErr != nil {
 		if errors.Is(ctxErr, context.DeadlineExceeded) {
 			m.finish(j, JobFailed, fmt.Errorf("job exceeded timeout %v", m.opts.JobTimeout))

@@ -42,6 +42,13 @@ type DesignRequest struct {
 	// Verify replays the winning design on the step simulator after the
 	// search, streaming its events over SSE and attaching the summary.
 	Verify bool `json:"verify,omitempty"`
+	// SearchWorkers requests a per-job search-evaluation concurrency
+	// (0 = server default, which defaults to auto/GOMAXPROCS). The
+	// actual grant is capped by the server's worker gate so concurrent
+	// jobs never oversubscribe the machine. Deliberately NOT part of the
+	// cache key: results are bit-identical for any worker count, so two
+	// requests differing only here must share one search.
+	SearchWorkers int `json:"search_workers,omitempty"`
 }
 
 // jobSpec is a fully normalized, validated design request: the exact
@@ -50,13 +57,17 @@ type jobSpec struct {
 	spec     core.Spec
 	baseline explore.Baseline
 	verify   bool
-	key      string
+	// searchWorkers is the requested per-job evaluation concurrency
+	// (0 = server default). Excluded from key: it never changes results.
+	searchWorkers int
+	key           string
 }
 
 // keyPayload is the canonical identity of a design request: every field
 // that changes the search outcome, in a fixed order, with defaults
-// already applied. Callback fields (Progress/Stop) are deliberately
-// absent — they never alter the result.
+// already applied. Callback fields (Progress/Stop) and SearchWorkers
+// are deliberately absent — they never alter the result (the search is
+// bit-identical for any worker count).
 type keyPayload struct {
 	Workload   string  `json:"workload"`
 	Platform   string  `json:"platform"`
@@ -102,6 +113,8 @@ func normalize(req DesignRequest) (jobSpec, error) {
 		return jobSpec{}, fmt.Errorf("max_panel_cm2 must be non-negative, got %g", req.MaxPanelCM2)
 	case req.MaxLatencyS < 0:
 		return jobSpec{}, fmt.Errorf("max_latency_s must be non-negative, got %g", req.MaxLatencyS)
+	case req.SearchWorkers < 0:
+		return jobSpec{}, fmt.Errorf("search_workers must be non-negative, got %d", req.SearchWorkers)
 	}
 	switch req.Algorithm {
 	case "ga", "random":
@@ -109,7 +122,7 @@ func normalize(req DesignRequest) (jobSpec, error) {
 		return jobSpec{}, fmt.Errorf("unknown algorithm %q (want ga or random)", req.Algorithm)
 	}
 
-	js := jobSpec{verify: req.Verify}
+	js := jobSpec{verify: req.Verify, searchWorkers: req.SearchWorkers}
 	switch req.Platform {
 	case "msp430":
 		js.spec.Platform = explore.MSP

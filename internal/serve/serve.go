@@ -49,6 +49,14 @@ import (
 type Options struct {
 	// Workers sizes the job worker pool (<= 0 selects GOMAXPROCS).
 	Workers int
+	// SearchWorkers is the default per-job search-evaluation concurrency
+	// for requests that do not set search_workers themselves (<= 0 =
+	// auto: ask for GOMAXPROCS). Whatever a job asks for, the actual
+	// grant is bounded by a process-global semaphore sized to the CPU
+	// slack the job pool leaves (GOMAXPROCS − Workers), so pool width ×
+	// per-job search workers never oversubscribes the machine. Search
+	// workers never change results — only wall-clock time.
+	SearchWorkers int
 	// QueueDepth bounds the backlog of queued jobs (<= 0 selects 64);
 	// submissions beyond it are rejected with 503.
 	QueueDepth int
