@@ -2,12 +2,12 @@
 
 GO ?= go
 
-.PHONY: all ci build vet test race race-cache race-explore bench bench-json bench-smoke experiments examples fuzz cover clean serve-smoke trace-smoke audit-smoke
+.PHONY: all ci build vet test race race-cache race-explore bench bench-json bench-smoke experiments examples fuzz cover clean serve-smoke cluster-smoke trace-smoke audit-smoke
 
 all: build vet test
 
 # Everything the CI workflow runs.
-ci: build vet test race race-explore bench-smoke trace-smoke audit-smoke
+ci: build vet test race race-explore bench-smoke serve-smoke cluster-smoke trace-smoke audit-smoke
 
 build:
 	$(GO) build ./...
@@ -46,15 +46,15 @@ bench-smoke:
 # benchmarks additionally run at -cpu 1,4 so the record captures both
 # the serial regression check and the parallel speedup; -baseline
 # computes speedup_vs_baseline ratios against the previous PR's record.
-BENCH_JSON ?= BENCH_PR5.json
-BENCH_BASELINE ?= BENCH_PR4.json
+BENCH_JSON ?= BENCH_PR6.json
+BENCH_BASELINE ?= BENCH_PR5.json
 BENCH_MICRO = CostModel|PlanWorkload|AnalyticEvaluate|StepSimulator|NSGAFront
 BENCH_MULTI = GASearch|AccelSearch
 
 bench-json:
 	{ $(GO) test -run='^$$' -bench='^Benchmark($(BENCH_MICRO))$$' -benchtime=100x -benchmem . ; \
 	  $(GO) test -run='^$$' -bench='^Benchmark($(BENCH_MULTI))$$' -benchtime=300x -benchmem -cpu 1,4 . ; } \
-		| $(GO) run ./cmd/benchjson -note "micro fixed -benchtime=100x, search 300x; speedup_vs_pr4 = baseline ns/op / new ns/op" \
+		| $(GO) run ./cmd/benchjson -note "micro fixed -benchtime=100x, search 300x; speedup_vs_pr5 = baseline ns/op / new ns/op" \
 			-baseline $(BENCH_BASELINE) -out $(BENCH_JSON)
 
 # Regenerate every paper table/figure at full budget.
@@ -75,6 +75,14 @@ fuzz:
 # to completion, assert the resubmission is a cache hit.
 serve-smoke:
 	$(GO) test ./internal/serve/ -run TestServeSmoke -v
+
+# End-to-end durable-cluster check: three daemons on loopback resolve a
+# design submitted to all of them exactly once (consistent-hash ring +
+# cluster single-flight), a dead peer degrades to local evaluation
+# without failing a request, and a crashed daemon recovers its queued
+# and finished jobs from the WAL on restart.
+cluster-smoke:
+	$(GO) test ./internal/serve/ -run 'TestClusterSingleFlight|TestClusterPeerDownDegradesLocally|TestWALCrashRecovery' -v
 
 # End-to-end observability check: run a traced design search with a
 # simulator verification replay, then validate the exported Chrome

@@ -33,6 +33,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
@@ -61,22 +62,42 @@ func main() {
 		addr         = flag.String("addr", ":8080", "listen address")
 		workers      = flag.Int("workers", 0, "design-job worker pool size (0 = GOMAXPROCS)")
 		searchWkrs   = flag.Int("search-workers", 0, "default per-job search-evaluation concurrency (0 = auto); grants are capped by a process-global semaphore sized to GOMAXPROCS minus the -workers pool width, so jobs x search workers never oversubscribes the machine; never changes results")
-		queueDepth   = flag.Int("queue", 64, "maximum queued jobs before submissions get 503")
 		cacheSize    = flag.Int("cache", 128, "result-cache capacity in designs")
 		jobTimeout   = flag.Duration("job-timeout", 0, "per-job search deadline (0 = none)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain bound")
 		traceEvents  = flag.Int("trace-events", 0, "per-job span ring-buffer capacity (0 = default)")
 		logLevel     = flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
 		showVersion  = flag.Bool("version", false, "print version and exit")
+
+		walDir       = flag.String("wal-dir", "", "write-ahead-log directory for a durable job store (empty = in-memory only); queued and running jobs survive a crash and re-run on restart")
+		self         = flag.String("self", "", "this node's base URL as listed in -peers (cluster mode)")
+		peers        = flag.String("peers", "", "comma-separated base URLs of every cluster node including this one (empty = single node); all nodes must pass the same list")
+		clusterTO    = flag.Duration("cluster-timeout", 0, "per-peer-call timeout in cluster mode (0 = 2s)")
+		quota        = flag.Float64("quota", 0, "per-client sustained submissions/sec, keyed on the X-API-Key header (0 = unlimited); over-quota submissions get 429 + Retry-After")
+		quotaBurst   = flag.Int("quota-burst", 0, "per-client burst allowance in submissions (0 = 2x -quota, minimum 1)")
 	)
+	queueDepth := flag.Int("max-queue", 64, "maximum queued jobs before submissions are shed with 429 + Retry-After")
+	flag.IntVar(queueDepth, "queue", 64, "alias for -max-queue (kept for compatibility)")
 	flag.Parse()
 	if *showVersion {
 		fmt.Printf("chrysalisd %s (%s, %s/%s)\n", obs.Version, runtime.Version(), runtime.GOOS, runtime.GOARCH)
 		return
 	}
-	if *workers < 0 || *searchWkrs < 0 || *queueDepth < 0 || *cacheSize < 0 {
-		fmt.Fprintln(os.Stderr, "chrysalisd: -workers, -search-workers, -queue and -cache must be non-negative")
+	if *workers < 0 || *searchWkrs < 0 || *queueDepth < 0 || *cacheSize < 0 || *quota < 0 || *quotaBurst < 0 {
+		fmt.Fprintln(os.Stderr, "chrysalisd: -workers, -search-workers, -max-queue, -cache, -quota and -quota-burst must be non-negative")
 		os.Exit(1)
+	}
+	var peerList []string
+	if *peers != "" {
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peerList = append(peerList, p)
+			}
+		}
+		if *self == "" {
+			fmt.Fprintln(os.Stderr, "chrysalisd: -peers requires -self (this node's own URL from the list)")
+			os.Exit(1)
+		}
 	}
 	level, err := parseLogLevel(*logLevel)
 	if err != nil {
@@ -85,23 +106,37 @@ func main() {
 	}
 
 	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
-	srv := serve.New(serve.Options{
-		Workers:       *workers,
-		SearchWorkers: *searchWkrs,
-		QueueDepth:    *queueDepth,
-		CacheSize:     *cacheSize,
-		JobTimeout:    *jobTimeout,
-		TraceEvents:   *traceEvents,
-		Logger:        logger,
+	srv, err := serve.New(serve.Options{
+		Workers:        *workers,
+		SearchWorkers:  *searchWkrs,
+		QueueDepth:     *queueDepth,
+		CacheSize:      *cacheSize,
+		JobTimeout:     *jobTimeout,
+		TraceEvents:    *traceEvents,
+		Logger:         logger,
+		WALDir:         *walDir,
+		Self:           *self,
+		Peers:          peerList,
+		ClusterTimeout: *clusterTO,
+		QuotaRPS:       *quota,
+		QuotaBurst:     *quotaBurst,
 	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "chrysalisd: %v\n", err)
+		os.Exit(1)
+	}
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	effWorkers := *workers
+	if effWorkers <= 0 {
+		effWorkers = runtime.GOMAXPROCS(0)
+	}
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
-	logger.Info("listening", "addr", *addr, "workers", *workers,
+	logger.Info("listening", "addr", *addr, "workers", effWorkers,
 		"cache", *cacheSize, "queue", *queueDepth)
 
 	select {

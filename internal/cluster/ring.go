@@ -1,0 +1,97 @@
+// Package cluster turns N chrysalisd processes into one serving tier:
+// a consistent-hash ring assigns every content-addressed design
+// fingerprint an owner node, and a small HTTP client with per-peer
+// circuit breakers lets non-owners probe the owner's result cache and
+// delegate evaluations to it — so an identical design submitted to any
+// number of nodes evaluates exactly once, and a dead peer degrades the
+// cluster to local-only operation instead of failing requests.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// DefaultReplicas is the virtual-node count per physical node. 64
+// points per node keeps the worst/best ownership ratio within ~2x for
+// small clusters without measurable lookup cost (the ring is a sorted
+// slice binary-searched per key).
+const DefaultReplicas = 64
+
+// Ring is an immutable consistent-hash ring over node names. Keys are
+// design fingerprints (hex SHA-256 from the serving layer's canonical
+// request hash); nodes are peer base URLs. Because every node builds
+// the ring from the same peer list, all nodes agree on each key's
+// owner without any coordination protocol.
+type Ring struct {
+	nodes  []string
+	hashes []uint64 // sorted virtual-node hashes
+	owner  []string // owner[i] owns hashes[i]
+}
+
+// NewRing builds a ring with the given virtual-node count per node
+// (<= 0 selects DefaultReplicas). Node order does not matter; duplicate
+// names collapse.
+func NewRing(nodes []string, replicas int) *Ring {
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	seen := make(map[string]bool, len(nodes))
+	r := &Ring{}
+	type point struct {
+		h    uint64
+		node string
+	}
+	var pts []point
+	for _, n := range nodes {
+		if n == "" || seen[n] {
+			continue
+		}
+		seen[n] = true
+		r.nodes = append(r.nodes, n)
+		for i := 0; i < replicas; i++ {
+			pts = append(pts, point{h: hash64(fmt.Sprintf("%s#%d", n, i)), node: n})
+		}
+	}
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].h != pts[j].h {
+			return pts[i].h < pts[j].h
+		}
+		return pts[i].node < pts[j].node // total order even on hash collisions
+	})
+	sort.Strings(r.nodes)
+	r.hashes = make([]uint64, len(pts))
+	r.owner = make([]string, len(pts))
+	for i, p := range pts {
+		r.hashes[i] = p.h
+		r.owner[i] = p.node
+	}
+	return r
+}
+
+// Nodes returns the distinct node names on the ring, sorted.
+func (r *Ring) Nodes() []string { return r.nodes }
+
+// Owner returns the node owning key: the first virtual node at or
+// after the key's hash, wrapping at the top of the ring. An empty ring
+// owns nothing ("").
+func (r *Ring) Owner(key string) string {
+	if len(r.hashes) == 0 {
+		return ""
+	}
+	h := hash64(key)
+	i := sort.Search(len(r.hashes), func(i int) bool { return r.hashes[i] >= h })
+	if i == len(r.hashes) {
+		i = 0
+	}
+	return r.owner[i]
+}
+
+// hash64 is FNV-1a, the same family the evaluator's cache shards use —
+// no cryptographic strength needed, the keys are already SHA-256 hex.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}

@@ -1,0 +1,82 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func keys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("sha256-like-key-%06d", i)
+	}
+	return out
+}
+
+func TestRingDeterministicAndComplete(t *testing.T) {
+	nodes := []string{"http://a:1", "http://b:1", "http://c:1"}
+	r1 := NewRing(nodes, 0)
+	r2 := NewRing([]string{nodes[2], nodes[0], nodes[1]}, 0) // order-insensitive
+	for _, k := range keys(500) {
+		o1, o2 := r1.Owner(k), r2.Owner(k)
+		if o1 == "" {
+			t.Fatalf("key %q unowned", k)
+		}
+		if o1 != o2 {
+			t.Fatalf("ownership differs across construction order: %q vs %q", o1, o2)
+		}
+	}
+}
+
+func TestRingSpreadsOwnership(t *testing.T) {
+	nodes := []string{"http://a:1", "http://b:1", "http://c:1"}
+	r := NewRing(nodes, 0)
+	counts := make(map[string]int)
+	total := 3000
+	for _, k := range keys(total) {
+		counts[r.Owner(k)]++
+	}
+	for _, n := range nodes {
+		got := counts[n]
+		// Every node owns a meaningful share: at least a sixth of a fair
+		// third (consistent hashing with 64 vnodes is uneven but never
+		// starves a node).
+		if got < total/18 {
+			t.Errorf("node %s owns %d/%d keys — starved", n, got, total)
+		}
+	}
+}
+
+// TestRingStableUnderNodeRemoval: removing one node must only move keys
+// that node owned; every other key keeps its owner. This is the
+// property that makes the peer cache tolerate membership edits without
+// a global reshuffle.
+func TestRingStableUnderNodeRemoval(t *testing.T) {
+	all := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}
+	full := NewRing(all, 0)
+	without := NewRing(all[:3], 0) // drop d
+	moved := 0
+	for _, k := range keys(2000) {
+		was, now := full.Owner(k), without.Owner(k)
+		if was == "http://d:1" {
+			moved++
+			continue
+		}
+		if was != now {
+			t.Fatalf("key %q moved %s -> %s although its owner stayed up", k, was, now)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("test vacuous: removed node owned no keys")
+	}
+}
+
+func TestRingDuplicatesAndEmpty(t *testing.T) {
+	r := NewRing([]string{"http://a:1", "http://a:1", ""}, 8)
+	if len(r.Nodes()) != 1 {
+		t.Errorf("nodes = %v, want just a", r.Nodes())
+	}
+	if NewRing(nil, 0).Owner("k") != "" {
+		t.Error("empty ring returned an owner")
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"chrysalis/internal/accel"
 	"chrysalis/internal/dataflow"
@@ -839,6 +840,17 @@ type Outcome struct {
 	CacheMisses int64
 }
 
+// DefaultSerialCostFloor is the per-candidate cost below which the
+// outer GA's parallel dispatch costs more than it saves, measured on
+// this repo's own score paths: the ladder-cached MSP score runs in a
+// few microseconds — channel handoff and scheduler wakeups dominate and
+// parallel dispatch is a slowdown — while accelerator searches run
+// hundreds of microseconds per candidate and scale near-linearly. 50 µs
+// cleanly separates the two. Explore installs it when the caller leaves
+// GAConfig.SerialCostFloor at zero; pass a negative floor to force
+// parallel dispatch regardless of measured cost.
+const DefaultSerialCostFloor = 50 * time.Microsecond
+
 // resolveWorkers maps the Workers convention shared by Explore,
 // ParetoScan and ParetoSearch onto an explicit worker count: 0 (the
 // zero value) selects GOMAXPROCS — one design request uses the whole
@@ -886,11 +898,13 @@ func (b *bestTracker) observe(idx int, v float64, genome []float64) {
 
 // Explore runs the bi-level search for a scenario under a baseline's
 // search space. cfg seeds and sizes the outer GA; cfg.Workers follows
-// the resolveWorkers convention (0 = GOMAXPROCS, negative = serial).
-// All candidate evaluations share one Evaluator, so the inner mapping
-// search is memoized across the whole run. Candidate generation stays
-// sequential and seeded, so the Outcome is bit-identical for any worker
-// count (Outcome.Workers aside).
+// the resolveWorkers convention (0 = GOMAXPROCS, negative = serial),
+// and a zero cfg.SerialCostFloor installs DefaultSerialCostFloor so
+// cheap score paths stay on the serial fast path (negative disables
+// the fallback). All candidate evaluations share one Evaluator, so the
+// inner mapping search is memoized across the whole run. Candidate
+// generation stays sequential and seeded, so the Outcome is
+// bit-identical for any worker count (Outcome.Workers aside).
 func Explore(sc Scenario, b Baseline, cfg search.GAConfig) (Outcome, error) {
 	e, err := NewEvaluator(sc)
 	if err != nil {
@@ -899,6 +913,9 @@ func Explore(sc Scenario, b Baseline, cfg search.GAConfig) (Outcome, error) {
 	sc = e.Scenario()
 	g := spec(sc, b)
 	cfg.Workers = resolveWorkers(cfg.Workers)
+	if cfg.SerialCostFloor == 0 {
+		cfg.SerialCostFloor = DefaultSerialCostFloor
+	}
 
 	var runSpan *obs.Span
 	if sc.Trace != nil {

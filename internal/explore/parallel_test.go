@@ -6,6 +6,7 @@ import (
 	"reflect"
 	"sync"
 	"testing"
+	"time"
 
 	"chrysalis/internal/accel"
 	"chrysalis/internal/dnn"
@@ -19,6 +20,9 @@ func exploreWorkers(t *testing.T, sc Scenario, b Baseline, workers int) Outcome 
 	t.Helper()
 	cfg := smallGA(11)
 	cfg.Workers = workers
+	// Opt out of the cost-aware serial fallback: this contract test must
+	// exercise true parallel dispatch even for cheap score paths.
+	cfg.SerialCostFloor = -1
 	out, err := Explore(sc, b, cfg)
 	if err != nil {
 		t.Fatalf("Explore(%v, workers=%d): %v", b, workers, err)
@@ -57,6 +61,41 @@ func TestExploreWorkersBitIdentical(t *testing.T) {
 				}
 			})
 		}
+	}
+}
+
+// TestSerialCostFloorBitIdentical checks the cost-aware serial
+// fallback (installed by default when SerialCostFloor is zero) never
+// changes the Outcome: the same seed produces bit-identical results
+// whether the fallback is active, disabled, or the search is fully
+// serial. The MSP score path is a few µs per candidate, well under
+// DefaultSerialCostFloor, so the default-floor run genuinely exercises
+// the parallel→serial demotion.
+func TestSerialCostFloorBitIdentical(t *testing.T) {
+	sc := Scenario{Workload: dnn.HAR(), Platform: MSP, Objective: LatSP}
+	run := func(workers int, floor time.Duration) Outcome {
+		t.Helper()
+		cfg := smallGA(11)
+		cfg.Workers = workers
+		cfg.SerialCostFloor = floor
+		out, err := Explore(sc, Full, cfg)
+		if err != nil {
+			t.Fatalf("Explore(workers=%d, floor=%v): %v", workers, floor, err)
+		}
+		out.Workers = 0
+		out.CacheHits, out.CacheMisses = 0, 0
+		return out
+	}
+	serial := run(1, -1)
+	withFloor := run(8, 0) // zero installs DefaultSerialCostFloor
+	noFloor := run(8, -1)
+	if !reflect.DeepEqual(serial, withFloor) {
+		t.Errorf("default floor changed the Outcome vs serial\nserial: value=%v cand=%v\nfloor:  value=%v cand=%v",
+			serial.Value, serial.Best.Candidate, withFloor.Value, withFloor.Best.Candidate)
+	}
+	if !reflect.DeepEqual(serial, noFloor) {
+		t.Errorf("floor opt-out changed the Outcome vs serial\nserial: value=%v cand=%v\nno floor: value=%v cand=%v",
+			serial.Value, serial.Best.Candidate, noFloor.Value, noFloor.Best.Candidate)
 	}
 }
 

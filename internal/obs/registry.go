@@ -41,6 +41,9 @@ type family struct {
 	// fn, when non-nil, is sampled at render time (CounterFunc /
 	// GaugeFunc families).
 	fn func() int64
+	// sampleFn, when non-nil, is sampled at render time and yields one
+	// line per labeled child (GaugeSampleFunc families).
+	sampleFn func() []LabeledValue
 }
 
 // renderable is anything a family can render as one or more exposition
@@ -235,6 +238,21 @@ func (r *Registry) GaugeFunc(name, help string, fn func() int64) {
 	r.lookup(name, help, "gauge", nil).fn = fn
 }
 
+// LabeledValue is one sample of a GaugeSampleFunc family: the label
+// values (matching the family's label keys) and the gauge reading.
+type LabeledValue struct {
+	Labels []string
+	Value  int64
+}
+
+// GaugeSampleFunc registers a labeled gauge family whose entire child
+// set is sampled from fn at render time — for label sets owned by
+// another subsystem and unknown until scrape (e.g. per-client quota
+// remaining, where clients come and go).
+func (r *Registry) GaugeSampleFunc(name, help string, labelKeys []string, fn func() []LabeledValue) {
+	r.lookup(name, help, "gauge", labelKeys).sampleFn = fn
+}
+
 // --- Histogram ---
 
 // DefaultLatencyBuckets spans microseconds to minutes — wide enough for
@@ -372,6 +390,15 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.typ)
 		if f.fn != nil {
 			fmt.Fprintf(w, "%s %d\n", f.name, f.fn())
+			continue
+		}
+		if f.sampleFn != nil {
+			for _, lv := range f.sampleFn() {
+				if len(lv.Labels) != len(f.labelKeys) {
+					continue // malformed sample: skip rather than emit bad exposition
+				}
+				fmt.Fprintf(w, "%s%s %d\n", f.name, f.labelString(strings.Join(lv.Labels, "\x00")), lv.Value)
+			}
 			continue
 		}
 		f.mu.RLock()

@@ -202,3 +202,46 @@ func TestRegistryConcurrency(t *testing.T) {
 		t.Fatalf("labeled counters sum = %d, want %d", sum, workers*perWorker)
 	}
 }
+
+func TestGaugeSampleFuncRender(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeSampleFunc("quota_tokens", "Tokens per client.", []string{"client"},
+		func() []LabeledValue {
+			return []LabeledValue{
+				{Labels: []string{"alice"}, Value: 3},
+				{Labels: []string{"bob"}, Value: 0},
+				{Labels: []string{"broken", "extra"}, Value: 9}, // wrong arity: skipped
+			}
+		})
+
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+
+	for _, want := range []string{
+		"# HELP quota_tokens Tokens per client.\n# TYPE quota_tokens gauge\n",
+		"quota_tokens{client=\"alice\"} 3\n",
+		"quota_tokens{client=\"bob\"} 0\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered metrics missing %q in:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "broken") {
+		t.Errorf("sample with mismatched label arity rendered:\n%s", out)
+	}
+
+	// Sampling happens at render time: the next write sees new values.
+	r2 := NewRegistry()
+	n := int64(0)
+	r2.GaugeSampleFunc("live", "Live sample.", []string{"k"}, func() []LabeledValue {
+		n++
+		return []LabeledValue{{Labels: []string{"x"}, Value: n}}
+	})
+	var b1, b2 strings.Builder
+	r2.WritePrometheus(&b1)
+	r2.WritePrometheus(&b2)
+	if !strings.Contains(b1.String(), `live{k="x"} 1`) || !strings.Contains(b2.String(), `live{k="x"} 2`) {
+		t.Errorf("sample func not re-invoked per render:\nfirst: %s\nsecond: %s", b1.String(), b2.String())
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"chrysalis/internal/obs"
 )
@@ -106,6 +107,17 @@ type GAConfig struct {
 	// seeded); only objective evaluations run in parallel, so Eval must
 	// be safe for concurrent use.
 	Workers int
+	// SerialCostFloor makes parallel dispatch cost-aware: when > 0 and
+	// the estimated serial cost of one evaluation falls below it, the
+	// batch runs serially even if Workers > 1 — goroutine fan-out costs
+	// more than it saves on microsecond-cheap objectives (the memoized
+	// MSP430 fast path). The first estimate comes from a two-evaluation
+	// serial probe at the head of the first batch (the cheaper of the
+	// two, since the first evaluation often carries one-time cache
+	// builds) and is refreshed from every batch thereafter.
+	// <= 0 disables the floor. Never changes results, only wall-clock:
+	// worker count is invisible to the search trajectory by design.
+	SerialCostFloor time.Duration
 	// Progress, when non-nil, is called by RunGA after every generation
 	// with the 1-based generation index, the cumulative evaluation count
 	// and the best objective value so far. It runs on the search
@@ -185,8 +197,46 @@ func RunGA(p Problem, cfg GAConfig) (Result, error) {
 			}
 		}
 	}
+	// costEst is the estimated serial cost of one evaluation, refreshed
+	// from each batch. A batch measured at width w took roughly
+	// elapsed·w worker-time for n evaluations; the estimate deliberately
+	// leans high for parallel batches (idle-worker time counts), which
+	// only makes the serial fallback trigger sooner — the cheap-objective
+	// case is exactly where the estimate is inflated by dispatch
+	// overhead.
+	costEst := time.Duration(-1) // unknown until the first probe
 	evalBatch := func(batch []individual) {
-		evaluateBatch(p, res.Evals, batch, cfg.Workers)
+		base, rest := res.Evals, batch
+		if cfg.SerialCostFloor > 0 && costEst < 0 && cfg.Workers > 1 && len(batch) > 2 {
+			// No estimate yet: price the objective on a two-evaluation
+			// serial probe before paying for any goroutine fan-out — on
+			// microsecond-cheap objectives even one parallel batch costs
+			// more than its serial run. Each probe evaluation is timed
+			// alone and the cheaper one becomes the estimate: the first
+			// evaluation often carries one-time cache builds that would
+			// overstate the steady-state cost.
+			for i := 0; i < 2; i++ {
+				start := time.Now()
+				evaluateBatch(p, base, rest[:1], 1)
+				if d := time.Since(start); costEst < 0 || d < costEst {
+					costEst = d
+				}
+				base, rest = base+1, rest[1:]
+			}
+		}
+		workers := cfg.Workers
+		if cfg.SerialCostFloor > 0 && costEst >= 0 && costEst < cfg.SerialCostFloor {
+			workers = 1
+		}
+		start := time.Now()
+		evaluateBatch(p, base, rest, workers)
+		if n := len(rest); n > 0 && cfg.SerialCostFloor > 0 {
+			per := time.Since(start) / time.Duration(n)
+			if workers > 1 {
+				per *= time.Duration(workers)
+			}
+			costEst = per
+		}
 		record(batch)
 	}
 

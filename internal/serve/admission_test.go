@@ -1,0 +1,197 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// postJSONKey is postJSON with an X-API-Key header.
+func postJSONKey(t *testing.T, url, apiKey string, body any) (*http.Response, []byte) {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if apiKey != "" {
+		req.Header.Set("X-API-Key", apiKey)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+// labeledMetric reads one labeled sample (e.g.
+// chrysalisd_admission_shed_total{reason="quota"}) from /metrics;
+// missing samples read as 0.
+func labeledMetric(t *testing.T, base, name, labels string) float64 {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	prefix := name + "{" + labels + "} "
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, prefix) {
+			var v float64
+			if _, err := fmt.Sscanf(line[len(prefix):], "%g", &v); err != nil {
+				t.Fatalf("parse metric %s: %v", line, err)
+			}
+			return v
+		}
+	}
+	return 0
+}
+
+// TestQuotaTokenBucket unit-tests the limiter under a fake clock:
+// burst, refill, per-client isolation and the Retry-After hint.
+func TestQuotaTokenBucket(t *testing.T) {
+	now := time.Unix(1000, 0)
+	a := newAdmission(1, 2) // 1 rps sustained, burst 2
+	a.now = func() time.Time { return now }
+
+	for i := 0; i < 2; i++ {
+		if ok, _ := a.allow("alice"); !ok {
+			t.Fatalf("burst submission %d rejected", i+1)
+		}
+	}
+	ok, retry := a.allow("alice")
+	if ok {
+		t.Fatal("third submission within burst window admitted")
+	}
+	if retry < time.Second {
+		t.Errorf("retry hint %v, want >= 1s at 1 rps", retry)
+	}
+	// Another client is untouched by alice's empty bucket.
+	if ok, _ := a.allow("bob"); !ok {
+		t.Error("independent client rejected")
+	}
+	// One second later one token has refilled — exactly one submission.
+	now = now.Add(time.Second)
+	if ok, _ := a.allow("alice"); !ok {
+		t.Error("refilled token rejected")
+	}
+	if ok, _ := a.allow("alice"); ok {
+		t.Error("second submission admitted off one refilled token")
+	}
+	// The /metrics sample sees both clients, sorted.
+	vals := a.remaining()
+	if len(vals) != 2 || vals[0].Labels[0] != "alice" || vals[1].Labels[0] != "bob" {
+		t.Fatalf("remaining() = %+v, want alice then bob", vals)
+	}
+}
+
+// TestQuota429 drives the HTTP path: over-quota submissions shed with
+// 429 + Retry-After, keyed on X-API-Key, counted on /metrics, with the
+// per-client token gauge exposed.
+func TestQuota429(t *testing.T) {
+	_, ts := newTestServer(t, Options{
+		Workers:  1,
+		QuotaRPS: 0.01, QuotaBurst: 2, // refill is negligible within the test
+		Logger: testLogger(t),
+	})
+
+	submit := func(key string, seed int64) (*http.Response, []byte) {
+		req := smallJob()
+		req.Seed = seed
+		return postJSONKey(t, ts.URL+"/v1/designs", key, req)
+	}
+
+	for i := int64(1); i <= 2; i++ {
+		if resp, body := submit("alice", i); resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("burst submission %d: %d %s", i, resp.StatusCode, body)
+		}
+	}
+	resp, _ := submit("alice", 3)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-quota submission: %d, want 429", resp.StatusCode)
+	}
+	ra, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || ra < 1 {
+		t.Errorf("Retry-After = %q, want a positive whole-second count", resp.Header.Get("Retry-After"))
+	}
+	// The anonymous bucket (no header) is separate from alice's.
+	if resp, body := submit("", 4); resp.StatusCode != http.StatusAccepted {
+		t.Errorf("anonymous submission sharing alice's empty bucket: %d %s", resp.StatusCode, body)
+	}
+	if got := labeledMetric(t, ts.URL, "chrysalisd_admission_shed_total", `reason="quota"`); got != 1 {
+		t.Errorf(`shed_total{reason="quota"} = %g, want 1`, got)
+	}
+	if got := labeledMetric(t, ts.URL, "chrysalisd_quota_tokens_remaining", `client="alice"`); got != 0 {
+		t.Errorf(`quota_tokens_remaining{client="alice"} = %g, want 0`, got)
+	}
+}
+
+// TestQueueFull429 fills a depth-1 queue on a manager with no workers
+// and checks the shed path: 429, Retry-After, the queue_full shed
+// counter and the live queue-depth gauge.
+func TestQueueFull429(t *testing.T) {
+	opts := Options{
+		Workers:    0, // no drain: submissions stay queued (newManager takes this literally)
+		QueueDepth: 1,
+		CacheSize:  8,
+		MaxJobs:    128,
+		Logger:     testLogger(t),
+	}
+	mgr, err := newManager(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &Server{opts: opts, mgr: mgr, mux: http.NewServeMux()}
+	s.routes()
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = mgr.close(ctx)
+	})
+
+	first := smallJob()
+	if resp, body := postJSON(t, ts.URL+"/v1/designs", first); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submission: %d %s", resp.StatusCode, body)
+	}
+	second := smallJob()
+	second.Seed = 99
+	resp, _ := postJSON(t, ts.URL+"/v1/designs", second)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("queue-full submission: %d, want 429", resp.StatusCode)
+	}
+	if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err != nil || ra < 1 {
+		t.Errorf("Retry-After = %q, want a positive whole-second count", resp.Header.Get("Retry-After"))
+	}
+	if got := labeledMetric(t, ts.URL, "chrysalisd_admission_shed_total", `reason="queue_full"`); got != 1 {
+		t.Errorf(`shed_total{reason="queue_full"} = %g, want 1`, got)
+	}
+	if got := metricValue(t, ts.URL, "chrysalisd_queue_depth"); got != 1 {
+		t.Errorf("queue_depth = %g, want 1", got)
+	}
+	// Identical resubmission coalesces onto the queued job instead of
+	// being shed: single-flight outranks admission.
+	if resp, body := postJSON(t, ts.URL+"/v1/designs", first); resp.StatusCode != http.StatusOK {
+		t.Errorf("coalescing resubmission: %d %s", resp.StatusCode, body)
+	}
+}

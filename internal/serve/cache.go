@@ -12,9 +12,12 @@ import (
 // cacheEntry is a finished design: the search result plus, for verify
 // jobs, the step-simulator replay summary, the flight recording and the
 // energy-conservation audit (so cache hits still serve waveforms).
+// Everything except the recorder is JSON-serializable, so entries
+// survive WAL recovery and travel between cluster peers; waveforms are
+// a local, best-effort extra.
 type cacheEntry struct {
 	result core.Result
-	sim    *sim.Result
+	verify *SimSummary
 	rec    *sim.Recorder
 	audit  *audit.Report
 }

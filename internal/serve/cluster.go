@@ -1,0 +1,175 @@
+package serve
+
+// Cluster glue: the two peer-facing routes and the delegation path the
+// job runner takes when another node owns a design's key.
+//
+// Exactly-once across the cluster falls out of three existing pieces:
+// the consistent-hash ring gives every key one owner, delegation routes
+// non-owners' evaluations to it, and the owner's own single-flight
+// index coalesces concurrent delegations (and its own submissions) of
+// the same key onto one job. Peer failure at any step falls back to
+// local evaluation — requests never fail because a peer did.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"chrysalis/internal/audit"
+	"chrysalis/internal/core"
+)
+
+// cachePayload is the wire form of GET /internal/cache/{key}: the
+// serializable parts of a cache entry (waveform recordings stay local).
+type cachePayload struct {
+	Result core.Result   `json:"result"`
+	Verify *SimSummary   `json:"verify,omitempty"`
+	Audit  *audit.Report `json:"audit,omitempty"`
+}
+
+// handleInternalCache serves this node's result cache to peers.
+func (s *Server) handleInternalCache(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	entry, ok := s.mgr.cache.get(key)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no cached result for %q", key))
+		return
+	}
+	writeJSON(w, http.StatusOK, cachePayload{Result: entry.result, Verify: entry.verify, Audit: entry.audit})
+}
+
+// handleInternalSubmit accepts a delegated design job from a peer. It
+// is handleSubmit minus client quotas (cluster traffic is trusted) and
+// with delegation pinned off — a delegated job always resolves on this
+// node, so a momentary ring disagreement can never bounce a job
+// between nodes. Queue-full still sheds with 429: the submitting peer
+// falls back to its local compute, spreading overload instead of
+// funneling it to the owner.
+func (s *Server) handleInternalSubmit(w http.ResponseWriter, r *http.Request) {
+	var req DesignRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid design request: %w", err))
+		return
+	}
+	js, err := normalize(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	js.noDelegate = true
+	j, reused, err := s.mgr.submit(js)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", retryAfterValue(s.mgr.retryAfterQueue()))
+		writeError(w, http.StatusTooManyRequests, err)
+		return
+	case errors.Is(err, ErrShuttingDown):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	code := http.StatusAccepted
+	if reused {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, j.status())
+}
+
+// runRemote attempts to resolve the job through the key's owner node:
+// first a cache probe, then a delegated evaluation. It reports whether
+// the job reached a terminal state; false means the caller must run it
+// locally (self-owned key, open breaker, or a peer failure mid-flight).
+func (m *manager) runRemote(ctx context.Context, j *job) bool {
+	if m.cluster == nil || j.js.noDelegate {
+		return false
+	}
+	owner, remote := m.cluster.RemoteOwner(j.js.key)
+	if !remote {
+		return false
+	}
+	body, hit, err := m.cluster.FetchCached(ctx, owner, j.js.key)
+	if err != nil {
+		m.cluster.CountFallback()
+		m.opts.Logger.Warn("cluster: cache probe failed; evaluating locally",
+			"job", j.id, "owner", owner, "error", err)
+		return false
+	}
+	if hit {
+		var p cachePayload
+		if err := json.Unmarshal(body, &p); err != nil {
+			m.cluster.CountFallback()
+			m.opts.Logger.Warn("cluster: bad cache payload; evaluating locally",
+				"job", j.id, "owner", owner, "error", err)
+			return false
+		}
+		m.cluster.CountRemoteHit()
+		m.adoptRemote(j, p.Result, p.Verify, p.Audit, true)
+		return true
+	}
+	m.cluster.CountRemoteMiss()
+
+	reqBody, err := json.Marshal(j.js.req)
+	if err != nil {
+		m.cluster.CountFallback()
+		return false
+	}
+	final, err := m.cluster.Delegate(ctx, owner, reqBody)
+	if err != nil {
+		if ctx.Err() != nil {
+			// The local job was cancelled or timed out while polling; the
+			// normal terminal bookkeeping applies.
+			if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+				m.finish(j, JobFailed, fmt.Errorf("job exceeded timeout %v", m.opts.JobTimeout))
+			} else {
+				m.finish(j, JobCancelled, errors.New("cancelled"))
+			}
+			return true
+		}
+		m.cluster.CountFallback()
+		m.opts.Logger.Warn("cluster: delegation failed; evaluating locally",
+			"job", j.id, "owner", owner, "error", err)
+		return false
+	}
+	var st JobStatus
+	if err := json.Unmarshal(final, &st); err != nil {
+		m.cluster.CountFallback()
+		return false
+	}
+	switch st.State {
+	case JobDone:
+		if st.Result == nil {
+			m.cluster.CountFallback()
+			return false
+		}
+		m.adoptRemote(j, *st.Result, st.Verify, st.Audit, false)
+		return true
+	case JobFailed:
+		// A deterministic failure (bad spec reaching the search) fails
+		// identically everywhere; re-running locally would just repeat it.
+		m.finish(j, JobFailed, fmt.Errorf("delegated to %s: %s", owner, st.Error))
+		return true
+	default:
+		// Cancelled on the owner (its shutdown, its client): not our
+		// client's cancellation, so evaluate locally.
+		m.cluster.CountFallback()
+		return false
+	}
+}
+
+// adoptRemote installs a peer-computed result and finishes the job.
+// The result also enters this node's cache via finish, so repeated
+// submissions here stop needing the peer at all.
+func (m *manager) adoptRemote(j *job, res core.Result, verify *SimSummary, rep *audit.Report, fromCache bool) {
+	j.mu.Lock()
+	r := res
+	j.result = &r
+	j.verify = verify
+	j.audit = rep
+	j.cached = fromCache
+	j.mu.Unlock()
+	m.finish(j, JobDone, nil)
+}

@@ -50,6 +50,13 @@ type dashStats struct {
 	CacheEntries, JobRecords                 int
 	P50ms, P95ms                             float64
 	LatCount                                 int64
+	QueueDepth                               int
+	Shed                                     int64
+	Recovered                                int64
+	Durable                                  bool
+	Clustered                                bool
+	RemoteHits, RemoteMisses                 int64
+	PeerErrors, PeersUp                      int64
 }
 
 // dashJob is one row of the job table.
@@ -195,6 +202,12 @@ th{color:#74c69d}
 <div class="card">cache hit/miss <b>{{.Stats.CacheHits}}/{{.Stats.CacheMisses}}</b></div>
 <div class="card">cached designs <b>{{.Stats.CacheEntries}}</b></div>
 <div class="card">job p50/p95 <b>{{printf "%.0f" .Stats.P50ms}}/{{printf "%.0f" .Stats.P95ms}} ms</b> <small>n={{.Stats.LatCount}}</small></div>
+<div class="card">queue depth <b>{{.Stats.QueueDepth}}</b></div>
+<div class="card">shed (429) <b>{{.Stats.Shed}}</b></div>
+{{if .Stats.Durable}}<div class="card">wal recovered <b>{{.Stats.Recovered}}</b></div>{{end}}
+{{if .Stats.Clustered}}<div class="card">peers up <b>{{.Stats.PeersUp}}</b></div>
+<div class="card">remote hit/miss <b>{{.Stats.RemoteHits}}/{{.Stats.RemoteMisses}}</b></div>
+<div class="card">peer errors <b>{{.Stats.PeerErrors}}</b></div>{{end}}
 </div>
 <table>
 <tr><th>job</th><th>workload</th><th>state</th><th>latency</th><th>best</th><th>cycles</th><th>samples</th><th>audit</th><th>v_cap (min/max band)</th></tr>
@@ -255,7 +268,19 @@ func (s *Server) handleDashboard(w http.ResponseWriter, _ *http.Request) {
 			P50ms:        p50 * 1000,
 			P95ms:        p95 * 1000,
 			LatCount:     n,
+			QueueDepth:   len(s.mgr.queue),
+			Shed:         met.shed.With("quota").Value() + met.shed.With("queue_full").Value(),
+			Recovered:    met.jobsRecovered.Value(),
+			Durable:      s.mgr.journal != nil,
 		},
+	}
+	if cl := s.mgr.cluster; cl != nil {
+		st := cl.Stats()
+		data.Stats.Clustered = true
+		data.Stats.RemoteHits = st.RemoteHits
+		data.Stats.RemoteMisses = st.RemoteMisses
+		data.Stats.PeerErrors = st.PeerErrors
+		data.Stats.PeersUp = int64(cl.PeersUp())
 	}
 	for _, j := range s.mgr.recent(dashJobs) {
 		row := j.dashRow()

@@ -37,8 +37,18 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
 }
 
 // handleSubmit accepts a design job: 202 for a new search, 200 when the
-// request coalesced onto an in-flight job or was served from the cache.
+// request coalesced onto an in-flight job or was served from the cache,
+// 429 with Retry-After when admission control sheds it (client over
+// quota, or the job queue is full). 503 means shutdown, nothing else.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if adm := s.mgr.adm; adm != nil {
+		if ok, retry := adm.allow(r.Header.Get("X-API-Key")); !ok {
+			s.mgr.met.shed.With("quota").Inc()
+			w.Header().Set("Retry-After", retryAfterValue(retry))
+			writeError(w, http.StatusTooManyRequests, errors.New("client quota exhausted"))
+			return
+		}
+	}
 	var req DesignRequest
 	if err := decodeBody(w, r, &req); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid design request: %w", err))
@@ -52,7 +62,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	j, reused, err := s.mgr.submit(js)
 	switch {
 	case errors.Is(err, ErrQueueFull):
-		writeError(w, http.StatusServiceUnavailable, err)
+		s.mgr.met.shed.With("queue_full").Inc()
+		w.Header().Set("Retry-After", retryAfterValue(s.mgr.retryAfterQueue()))
+		writeError(w, http.StatusTooManyRequests, err)
 		return
 	case errors.Is(err, ErrShuttingDown):
 		writeError(w, http.StatusServiceUnavailable, err)

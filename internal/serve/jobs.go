@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"chrysalis/internal/audit"
+	"chrysalis/internal/cluster"
 	"chrysalis/internal/core"
 	"chrysalis/internal/obs"
 	"chrysalis/internal/sim"
@@ -107,7 +108,7 @@ type job struct {
 	workers  int
 	err      string
 	result   *core.Result
-	sim      *sim.Result
+	verify   *SimSummary
 	rec      *sim.Recorder
 	audit    *audit.Report
 	created  time.Time
@@ -147,8 +148,8 @@ func (j *job) status() JobStatus {
 		p := *j.progress
 		st.Progress = &p
 	}
-	if j.sim != nil {
-		s := simSummary(*j.sim)
+	if j.verify != nil {
+		s := *j.verify
 		st.Verify = &s
 	}
 	st.Audit = j.audit
@@ -165,7 +166,8 @@ func (j *job) recorder() *sim.Recorder {
 }
 
 // manager owns the job table, the single-flight index, the result
-// cache and the worker pool.
+// cache, the worker pool and, when configured, the WAL journal and the
+// cluster peer client.
 type manager struct {
 	opts Options
 	met  *metrics
@@ -177,16 +179,19 @@ type manager struct {
 	nextID   int64
 	closed   bool
 
-	cache *lruCache
-	queue chan *job
-	gate  *workerGate
-	wg    sync.WaitGroup
+	cache   *lruCache
+	queue   chan *job
+	gate    *workerGate
+	wg      sync.WaitGroup
+	journal *journal        // nil = in-memory only
+	cluster *cluster.Client // nil = single-node
+	adm     *admission      // nil = no per-client quotas
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 }
 
-func newManager(opts Options) *manager {
+func newManager(opts Options) (*manager, error) {
 	ctx, cancel := context.WithCancel(context.Background())
 	m := &manager{
 		opts:       opts,
@@ -194,11 +199,52 @@ func newManager(opts Options) *manager {
 		jobs:       make(map[string]*job),
 		inflight:   make(map[string]*job),
 		cache:      newLRU(opts.CacheSize),
-		queue:      make(chan *job, opts.QueueDepth),
 		gate:       newWorkerGate(runtime.GOMAXPROCS(0) - opts.Workers),
 		baseCtx:    ctx,
 		baseCancel: cancel,
 	}
+	if opts.QuotaRPS > 0 {
+		m.adm = newAdmission(opts.QuotaRPS, opts.QuotaBurst)
+	}
+	if len(opts.Peers) > 0 {
+		cl, err := cluster.New(cluster.Options{
+			Self:    opts.Self,
+			Peers:   opts.Peers,
+			Timeout: opts.ClusterTimeout,
+		})
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		m.cluster = cl
+	}
+
+	// Recover the job table from the WAL before the queue exists and the
+	// workers start, so recovered pending jobs run before any new ones.
+	var recovered []*recoveredJob
+	if opts.WALDir != "" {
+		jn, recs, next, err := openJournal(opts.WALDir, opts.Logger)
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		m.journal = jn
+		m.nextID = next
+		recovered = recs
+	}
+	pending := 0
+	for _, r := range recovered {
+		if !r.state.terminal() {
+			pending++
+		}
+	}
+	depth := opts.QueueDepth
+	if pending > depth {
+		depth = pending // recovery never drops jobs to the queue bound
+	}
+	m.queue = make(chan *job, depth)
+	m.adopt(recovered)
+
 	m.met.reg.GaugeFunc("chrysalisd_cache_entries",
 		"Designs currently held by the result cache.",
 		func() int64 { return int64(m.cache.len()) })
@@ -211,11 +257,91 @@ func newManager(opts Options) *manager {
 	m.met.reg.GaugeFunc("chrysalisd_search_worker_slots_in_use",
 		"Extra search-worker slots currently held by running jobs.",
 		func() int64 { return int64(m.gate.inUse()) })
+	m.met.reg.GaugeFunc("chrysalisd_queue_depth",
+		"Design jobs waiting in the queue right now.",
+		func() int64 { return int64(len(m.queue)) })
+	if m.adm != nil {
+		m.met.reg.GaugeSampleFunc("chrysalisd_quota_tokens_remaining",
+			"Admission tokens currently available per client (token bucket).",
+			[]string{"client"}, m.adm.remaining)
+	}
+	if m.cluster != nil {
+		m.met.reg.CounterFunc("chrysalisd_cluster_remote_hits_total",
+			"Designs served from a peer's result cache.",
+			func() int64 { return m.cluster.Stats().RemoteHits })
+		m.met.reg.CounterFunc("chrysalisd_cluster_remote_misses_total",
+			"Owner cache probes that missed and became delegated evaluations.",
+			func() int64 { return m.cluster.Stats().RemoteMisses })
+		m.met.reg.CounterFunc("chrysalisd_cluster_peer_errors_total",
+			"Failed peer calls (timeouts, refused connections, bad statuses).",
+			func() int64 { return m.cluster.Stats().PeerErrors })
+		m.met.reg.CounterFunc("chrysalisd_cluster_fallbacks_total",
+			"Evaluations run locally although a peer owned the key (degraded mode).",
+			func() int64 { return m.cluster.Stats().Fallbacks })
+		m.met.reg.GaugeFunc("chrysalisd_cluster_peers_up",
+			"Remote peers whose circuit breaker is currently closed.",
+			func() int64 { return int64(m.cluster.PeersUp()) })
+	}
 	for i := 0; i < opts.Workers; i++ {
 		m.wg.Add(1)
 		go m.worker()
 	}
-	return m
+	return m, nil
+}
+
+// adopt installs WAL-recovered jobs: terminal records become finished
+// job history (done ones re-seed the result cache), pending ones are
+// re-enqueued exactly as if just submitted. Runs before the workers
+// start; the manager lock is not yet contended.
+func (m *manager) adopt(recovered []*recoveredJob) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, r := range recovered {
+		js, err := normalize(r.req)
+		if err != nil {
+			// A record that no longer normalizes (e.g. a workload removed
+			// from the catalog) is dropped loudly, not fatally.
+			m.opts.Logger.Warn("wal: dropping unrecoverable job", "job", r.id, "error", err)
+			continue
+		}
+		j := &job{
+			id:      r.id,
+			js:      js,
+			state:   r.state,
+			created: time.Now(),
+			stream:  newStream(),
+			trace:   obs.NewTrace(m.opts.TraceEvents),
+			done:    make(chan struct{}),
+		}
+		m.jobs[j.id] = j
+		m.order = append(m.order, j.id)
+		if n := jobSeq(r.id); n > m.nextID {
+			m.nextID = n
+		}
+		if r.state.terminal() {
+			now := time.Now()
+			j.started, j.finished = now, now
+			j.err = r.err
+			j.result = r.result
+			j.verify = r.verify
+			j.audit = r.audit
+			if r.state == JobDone && r.result != nil {
+				m.cache.add(js.key, cacheEntry{result: *r.result, verify: r.verify, audit: r.audit})
+			}
+			j.stream.publish("done", j.status())
+			j.stream.close()
+			close(j.done)
+			continue
+		}
+		// Queued or running at crash time: both restart from the queue.
+		j.state = JobQueued
+		m.inflight[js.key] = j
+		m.queue <- j // queue is sized to hold every recovered pending job
+		m.met.jobsQueued.Inc()
+		m.met.jobsRecovered.Inc()
+		j.stream.publish("state", map[string]string{"state": string(JobQueued)})
+	}
+	m.pruneLocked()
 }
 
 // submit deduplicates, caches or enqueues a design request. reused is
@@ -242,7 +368,7 @@ func (m *manager) submit(js jobSpec) (j *job, reused bool, err error) {
 		j.cached = true
 		res := entry.result
 		j.result = &res
-		j.sim = entry.sim
+		j.verify = entry.verify
 		j.rec = entry.rec
 		j.audit = entry.audit
 		j.started, j.finished = now, now
@@ -262,8 +388,31 @@ func (m *manager) submit(js jobSpec) (j *job, reused bool, err error) {
 	}
 	m.inflight[js.key] = j
 	m.met.jobsQueued.Inc()
+	m.journalLocked(walRecord{Op: opSubmit, ID: j.id, Req: &js.req})
 	j.stream.publish("state", map[string]string{"state": string(JobQueued)})
 	return j, false, nil
+}
+
+// journalLocked appends one WAL record and, past the compaction
+// threshold, snapshots the whole job table. m.mu must be held — that is
+// what makes the collected snapshot consistent with the log position.
+func (m *manager) journalLocked(rec walRecord) {
+	if m.journal == nil {
+		return
+	}
+	m.journal.append(rec)
+	if m.journal.records() < snapshotEvery {
+		return
+	}
+	snap := walSnapshot{NextID: m.nextID}
+	for _, id := range m.order {
+		j, ok := m.jobs[id]
+		if !ok {
+			continue
+		}
+		snap.Jobs = append(snap.Jobs, j.walRecord())
+	}
+	m.journal.snapshot(snap)
 }
 
 // newJobLocked allocates and registers a job record; m.mu must be held.
@@ -371,6 +520,27 @@ func (m *manager) run(j *job) {
 	}
 	defer cancel()
 
+	j.mu.Lock()
+	if j.state != JobQueued { // cancelled while queued
+		j.mu.Unlock()
+		return
+	}
+	j.state = JobRunning
+	j.started = time.Now()
+	j.cancel = cancel
+	j.mu.Unlock()
+
+	m.met.jobsRunning.Add(1)
+	defer m.met.jobsRunning.Add(-1)
+	j.stream.publish("state", map[string]string{"state": string(JobRunning)})
+
+	// Cluster path: when a peer owns this design's key, probe its cache
+	// and delegate the evaluation to it. Any peer failure falls through
+	// to the local path below — degradation is never user-visible.
+	if m.runRemote(ctx, j) {
+		return
+	}
+
 	// Size the job's search concurrency: the job's own pool slot plus
 	// whatever slack the worker gate can grant toward the requested
 	// width (request's search_workers, falling back to the server
@@ -392,21 +562,10 @@ func (m *manager) run(j *job) {
 	}()
 
 	j.mu.Lock()
-	if j.state != JobQueued { // cancelled while queued
-		j.mu.Unlock()
-		return
-	}
-	j.state = JobRunning
-	j.started = time.Now()
-	j.cancel = cancel
 	j.workers = workers
 	spec := j.js.spec
 	spec.Search.Workers = workers
 	j.mu.Unlock()
-
-	m.met.jobsRunning.Add(1)
-	defer m.met.jobsRunning.Add(-1)
-	j.stream.publish("state", map[string]string{"state": string(JobRunning)})
 
 	spec.Search.Trace = j.trace
 	spec.Search.Progress = func(gen, evals int, best float64) {
@@ -418,6 +577,7 @@ func (m *manager) run(j *job) {
 	}
 	spec.Search.Stop = func() bool { return ctx.Err() != nil }
 
+	m.met.evaluations.Inc()
 	res, err := core.RunBaseline(spec, j.js.baseline)
 	// The search is over: hand the extra slots back before the (serial)
 	// verify replay so queued jobs can fan out while this one replays.
@@ -479,8 +639,9 @@ func (m *manager) run(j *job) {
 		if dropped > 0 {
 			j.stream.publish("sim-truncated", map[string]int{"dropped": dropped})
 		}
+		sum := simSummary(simRes)
 		j.mu.Lock()
-		j.sim = &simRes
+		j.verify = &sum
 		j.audit = auditRep
 		j.mu.Unlock()
 		// Publish the physics verdict on the stream: dashboards and SSE
@@ -510,14 +671,16 @@ func (m *manager) finish(j *job, state JobState, err error) {
 	}
 	var entry *cacheEntry
 	if state == JobDone && j.result != nil {
-		entry = &cacheEntry{result: *j.result, sim: j.sim, rec: j.rec, audit: j.audit}
+		entry = &cacheEntry{result: *j.result, verify: j.verify, rec: j.rec, audit: j.audit}
 	}
+	rec := j.walRecordLocked()
 	j.mu.Unlock()
 
 	m.mu.Lock()
 	if m.inflight[j.js.key] == j {
 		delete(m.inflight, j.js.key)
 	}
+	m.journalLocked(rec)
 	m.mu.Unlock()
 
 	switch state {
@@ -565,13 +728,17 @@ func (m *manager) close(ctx context.Context) error {
 		m.wg.Wait()
 		close(drained)
 	}()
+	var err error
 	select {
 	case <-drained:
 		m.baseCancel()
-		return nil
 	case <-ctx.Done():
 		m.baseCancel() // force-cancel in-flight searches
 		<-drained
-		return ctx.Err()
+		err = ctx.Err()
 	}
+	if m.journal != nil {
+		m.journal.close()
+	}
+	return err
 }

@@ -61,6 +61,14 @@ type jobSpec struct {
 	// (0 = server default). Excluded from key: it never changes results.
 	searchWorkers int
 	key           string
+	// req is the request with defaults applied — the durable wire form
+	// the WAL journal persists and cluster delegation forwards.
+	// Re-normalizing req yields this jobSpec back (same key).
+	req DesignRequest
+	// noDelegate pins the job to local evaluation. Set on submissions
+	// arriving over /internal/designs so a delegated job can never hop
+	// to a third node, even if peers momentarily disagree on the ring.
+	noDelegate bool
 }
 
 // keyPayload is the canonical identity of a design request: every field
@@ -197,5 +205,6 @@ func normalize(req DesignRequest) (jobSpec, error) {
 	}
 	sum := sha256.Sum256(payload)
 	js.key = hex.EncodeToString(sum[:])
+	js.req = req
 	return js, nil
 }

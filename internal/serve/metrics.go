@@ -30,8 +30,11 @@ type metrics struct {
 	jobsDone      *obs.Counter
 	jobsFailed    *obs.Counter
 	jobsCancelled *obs.Counter
+	jobsRecovered *obs.Counter
 	cacheHits     *obs.Counter
 	cacheMisses   *obs.Counter
+	evaluations   *obs.Counter
+	shed          *obs.CounterVec
 	jobLatency    *obs.Histogram
 
 	httpRequests *obs.CounterVec
@@ -61,10 +64,16 @@ func newMetrics() *metrics {
 			"Design jobs finished with an error (including timeouts)."),
 		jobsCancelled: reg.Counter("chrysalisd_jobs_cancelled_total",
 			"Design jobs cancelled by clients or shutdown."),
+		jobsRecovered: reg.Counter("chrysalisd_jobs_recovered_total",
+			"Pending jobs re-enqueued from the WAL at startup."),
 		cacheHits: reg.Counter("chrysalisd_cache_hits_total",
 			"Design requests served from the result cache or coalesced onto an in-flight job."),
 		cacheMisses: reg.Counter("chrysalisd_cache_misses_total",
 			"Design requests that started a new search."),
+		evaluations: reg.Counter("chrysalisd_evaluations_total",
+			"Design searches actually executed on this node (not cached, coalesced or delegated)."),
+		shed: reg.CounterVec("chrysalisd_admission_shed_total",
+			"Submissions rejected with 429, by reason.", "reason"),
 		jobLatency: reg.Histogram("chrysalisd_job_latency_seconds",
 			"Job wall-clock latency from start to terminal state.", nil),
 		httpRequests: reg.CounterVec("chrysalisd_http_requests_total",

@@ -1,0 +1,269 @@
+package serve
+
+// WAL-backed job durability. Every accepted submission and every
+// terminal transition appends one JSON record to an append-only,
+// checksummed log (internal/wal); past snapshotEvery records the whole
+// job table is snapshotted and the log reset. On startup the snapshot
+// plus the log replay rebuild the job table: finished jobs come back as
+// servable history (done ones re-seed the result cache), jobs that were
+// queued or running at the crash are re-enqueued and evaluated again.
+//
+// What does NOT survive a restart: flight recordings (the recorder is
+// an in-memory ring of raw simulator samples, deliberately not
+// serialized) and live SSE subscriptions. Both are re-derivable — a
+// recovered verify job replays and re-records.
+
+import (
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"strconv"
+	"strings"
+	"sync"
+
+	"chrysalis/internal/audit"
+	"chrysalis/internal/core"
+	"chrysalis/internal/wal"
+)
+
+// snapshotEvery is the log-compaction threshold in records.
+const snapshotEvery = 64
+
+// walRecord journal ops.
+const (
+	opSubmit = "submit"
+)
+
+// walRecord is one journal entry. Terminal records (Op = done | failed
+// | cancelled) are self-contained — they repeat Req so recovery never
+// depends on finding the matching submit (which an intervening
+// snapshot or job-table prune may have dropped).
+type walRecord struct {
+	Op     string         `json:"op"` // submit | done | failed | cancelled
+	ID     string         `json:"id"`
+	Req    *DesignRequest `json:"req,omitempty"`
+	Result *core.Result   `json:"result,omitempty"`
+	Verify *SimSummary    `json:"verify,omitempty"`
+	Audit  *audit.Report  `json:"audit,omitempty"`
+	Error  string         `json:"error,omitempty"`
+}
+
+// walSnapshot is the compacted whole-table state.
+type walSnapshot struct {
+	NextID int64       `json:"next_id"`
+	Jobs   []walRecord `json:"jobs"`
+}
+
+// recoveredJob is one job rebuilt from the journal, ready for adopt().
+type recoveredJob struct {
+	id     string
+	state  JobState
+	req    DesignRequest
+	result *core.Result
+	verify *SimSummary
+	audit  *audit.Report
+	err    string
+	seq    int64 // position in replay order, for stable re-enqueue
+}
+
+// journal serializes writes to the underlying WAL. Append errors
+// degrade durability, never availability: they are logged and the
+// daemon keeps serving from memory.
+type journal struct {
+	mu       sync.Mutex
+	log      *wal.Log
+	logger   *slog.Logger
+	detached bool
+}
+
+// openJournal opens (or creates) the WAL directory and replays it into
+// recovered jobs, ordered as originally submitted. nextID is the
+// highest job sequence the journal knows of — IDs must never be reused
+// across restarts, or stale log records could merge into new jobs on a
+// later recovery.
+func openJournal(dir string, logger *slog.Logger) (jn *journal, jobs []*recoveredJob, nextID int64, err error) {
+	lg, rec, err := wal.Open(dir)
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("serve: open wal: %w", err)
+	}
+	if rec.TruncatedBytes > 0 {
+		logger.Warn("wal: dropped torn tail", "bytes", rec.TruncatedBytes)
+	}
+	if rec.SnapshotCorrupt {
+		logger.Warn("wal: snapshot failed checksum; replaying log only")
+	}
+
+	byID := make(map[string]*recoveredJob)
+	var order []string
+	var seq int64
+	apply := func(r walRecord) {
+		if r.ID == "" {
+			return
+		}
+		j := byID[r.ID]
+		if j == nil {
+			j = &recoveredJob{id: r.ID, state: JobQueued, seq: seq}
+			seq++
+			byID[r.ID] = j
+			order = append(order, r.ID)
+		}
+		if r.Req != nil {
+			j.req = *r.Req
+		}
+		switch r.Op {
+		case opSubmit:
+			// state stays queued
+		case string(JobDone), string(JobFailed), string(JobCancelled):
+			j.state = JobState(r.Op)
+			j.result = r.Result
+			j.verify = r.Verify
+			j.audit = r.Audit
+			j.err = r.Error
+		default:
+			logger.Warn("wal: unknown op skipped", "op", r.Op, "job", r.ID)
+		}
+	}
+
+	if rec.Snapshot != nil {
+		var snap walSnapshot
+		if err := json.Unmarshal(rec.Snapshot, &snap); err != nil {
+			logger.Warn("wal: undecodable snapshot ignored", "error", err)
+		} else {
+			nextID = snap.NextID
+			for _, r := range snap.Jobs {
+				apply(r)
+			}
+		}
+	}
+	for i, raw := range rec.Records {
+		var r walRecord
+		if err := json.Unmarshal(raw, &r); err != nil {
+			logger.Warn("wal: undecodable record skipped", "index", i, "error", err)
+			continue
+		}
+		apply(r)
+	}
+
+	out := make([]*recoveredJob, 0, len(order))
+	for _, id := range order {
+		out = append(out, byID[id])
+		if n := jobSeq(id); n > nextID {
+			nextID = n
+		}
+	}
+	return &journal{log: lg, logger: logger}, out, nextID, nil
+}
+
+// append writes one record. Terminal records are synced to disk — a
+// job's outcome is worth an fsync at job granularity; submit records
+// ride the OS page cache until the next sync or snapshot.
+func (jn *journal) append(rec walRecord) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		jn.logger.Warn("wal: marshal failed", "op", rec.Op, "job", rec.ID, "error", err)
+		return
+	}
+	jn.mu.Lock()
+	defer jn.mu.Unlock()
+	if jn.detached {
+		return
+	}
+	if err := jn.log.Append(payload); err != nil {
+		jn.logger.Warn("wal: append failed; continuing without durability",
+			"op", rec.Op, "job", rec.ID, "error", err)
+		return
+	}
+	if rec.Op != opSubmit {
+		if err := jn.log.Sync(); err != nil {
+			jn.logger.Warn("wal: sync failed", "error", err)
+		}
+	}
+}
+
+// records reports log records since the last snapshot.
+func (jn *journal) records() int {
+	jn.mu.Lock()
+	defer jn.mu.Unlock()
+	if jn.detached {
+		return 0
+	}
+	return jn.log.Records()
+}
+
+// snapshot compacts the log down to one whole-table state.
+func (jn *journal) snapshot(s walSnapshot) {
+	payload, err := json.Marshal(s)
+	if err != nil {
+		jn.logger.Warn("wal: snapshot marshal failed", "error", err)
+		return
+	}
+	jn.mu.Lock()
+	defer jn.mu.Unlock()
+	if jn.detached {
+		return
+	}
+	if err := jn.log.WriteSnapshot(payload); err != nil {
+		jn.logger.Warn("wal: snapshot failed", "error", err)
+	}
+}
+
+// detach simulates a crash for tests: the WAL file is closed in place,
+// all later appends are silently lost, and no cleanup runs — exactly
+// the state a kill -9 leaves behind.
+func (jn *journal) detach() {
+	jn.mu.Lock()
+	defer jn.mu.Unlock()
+	if jn.detached {
+		return
+	}
+	jn.detached = true
+	_ = jn.log.Close()
+}
+
+// close syncs and closes the WAL.
+func (jn *journal) close() {
+	jn.mu.Lock()
+	defer jn.mu.Unlock()
+	if jn.detached {
+		return
+	}
+	if err := jn.log.Sync(); err != nil {
+		jn.logger.Warn("wal: final sync failed", "error", err)
+	}
+	if err := jn.log.Close(); err != nil {
+		jn.logger.Warn("wal: close failed", "error", err)
+	}
+}
+
+// jobSeq extracts the numeric sequence from a "j-%06d" job ID (0 when
+// the ID does not parse).
+func jobSeq(id string) int64 {
+	n, err := strconv.ParseInt(strings.TrimPrefix(id, "j-"), 10, 64)
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+// walRecord snapshots the job as a self-contained journal record.
+func (j *job) walRecord() walRecord {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.walRecordLocked()
+}
+
+// walRecordLocked is walRecord with j.mu already held.
+func (j *job) walRecordLocked() walRecord {
+	req := j.js.req
+	rec := walRecord{ID: j.id, Req: &req}
+	if j.state.terminal() {
+		rec.Op = string(j.state)
+		rec.Result = j.result
+		rec.Verify = j.verify
+		rec.Audit = j.audit
+		rec.Error = j.err
+	} else {
+		rec.Op = opSubmit
+	}
+	return rec
+}

@@ -58,7 +58,8 @@ type Options struct {
 	// workers never change results — only wall-clock time.
 	SearchWorkers int
 	// QueueDepth bounds the backlog of queued jobs (<= 0 selects 64);
-	// submissions beyond it are rejected with 503.
+	// submissions beyond it are shed with 429 and a Retry-After hint
+	// derived from the recent p50 job latency.
 	QueueDepth int
 	// CacheSize bounds the content-addressed result cache in entries
 	// (<= 0 selects 128).
@@ -74,6 +75,35 @@ type Options struct {
 	TraceEvents int
 	// Logger receives structured operational logs (nil discards them).
 	Logger *slog.Logger
+
+	// WALDir, when set, makes the job store durable: every accepted
+	// submission and terminal transition is journaled to a checksummed
+	// write-ahead log in this directory, and on startup queued and
+	// running jobs are recovered and re-enqueued while finished ones
+	// come back as servable history (done results re-seed the cache).
+	WALDir string
+
+	// Peers, when non-empty, runs this node as part of a cluster: the
+	// listed base URLs (which must include Self, and be identical on
+	// every node) form a consistent-hash ring over design keys, and jobs
+	// whose key another node owns are resolved through that node's cache
+	// or delegated to it — so identical designs submitted anywhere in
+	// the cluster evaluate exactly once. A dead peer degrades its keys
+	// to local evaluation; it never fails a request.
+	Peers []string
+	// Self is this node's own base URL as it appears in Peers.
+	Self string
+	// ClusterTimeout bounds each peer call (<= 0 selects the cluster
+	// package default of 2s).
+	ClusterTimeout time.Duration
+
+	// QuotaRPS enables per-client admission quotas: each client
+	// (X-API-Key header; missing = "anonymous") may submit this many
+	// designs per second sustained, with bursts up to QuotaBurst
+	// (<= 0 selects 2·QuotaRPS, minimum 1). Over-quota submissions are
+	// shed with 429 + Retry-After. 0 disables quotas.
+	QuotaRPS   float64
+	QuotaBurst int
 }
 
 func (o Options) withDefaults() Options {
@@ -107,12 +137,18 @@ type Server struct {
 	mux  *http.ServeMux
 }
 
-// New builds a Server and starts its worker pool.
-func New(opts Options) *Server {
+// New builds a Server, recovers any WAL state, and starts the worker
+// pool. It fails when the WAL directory is unusable or the cluster
+// configuration is inconsistent (e.g. Self missing from Peers).
+func New(opts Options) (*Server, error) {
 	opts = opts.withDefaults()
-	s := &Server{opts: opts, mgr: newManager(opts), mux: http.NewServeMux()}
+	mgr, err := newManager(opts)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{opts: opts, mgr: mgr, mux: http.NewServeMux()}
 	s.routes()
-	return s
+	return s, nil
 }
 
 func (s *Server) routes() {
@@ -129,6 +165,8 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/presets", s.handlePresets)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /internal/cache/{key}", s.handleInternalCache)
+	s.mux.HandleFunc("POST /internal/designs", s.handleInternalSubmit)
 	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
 	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)

@@ -31,7 +31,10 @@ func testLogger(t *testing.T) *slog.Logger {
 // torn down with the test.
 func newTestServer(t *testing.T, opts Options) (*Server, *httptest.Server) {
 	t.Helper()
-	s := New(opts)
+	s, err := New(opts)
+	if err != nil {
+		t.Fatalf("serve.New: %v", err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(func() {
 		ts.Close()
@@ -459,7 +462,10 @@ func TestSimulateEndpoint(t *testing.T) {
 }
 
 func TestShutdownRejectsNewJobs(t *testing.T) {
-	s := New(Options{Workers: 1})
+	s, err := New(Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 

@@ -16,7 +16,10 @@ import (
 // identical request and asserts the cache-hit counter incremented while
 // no second search ran.
 func TestServeSmoke(t *testing.T) {
-	srv := New(Options{Workers: 2, Logger: testLogger(t)})
+	srv, err := New(Options{Workers: 2, Logger: testLogger(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,96 @@
+package chrysalis_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	chrysalis "chrysalis"
+)
+
+// TestEmbeddedServer exercises the root-package serving facade end to
+// end: build a durable server, submit a design over HTTP, poll it to
+// completion, then restart on the same WAL directory and check the
+// finished job survived as servable history.
+func TestEmbeddedServer(t *testing.T) {
+	dir := t.TempDir()
+	newServer := func() (*chrysalis.Server, *httptest.Server) {
+		srv, err := chrysalis.NewServer(chrysalis.ServerOptions{Workers: 2, WALDir: dir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return srv, httptest.NewServer(srv.Handler())
+	}
+	shutdown := func(srv *chrysalis.Server, ts *httptest.Server) {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	}
+
+	srv, ts := newServer()
+	body, err := json.Marshal(map[string]any{"workload": "har", "budget": 60, "seed": 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/designs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st struct {
+		ID    string             `json:"id"`
+		State chrysalis.JobState `json:"state"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d", resp.StatusCode)
+	}
+
+	poll := func(base, id string) chrysalis.JobState {
+		deadline := time.Now().Add(60 * time.Second)
+		for time.Now().Before(deadline) {
+			r, err := http.Get(base + "/v1/designs/" + id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var js struct {
+				State chrysalis.JobState `json:"state"`
+				Error string             `json:"error"`
+			}
+			if err := json.NewDecoder(r.Body).Decode(&js); err != nil {
+				t.Fatal(err)
+			}
+			r.Body.Close()
+			switch js.State {
+			case "done", "failed", "cancelled":
+				if js.Error != "" {
+					t.Logf("job error: %s", js.Error)
+				}
+				return js.State
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		t.Fatalf("job %s did not finish", id)
+		return ""
+	}
+	if got := poll(ts.URL, st.ID); got != "done" {
+		t.Fatalf("job state = %s, want done", got)
+	}
+	shutdown(srv, ts)
+
+	// Restart on the same WAL directory: the finished job is history.
+	srv2, ts2 := newServer()
+	defer shutdown(srv2, ts2)
+	if got := poll(ts2.URL, st.ID); got != "done" {
+		t.Fatalf("recovered job state = %s, want done", got)
+	}
+}
