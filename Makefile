@@ -2,12 +2,12 @@
 
 GO ?= go
 
-.PHONY: all ci build vet test race race-cache race-explore bench bench-json bench-smoke experiments examples fuzz cover clean serve-smoke cluster-smoke trace-smoke audit-smoke
+.PHONY: all ci build vet test race race-cache race-explore bench bench-json bench-smoke experiments examples fuzz cover clean serve-smoke cluster-smoke trace-smoke audit-smoke sim-diff
 
 all: build vet test
 
 # Everything the CI workflow runs.
-ci: build vet test race race-explore bench-smoke serve-smoke cluster-smoke trace-smoke audit-smoke
+ci: build vet test race race-explore bench-smoke serve-smoke cluster-smoke trace-smoke audit-smoke sim-diff
 
 build:
 	$(GO) build ./...
@@ -46,15 +46,15 @@ bench-smoke:
 # benchmarks additionally run at -cpu 1,4 so the record captures both
 # the serial regression check and the parallel speedup; -baseline
 # computes speedup_vs_baseline ratios against the previous PR's record.
-BENCH_JSON ?= BENCH_PR6.json
-BENCH_BASELINE ?= BENCH_PR5.json
-BENCH_MICRO = CostModel|PlanWorkload|AnalyticEvaluate|StepSimulator|NSGAFront
+BENCH_JSON ?= BENCH_PR7.json
+BENCH_BASELINE ?= BENCH_PR6.json
+BENCH_MICRO = CostModel|PlanWorkload|AnalyticEvaluate|StepSimulator|EventSimulator|NSGAFront
 BENCH_MULTI = GASearch|AccelSearch
 
 bench-json:
-	{ $(GO) test -run='^$$' -bench='^Benchmark($(BENCH_MICRO))$$' -benchtime=100x -benchmem . ; \
+	{ $(GO) test -run='^$$' -bench='^Benchmark($(BENCH_MICRO))$$' -benchtime=2000x -benchmem . ; \
 	  $(GO) test -run='^$$' -bench='^Benchmark($(BENCH_MULTI))$$' -benchtime=300x -benchmem -cpu 1,4 . ; } \
-		| $(GO) run ./cmd/benchjson -note "micro fixed -benchtime=100x, search 300x; speedup_vs_pr5 = baseline ns/op / new ns/op" \
+		| $(GO) run ./cmd/benchjson -note "micro fixed -benchtime=2000x (100x undersampled the sub-5us benches), search 300x; speedup_vs_pr6 = baseline ns/op / new ns/op" \
 			-baseline $(BENCH_BASELINE) -out $(BENCH_JSON)
 
 # Regenerate every paper table/figure at full budget.
@@ -90,6 +90,14 @@ cluster-smoke:
 trace-smoke:
 	$(GO) run ./cmd/chrysalis -workload har -budget 100 -verify -trace-out /tmp/chrysalis-trace.json >/dev/null
 	$(GO) run ./cmd/tracecheck -min-events 10 /tmp/chrysalis-trace.json
+
+# Event-vs-step simulator agreement: the differential matrix (every
+# scenario preset under every checkpoint policy, counters exact and
+# continuous outputs within 1e-6 relative), plus an end-to-end CLI
+# replay through -sim-mode differential, which fails on any divergence.
+sim-diff:
+	$(GO) test ./internal/sim/ -run 'TestDifferential|TestEvent' -count=1
+	$(GO) run ./cmd/chrysalis -workload har -budget 100 -verify -sim-mode differential >/dev/null
 
 # End-to-end flight-recorder check: a design search with an audited
 # verification replay through the CLI (non-zero exit on any energy-

@@ -133,6 +133,34 @@ func BenchmarkStepSimulator(b *testing.B) {
 	}
 }
 
+// BenchmarkEventSimulator measures the event-driven analytic
+// co-simulation of the same HAR inference BenchmarkStepSimulator grinds
+// step by step: quiet windows are solved in closed form, so the run
+// collapses to a few dozen literal steps plus analytic jumps.
+func BenchmarkEventSimulator(b *testing.B) {
+	hw := msp430.Config{}.HW()
+	es, err := energy.NewSolar(energy.Spec{PanelArea: 8, Cap: 100e-6}, solar.Bright())
+	if err != nil {
+		b.Fatal(err)
+	}
+	budget, _ := es.CycleBudget(msp430.Config{}.ActivePower())
+	plans, err := intermittent.PlanWorkload(dnn.HAR(), dataflow.OS, hw, 0.05,
+		intermittent.FixedBudget(budget*0.8))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sim.RunEvent(sim.Config{Energy: es, HW: hw, Plans: plans})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Completed {
+			b.Fatal("benchmark run did not complete")
+		}
+	}
+}
+
 // BenchmarkGASearch measures a complete (small) bi-level search on the
 // existing-AuT platform.
 func BenchmarkGASearch(b *testing.B) {

@@ -102,6 +102,27 @@ type Environment = solar.Environment
 // SimResult is a step-based simulation outcome.
 type SimResult = sim.Result
 
+// SimMode selects the simulator core used by every co-simulation of a
+// spec: Simulate*, Verify*, flight replays and chrysalisd jobs. Set it
+// on Spec.SimMode; the zero value is SimModeEvent.
+type SimMode = sim.Mode
+
+// Simulator modes.
+const (
+	// SimModeEvent is the event-driven analytic simulator (default):
+	// quiet windows are solved in closed form, events are stepped
+	// bit-honestly.
+	SimModeEvent = sim.ModeEvent
+	// SimModeStep is the fixed-step bit-honest oracle.
+	SimModeStep = sim.ModeStep
+	// SimModeDifferential runs both simulators and fails on divergence.
+	SimModeDifferential = sim.ModeDifferential
+)
+
+// ParseSimMode parses "event", "step" or "differential" (the -sim-mode
+// CLI values).
+func ParseSimMode(s string) (SimMode, error) { return sim.ParseMode(s) }
+
 // Design runs the full CHRYSALIS pipeline: describe, evaluate, explore,
 // and return the ideal AuT configuration for the spec.
 func Design(spec Spec) (Result, error) { return core.Run(spec) }

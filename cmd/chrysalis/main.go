@@ -38,7 +38,8 @@ func main() {
 		seed         = flag.Int64("seed", 1, "search seed")
 		searchWkrs   = flag.Int("search-workers", 0, "candidate-evaluation concurrency (0 = all cores, negative = serial); never changes results, only wall-clock time")
 		algorithm    = flag.String("algorithm", "ga", "search algorithm: ga or random")
-		verify       = flag.Bool("verify", false, "replay the winning design on the step-based simulator")
+		verify       = flag.Bool("verify", false, "replay the winning design on the co-simulator")
+		simMode      = flag.String("sim-mode", "event", "co-simulator core for -verify/-audit replays: event (analytic fast path), step (bit-honest oracle) or differential (run both, fail on divergence)")
 		explain      = flag.Bool("explain", false, "print the Figure-4 style loop nest of each layer's mapping")
 		report       = flag.Bool("report", false, "emit the full pre-RTL design reference document")
 		preset       = flag.String("preset", "", "deployment scenario preset (see -list-presets); overrides platform/objective/constraints")
@@ -88,6 +89,10 @@ func main() {
 		fatal(err)
 	}
 	spec.Search.Workers = *searchWkrs
+	spec.SimMode, err = chrysalis.ParseSimMode(*simMode)
+	if err != nil {
+		fatal(err)
+	}
 	if *workloadFile != "" {
 		data, err := os.ReadFile(*workloadFile)
 		if err != nil {
@@ -175,7 +180,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("\nstep-simulator verification (first environment):\n")
+		fmt.Printf("\n%s-simulator verification (first environment):\n", spec.SimMode)
 		fmt.Printf("  completed:     %v\n", run.Completed)
 		fmt.Printf("  e2e latency:   %v\n", run.E2ELatency)
 		fmt.Printf("  power cycles:  %d\n", run.PowerCycles)

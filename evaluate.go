@@ -91,7 +91,7 @@ func simulate(spec Spec, dp DesignPoint, env Environment, h Harvester) (SimResul
 		}
 		cfg.Energy = es
 	}
-	return sim.Run(cfg)
+	return sim.RunMode(cfg, spec.SimMode)
 }
 
 // scenarioOf converts a public spec to an explorer scenario.

@@ -84,7 +84,7 @@ func SimulateWithPolicy(spec Spec, dp DesignPoint, env Environment, policy Check
 		return SimResult{}, err
 	}
 	cfg.Policy = policy
-	return sim.Run(cfg)
+	return sim.RunMode(cfg, spec.SimMode)
 }
 
 // --- Event tracing ---
@@ -103,7 +103,7 @@ func SimulateTraced(spec Spec, dp DesignPoint, env Environment, onEvent func(Sim
 	if onEvent != nil {
 		cfg.Trace = sim.Tracer(onEvent)
 	}
-	return sim.Run(cfg)
+	return sim.RunMode(cfg, spec.SimMode)
 }
 
 // simConfig builds a step-simulator configuration for a design point.

@@ -14,9 +14,7 @@ import (
 	"chrysalis/internal/audit"
 	"chrysalis/internal/dataflow"
 	"chrysalis/internal/dnn"
-	"chrysalis/internal/energy"
 	"chrysalis/internal/explore"
-	"chrysalis/internal/intermittent"
 	"chrysalis/internal/obs"
 	"chrysalis/internal/search"
 	"chrysalis/internal/sim"
@@ -49,6 +47,13 @@ type Spec struct {
 	// Rexc is the energy-exception rate (technology constraint; <0
 	// selects the default).
 	Rexc float64
+
+	// SimMode selects the simulator core for every co-simulation of
+	// this spec (verification, facade Simulate*, serving): the
+	// event-driven analytic simulator (the zero value), the fixed-step
+	// oracle, or the differential mode that runs both and fails on
+	// divergence. Search scoring is analytic and unaffected.
+	SimMode sim.Mode
 
 	// Search configures the outer optimizer.
 	Search SearchConfig
@@ -124,6 +129,7 @@ func (s Spec) scenario() (explore.Scenario, error) {
 		MaxPanel:   s.MaxPanel,
 		MaxLatency: s.MaxLatency,
 		Rexc:       s.Rexc,
+		SimMode:    s.SimMode,
 	}, nil
 }
 
@@ -318,8 +324,9 @@ func VerifyWithTrace(spec Spec, res Result, tr sim.Tracer) (sim.Result, error) {
 }
 
 // VerifyFlight is the full-introspection verification path: it replays
-// the design through the step simulator with an optional event tracer
-// AND an optional flight recorder, then — when a recorder was attached —
+// the design through the co-simulator selected by spec.SimMode (the
+// event-driven simulator by default) with an optional event tracer AND
+// an optional flight recorder, then — when a recorder was attached —
 // audits the recorded physics for energy-conservation violations. The
 // audit report is nil when rec is nil.
 func VerifyFlight(spec Spec, res Result, tr sim.Tracer, rec *sim.Recorder) (sim.Result, *audit.Report, error) {
@@ -327,31 +334,11 @@ func VerifyFlight(spec Spec, res Result, tr sim.Tracer, rec *sim.Recorder) (sim.
 	if err != nil {
 		return sim.Result{}, nil, err
 	}
-	scd := sc // defaults applied inside EvaluateCandidate; mirror here
-	if scd.Envs == nil {
-		scd.Envs = []solar.Environment{solar.Bright(), solar.Dark()}
-	}
 	cand, err := candidateFromResult(spec, res)
 	if err != nil {
 		return sim.Result{}, nil, err
 	}
-	ev, err := explore.EvaluateCandidate(sc, cand)
-	if err != nil {
-		return sim.Result{}, nil, err
-	}
-	plans := make([]intermittent.Plan, len(ev.Mappings))
-	for i, m := range ev.Mappings {
-		plans[i] = m.Plan
-	}
-	es, err := energy.NewSolar(energy.Spec{PanelArea: res.PanelArea, Cap: res.Cap}, scd.Envs[0])
-	if err != nil {
-		return sim.Result{}, nil, err
-	}
-	hw, err := hwFromResult(spec, res)
-	if err != nil {
-		return sim.Result{}, nil, err
-	}
-	run, err := sim.Run(sim.Config{Energy: es, HW: hw, Plans: plans, Trace: tr, Record: rec})
+	run, err := explore.SimulateCandidate(sc, cand, tr, rec)
 	if err != nil {
 		return sim.Result{}, nil, err
 	}
@@ -376,15 +363,3 @@ func candidateFromResult(spec Spec, res Result) (explore.Candidate, error) {
 	return cand, nil
 }
 
-func hwFromResult(spec Spec, res Result) (dataflow.HW, error) {
-	if spec.Platform == explore.MSP {
-		return mspHW(), nil
-	}
-	arch, err := accelArch(res.InferHW)
-	if err != nil {
-		return dataflow.HW{}, err
-	}
-	arch.NPE = res.NPE
-	arch.CacheBytes = res.CacheBytes
-	return arch.HW(arch.NativeDataflow())
-}

@@ -173,7 +173,12 @@ type Cost struct {
 	TileVMBytes    units.Bytes // VM↔PE streaming traffic (②③④)
 	TileWorkingSet units.Bytes // VM occupancy; sizes the checkpoint
 	TileEnergy     units.Energy
-	TileTime       units.Seconds
+	// TileNVMEnergy is the NVM read/write component of TileEnergy
+	// (e_r·(inputs+weights) + e_w·outputs), reported separately so the
+	// simulator and the analytic evaluator split Infer vs NVM-IO from
+	// the same decomposition.
+	TileNVMEnergy units.Energy
+	TileTime      units.Seconds
 
 	// Layer totals.
 	MACs       int64
@@ -309,6 +314,10 @@ func evaluate(l *dnn.Layer, elemBytes int, m Mapping, hw *HW, c *Cost) bool {
 	}
 
 	// --- Energy (E_df components) ---
+	// tileNVM repeats the two NVM terms of tileEnergy instead of being
+	// folded into its sum so the total keeps its exact summation order.
+	tileNVM := float64(hw.ENVMReadPerByte)*(tileIn+tileW) +
+		float64(hw.ENVMWritePerByte)*tileOut
 	tileEnergy := float64(hw.EMAC)*float64(tileMACs) +
 		float64(hw.EVMPerByte)*vmTile +
 		float64(hw.ENVMReadPerByte)*(tileIn+tileW) +
@@ -341,6 +350,7 @@ func evaluate(l *dnn.Layer, elemBytes int, m Mapping, hw *HW, c *Cost) bool {
 		TileVMBytes:    units.Bytes(vmTile),
 		TileWorkingSet: units.Bytes(workingSet),
 		TileEnergy:     units.Energy(tileEnergy),
+		TileNVMEnergy:  units.Energy(tileNVM),
 		TileTime:       units.Seconds(tileTime),
 		MACs:           macs,
 		ReadBytes:      units.Bytes((tileIn + tileW) * float64(n)),

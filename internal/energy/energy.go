@@ -47,6 +47,25 @@ func (s SolarHarvester) Describe() string {
 	return fmt.Sprintf("solar %v @ %s", s.Panel.Area, s.Env.Name())
 }
 
+// SteadyHarvester is implemented by harvesters whose output power is
+// constant over all of scenario time. The event-driven simulator uses
+// it to qualify a run for the closed-form segment solver; harvesters
+// that don't implement it (or report false) are step-integrated.
+type SteadyHarvester interface {
+	// SteadyPower returns the time-invariant output power and true, or
+	// (0, false) when the output varies with time.
+	SteadyPower() (units.Power, bool)
+}
+
+// SteadyPower implements SteadyHarvester: a solar harvester is steady
+// exactly when its environment advertises a constant coefficient.
+func (s SolarHarvester) SteadyPower() (units.Power, bool) {
+	if se, ok := s.Env.(solar.SteadyEnvironment); ok && se.SteadyKeh() {
+		return s.Power(0), true
+	}
+	return 0, false
+}
+
 // Spec captures the configurable energy-subsystem parameters of the
 // paper's design space: panel area and capacitor size, plus technology
 // constants (k_cap, thresholds).
@@ -202,6 +221,15 @@ func (s *Subsystem) ChargeLatency() units.Seconds {
 // HarvestPower returns the net power reaching the capacitor at time t.
 func (s *Subsystem) HarvestPower(t units.Seconds) units.Power {
 	return s.Ctrl.HarvestToCap(s.Harvester.Power(t))
+}
+
+// SteadyHarvest returns the harvester's constant raw output power when
+// it is provably time-invariant (see SteadyHarvester), or (0, false).
+func (s *Subsystem) SteadyHarvest() (units.Power, bool) {
+	if sh, ok := s.Harvester.(SteadyHarvester); ok {
+		return sh.SteadyPower()
+	}
+	return 0, false
 }
 
 // CycleBudget returns the energy deliverable to the load during one

@@ -187,6 +187,12 @@ type Scenario struct {
 	// Perfetto export. Nil disables tracing at zero cost; it never
 	// affects results or cache identity.
 	Trace *obs.Trace
+	// SimMode selects the simulator core used whenever a candidate of
+	// this scenario is co-simulated (SimulateCandidate and the
+	// verification paths built on it). Search scoring always stays on
+	// the analytic evaluator. The zero value is the event-driven
+	// simulator (sim.ModeEvent).
+	SimMode sim.Mode
 }
 
 func (s Scenario) withDefaults() Scenario {
@@ -708,6 +714,37 @@ func EvaluateCandidate(sc Scenario, cand Candidate) (Evaluation, error) {
 		return Evaluation{}, err
 	}
 	return e.Evaluate(cand)
+}
+
+// SimulateCandidate replays one candidate through the co-simulator
+// under the scenario's first environment and SimMode, with optional
+// event tracer and flight recorder attached. The inner mapping search
+// runs first so the candidate executes its best achievable plans —
+// this is the verification counterpart of EvaluateCandidate.
+func SimulateCandidate(sc Scenario, cand Candidate, tr sim.Tracer, rec *sim.Recorder) (sim.Result, error) {
+	scd := sc.withDefaults()
+	ev, err := EvaluateCandidate(sc, cand)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	plans := make([]intermittent.Plan, len(ev.Mappings))
+	for i, m := range ev.Mappings {
+		plans[i] = m.Plan
+	}
+	es, err := energy.NewSolar(energy.Spec{PanelArea: cand.PanelArea, Cap: cand.Cap}, scd.Envs[0])
+	if err != nil {
+		return sim.Result{}, err
+	}
+	var hw dataflow.HW
+	if cand.Accel == nil {
+		hw = msp430.Config{}.HW()
+	} else {
+		hw, err = cand.Accel.HW(cand.Accel.NativeDataflow())
+		if err != nil {
+			return sim.Result{}, err
+		}
+	}
+	return sim.RunMode(sim.Config{Energy: es, HW: hw, Plans: plans, Trace: tr, Record: rec}, scd.SimMode)
 }
 
 // objectiveOf scores a candidate's objective ingredients (lower is

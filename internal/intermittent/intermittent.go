@@ -377,7 +377,11 @@ type Totals struct {
 	Time         units.Seconds
 	CkptEnergy   units.Energy
 	StaticEnergy units.Energy
-	Tiles        int
+	// NVMIO is the tile read/write component of Energy — the same
+	// clamped share the step simulator books as Breakdown.NVMIO, so the
+	// analytic and simulated breakdowns decompose identically.
+	NVMIO units.Energy
+	Tiles int
 }
 
 // Sum aggregates plans into workload totals.
@@ -405,5 +409,10 @@ func (t *Totals) add(p *Plan) {
 	t.Time += p.Time
 	t.CkptEnergy += p.CkptEnergy
 	t.StaticEnergy += p.StaticEnergy
+	io := float64(p.Cost.TileNVMEnergy)
+	if dyn := float64(p.Cost.TileEnergy); io > dyn {
+		io = dyn
+	}
+	t.NVMIO += units.Energy(io * float64(p.Cost.NTileEffective))
 	t.Tiles += p.Cost.NTileEffective
 }

@@ -9,6 +9,7 @@ import (
 	"chrysalis/internal/core"
 	"chrysalis/internal/dnn"
 	"chrysalis/internal/explore"
+	"chrysalis/internal/sim"
 	"chrysalis/internal/units"
 )
 
@@ -39,9 +40,14 @@ type DesignRequest struct {
 	Seed int64 `json:"seed,omitempty"`
 	// Algorithm is "ga" (default) or "random".
 	Algorithm string `json:"algorithm,omitempty"`
-	// Verify replays the winning design on the step simulator after the
+	// Verify replays the winning design on the co-simulator after the
 	// search, streaming its events over SSE and attaching the summary.
 	Verify bool `json:"verify,omitempty"`
+	// SimMode selects the co-simulator core for the verify replay:
+	// "event" (default; analytic fast path), "step" (bit-honest
+	// fixed-step oracle) or "differential" (run both, fail the job on
+	// divergence).
+	SimMode string `json:"sim_mode,omitempty"`
 	// SearchWorkers requests a per-job search-evaluation concurrency
 	// (0 = server default, which defaults to auto/GOMAXPROCS). The
 	// actual grant is capped by the server's worker gate so concurrent
@@ -87,6 +93,7 @@ type keyPayload struct {
 	Seed       int64   `json:"seed"`
 	Algorithm  string  `json:"algorithm"`
 	Verify     bool    `json:"verify"`
+	SimMode    string  `json:"sim_mode"`
 }
 
 // normalize applies defaults, validates every field, and computes the
@@ -112,6 +119,13 @@ func normalize(req DesignRequest) (jobSpec, error) {
 	}
 	if req.Seed == 0 {
 		req.Seed = 1
+	}
+	if req.SimMode == "" {
+		req.SimMode = "event"
+	}
+	simMode, err := sim.ParseMode(req.SimMode)
+	if err != nil {
+		return jobSpec{}, err
 	}
 
 	switch {
@@ -182,6 +196,7 @@ func normalize(req DesignRequest) (jobSpec, error) {
 
 	js.spec.MaxPanel = units.AreaCM2(req.MaxPanelCM2)
 	js.spec.MaxLatency = units.Seconds(req.MaxLatencyS)
+	js.spec.SimMode = simMode
 	js.spec.Search = core.SearchConfig{
 		Algorithm: req.Algorithm,
 		Budget:    req.Budget,
@@ -199,6 +214,7 @@ func normalize(req DesignRequest) (jobSpec, error) {
 		Seed:       req.Seed,
 		Algorithm:  req.Algorithm,
 		Verify:     req.Verify,
+		SimMode:    simMode.String(),
 	})
 	if err != nil {
 		return jobSpec{}, err

@@ -11,6 +11,7 @@ import (
 
 	"chrysalis/internal/explore"
 	"chrysalis/internal/obs"
+	"chrysalis/internal/sim"
 )
 
 // latencyWindow bounds the job-latency reservoir the windowed quantiles
@@ -87,6 +88,18 @@ func newMetrics() *metrics {
 	reg.CounterFunc("chrysalisd_evaluator_cache_misses_total",
 		"Plan-ladder fingerprint cache misses (ladder builds) inside the evaluation engine.",
 		func() int64 { _, miss := explore.EvalCacheCounters(); return miss })
+	reg.CounterFunc("chrysalisd_sim_fast_segments_total",
+		"Analytic multi-step jumps taken by the event-driven simulator.",
+		func() int64 { segs, _, _, _ := sim.EventStats(); return segs })
+	reg.CounterFunc("chrysalisd_sim_fast_steps_total",
+		"Simulator steps replaced by analytic jumps on the event fast path.",
+		func() int64 { _, fast, _, _ := sim.EventStats(); return fast })
+	reg.CounterFunc("chrysalisd_sim_literal_steps_total",
+		"Simulator steps executed bit-honestly by the event simulator.",
+		func() int64 { _, _, lit, _ := sim.EventStats(); return lit })
+	reg.CounterFunc("chrysalisd_sim_fallback_runs_total",
+		"Event-simulator runs that fell back to pure literal stepping.",
+		func() int64 { _, _, _, fb := sim.EventStats(); return fb })
 	obs.RegisterBuildInfo(reg)
 	return m
 }

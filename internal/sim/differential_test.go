@@ -1,0 +1,238 @@
+package sim_test
+
+// Differential validation of the event-driven simulator against the
+// step oracle: the full preset × policy matrix must agree on every
+// discrete counter exactly and on every continuous quantity within
+// sim.DiffRelTol, and the flight-recorder audit must come back clean on
+// both paths. External test package so the audit harness (which imports
+// sim) can serve as the proof checker.
+
+import (
+	"math"
+	"testing"
+
+	"chrysalis/internal/audit"
+	"chrysalis/internal/dataflow"
+	"chrysalis/internal/dnn"
+	"chrysalis/internal/energy"
+	"chrysalis/internal/intermittent"
+	"chrysalis/internal/msp430"
+	"chrysalis/internal/sim"
+	"chrysalis/internal/solar"
+	"chrysalis/internal/thermal"
+	"chrysalis/internal/units"
+)
+
+// accelHW mirrors the future-AuT accelerator constants used by the sim
+// package's own tests.
+func accelHW() dataflow.HW {
+	return dataflow.HW{
+		NPE: 64, CacheBytes: 512, VMBytes: 140 * units.KB,
+		EMAC: 16e-12, EVMPerByte: 2e-12, ENVMReadPerByte: 100e-12, ENVMWritePerByte: 200e-12,
+		TMAC: 17e-9, NVMBytesPerSec: 300e6, PMemPerByte: 100e-12, PIdle: 150e-6,
+	}
+}
+
+// diffScenario is one row of the matrix, mirroring a core preset's
+// environment and platform without importing core (cycle).
+type diffScenario struct {
+	name  string
+	area  units.AreaCM2
+	capC  units.Capacitance
+	env   solar.Environment
+	accel bool
+}
+
+func diffScenarios(t *testing.T) []diffScenario {
+	t.Helper()
+	orbital, err := thermal.NewDeratedEnvironment(solar.Bright(), thermal.Constant{C: 70})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []diffScenario{
+		{name: "wearable", area: 6, capC: 100e-6, env: solar.Dark()},
+		{name: "uav", area: 12, capC: 470e-6, env: solar.Bright(), accel: true},
+		{name: "buoy", area: 8, capC: 100e-6, env: solar.Bright()},
+		{name: "orbital", area: 15, capC: 220e-6, env: orbital, accel: true},
+		{name: "volcano", area: 10, capC: 150e-6, env: solar.Constant{K: 0.15e-3, Label: "ash-dimmed"}},
+	}
+}
+
+// buildConfig plans the HAR workload for one scenario exactly as the
+// sim package's own harness does.
+func buildConfig(t *testing.T, sc diffScenario) sim.Config {
+	t.Helper()
+	es, err := energy.NewSolar(energy.Spec{PanelArea: sc.area, Cap: sc.capC}, sc.env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hw := msp430.Config{}.HW()
+	active := msp430.Config{}.ActivePower()
+	if sc.accel {
+		hw = accelHW()
+		active = units.Power(float64(hw.PIdle) + float64(hw.EMAC)/float64(hw.TMAC))
+	}
+	budget, _ := es.CycleBudget(active)
+	if math.IsInf(float64(budget), 1) {
+		budget = 1
+	}
+	plans, err := intermittent.PlanWorkload(dnn.HAR(), dataflow.OS, hw, 0.05, intermittent.FixedBudget(budget*0.9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim.Config{Energy: es, HW: hw, Plans: plans}
+}
+
+// TestDifferentialMatrix is the tentpole's proof obligation: every
+// preset × policy cell agrees between the two simulators and audits
+// clean on both paths.
+func TestDifferentialMatrix(t *testing.T) {
+	policies := []sim.Policy{sim.PolicyEveryTile, sim.PolicyAdaptive, sim.PolicyNone}
+	for _, sc := range diffScenarios(t) {
+		sc := sc
+		for _, pol := range policies {
+			pol := pol
+			t.Run(sc.name+"/"+pol.String(), func(t *testing.T) {
+				t.Parallel()
+
+				stepCfg := buildConfig(t, sc)
+				stepCfg.Policy = pol
+				stepRec := sim.NewRecorder(4096)
+				stepCfg.Record = stepRec
+				var stepEvents []sim.Event
+				stepCfg.Trace = func(e sim.Event) { stepEvents = append(stepEvents, e) }
+				stepRes, err := sim.Run(stepCfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				evCfg := buildConfig(t, sc)
+				evCfg.Policy = pol
+				evRec := sim.NewRecorder(4096)
+				evCfg.Record = evRec
+				var evEvents []sim.Event
+				evCfg.Trace = func(e sim.Event) { evEvents = append(evEvents, e) }
+				evRes, err := sim.RunEvent(evCfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				if err := sim.DiffResults(evRes, stepRes, sim.DiffRelTol); err != nil {
+					t.Fatalf("event/step divergence: %v", err)
+				}
+
+				// The event stream must be identical event-for-event in
+				// kind, tile and layer; times agree to fp drift.
+				if len(evEvents) != len(stepEvents) {
+					t.Fatalf("event count: event=%d step=%d", len(evEvents), len(stepEvents))
+				}
+				for i := range evEvents {
+					e, s := evEvents[i], stepEvents[i]
+					if e.Kind != s.Kind || e.Tile != s.Tile || e.Layer != s.Layer {
+						t.Fatalf("event %d: event=%+v step=%+v", i, e, s)
+					}
+					dt := math.Abs(float64(e.Time - s.Time))
+					if dt > sim.DiffRelTol*math.Max(1, float64(s.Time)) {
+						t.Fatalf("event %d time: event=%v step=%v", i, e.Time, s.Time)
+					}
+				}
+
+				// Both recorders must satisfy every audit invariant.
+				if rep := audit.Run(stepRec, audit.Options{}); !rep.OK() {
+					t.Fatalf("step-path audit findings:\n%s", rep)
+				}
+				if rep := audit.Run(evRec, audit.Options{}); !rep.OK() {
+					t.Fatalf("event-path audit findings:\n%s", rep)
+				}
+			})
+		}
+	}
+}
+
+// TestDifferentialMode exercises the ModeDifferential runner itself on
+// one representative scenario.
+func TestDifferentialMode(t *testing.T) {
+	cfg := buildConfig(t, diffScenarios(t)[2]) // buoy: bright MSP430
+	res, err := sim.RunMode(cfg, sim.ModeDifferential)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatalf("differential run should complete: %+v", res)
+	}
+}
+
+// TestEventFastPathEngages guards against the event simulator silently
+// falling back to pure stepping: on the steady bright scenario the
+// analytic jumps must replace the vast majority of steps.
+func TestEventFastPathEngages(t *testing.T) {
+	cfg := buildConfig(t, diffScenarios(t)[2])
+	segs0, fast0, lit0, fb0 := sim.EventStats()
+	if _, err := sim.RunEvent(cfg); err != nil {
+		t.Fatal(err)
+	}
+	segs1, fast1, lit1, fb1 := sim.EventStats()
+	if fb1 != fb0 {
+		t.Fatalf("steady-harvest run fell back to stepping (%d runs)", fb1-fb0)
+	}
+	if segs1 == segs0 {
+		t.Fatal("no analytic jumps taken")
+	}
+	fast, lit := fast1-fast0, lit1-lit0
+	if fast < 4*lit {
+		t.Fatalf("fast path barely engaged: %d jumped vs %d literal steps", fast, lit)
+	}
+}
+
+// TestEventFallbackOnJitter checks the qualification gate: jitter makes
+// per-tile energy stochastic, so the run must take the literal path yet
+// still produce the oracle's exact result.
+func TestEventFallbackOnJitter(t *testing.T) {
+	cfg := buildConfig(t, diffScenarios(t)[2])
+	cfg.Jitter = 0.05
+	cfg.Seed = 7
+
+	_, _, _, fb0 := sim.EventStats()
+	evRes, err := sim.RunEvent(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, _, fb1 := sim.EventStats()
+	if fb1 == fb0 {
+		t.Fatal("jittered run should have fallen back")
+	}
+
+	stepRes, err := sim.Run(buildJittered(t, diffScenarios(t)[2]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical seed and literal stepping: bit-identical results.
+	if err := sim.DiffResults(evRes, stepRes, 0); err != nil {
+		t.Fatalf("fallback path must be bit-identical to oracle: %v", err)
+	}
+}
+
+func buildJittered(t *testing.T, sc diffScenario) sim.Config {
+	cfg := buildConfig(t, sc)
+	cfg.Jitter = 0.05
+	cfg.Seed = 7
+	return cfg
+}
+
+func TestParseMode(t *testing.T) {
+	for in, want := range map[string]sim.Mode{
+		"":             sim.ModeEvent,
+		"event":        sim.ModeEvent,
+		"step":         sim.ModeStep,
+		"differential": sim.ModeDifferential,
+		"diff":         sim.ModeDifferential,
+	} {
+		got, err := sim.ParseMode(in)
+		if err != nil || got != want {
+			t.Errorf("ParseMode(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := sim.ParseMode("warp"); err == nil {
+		t.Error("ParseMode should reject unknown modes")
+	}
+}

@@ -582,6 +582,95 @@ func (r *Recorder) step(tm, dt units.Seconds, rep energy.StepReport, bd Breakdow
 	r.lastStored = stored
 }
 
+// segmentReport aggregates the flows of one analytic multi-step jump —
+// the event simulator's macro-step equivalent of a StepReport. Flows
+// are segment totals (capacitor-side, except harvested/conversionLoss);
+// vsqIntegral is passed explicitly because the recorder cannot
+// re-derive the per-step leak basis from aggregate flows. Quiet windows
+// never spill or starve, so those flows are implicitly zero.
+type segmentReport struct {
+	n              int // steps the segment stands in for
+	harvested      float64
+	charged        float64
+	conversionLoss float64
+	delivered      float64
+	leaked         float64
+	vsqIntegral    float64
+	on             bool // power gate state throughout the segment
+}
+
+// segment records one analytic jump of seg.n steps ending at tm. The
+// subsystem state has already been advanced to the end of the window.
+// Within a quiet window the voltage trajectory is monotone and the
+// previous literal step sampled the window's start, so folding only the
+// endpoint keeps MinV/MaxV (and MinVOn) exact.
+func (r *Recorder) segment(tm, dt units.Seconds, seg segmentReport, bd Breakdown) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t := float64(tm)
+	v := float64(r.es.Cap.Voltage())
+	stored := float64(r.es.Cap.Stored())
+
+	// Jumps never immediately follow a power-on (transitions happen on
+	// literal steps, which flush these), but stay defensive so a future
+	// caller cannot corrupt the ledger chain.
+	if r.pendingCycle {
+		r.closeLedgerLocked()
+		r.openLedgerLocked(r.lastT, r.lastStored)
+		r.pendingCycle = false
+	}
+
+	l := &r.open
+	l.EndS = t
+	l.EndStoredJ = stored
+	l.HarvestedJ += seg.harvested
+	l.ChargedJ += seg.charged
+	l.ConversionLossJ += seg.conversionLoss
+	l.DeliveredJ += seg.delivered
+	l.LeakedJ += seg.leaked
+	l.DrainedJ += r.pendDrain
+	l.CkptLoadJ += r.pendCkpt
+	r.pendDrain, r.pendCkpt = 0, 0
+	l.VSqIntegral += seg.vsqIntegral
+	if v < l.MinV {
+		l.MinV = v
+	}
+	if v > l.MaxV {
+		l.MaxV = v
+	}
+	if seg.on {
+		l.OnSeconds += float64(seg.n) * float64(dt)
+		l.OnSamples += seg.n
+		if v < l.MinVOn {
+			l.MinVOn = v
+		}
+	}
+
+	r.cumHarvest += seg.harvested
+	r.prevBD = bd
+
+	var vals [numChannels]float64
+	vals[ChVCap] = v
+	vals[ChEStored] = stored
+	if span := float64(seg.n) * float64(dt); span > 0 {
+		vals[ChPHarvest] = seg.harvested / span
+		vals[ChPLoad] = seg.delivered / span
+		vals[ChPLeak] = seg.leaked / span
+	}
+	vals[ChEHarvest] = r.cumHarvest
+	vals[ChECompute] = float64(r.base.Infer + bd.Infer)
+	vals[ChENVMIO] = float64(r.base.NVMIO + bd.NVMIO)
+	vals[ChECkpt] = float64(r.base.Ckpt + bd.Ckpt)
+	vals[ChCycle] = float64(r.cycleIndex)
+	r.sampleLocked(t, &vals)
+	if seg.n > 1 {
+		r.raw += int64(seg.n) - 1 // the one sample stands in for n raw steps
+	}
+
+	r.lastT = t
+	r.lastStored = stored
+}
+
 // sampleLocked folds one raw sample into the current bin, opening a new
 // bin (and compacting on budget overflow) as needed.
 func (r *Recorder) sampleLocked(t float64, vals *[numChannels]float64) {

@@ -194,6 +194,48 @@ func TestAnalyticAgreesWithStepSim(t *testing.T) {
 	}
 }
 
+func TestAnalyticEfficiencyConsistent(t *testing.T) {
+	// Regression: the analytic evaluator's SystemEfficiency must use the
+	// same formula as the step simulator — (Infer + NVMIO) / Harvested —
+	// with the NVM tile traffic split out of Infer, not folded into it.
+	cfg := harSetup(t, 8, 100e-6, solar.Bright())
+	tot := intermittent.Sum(cfg.Plans)
+	ana := AnalyticTotals(cfg.Energy, tot)
+	if !ana.Completed {
+		t.Fatal("analytic should deem this feasible")
+	}
+	b := ana.Breakdown
+	if b.NVMIO <= 0 {
+		t.Fatalf("analytic NVMIO = %v, want > 0 (split out of Infer)", b.NVMIO)
+	}
+	if b.Infer <= 0 {
+		t.Fatalf("analytic Infer = %v, want > 0", b.Infer)
+	}
+	// The load-side categories must still sum to the plans' total energy.
+	sum := float64(b.Infer + b.NVMIO + b.Static + b.Ckpt)
+	if got, want := sum, float64(tot.Energy); math.Abs(got-want) > 1e-9*want {
+		t.Fatalf("breakdown sum %g != plan total %g", got, want)
+	}
+	want := float64(b.Infer+b.NVMIO) / float64(b.Harvested)
+	if ana.SystemEfficiency != want {
+		t.Fatalf("analytic efficiency %g != (Infer+NVMIO)/Harvested %g", ana.SystemEfficiency, want)
+	}
+	// And the step simulator reports the same formula over its own flows.
+	step, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb := step.Breakdown
+	if got, want := step.SystemEfficiency, float64(sb.Infer+sb.NVMIO)/float64(sb.Harvested); got != want {
+		t.Fatalf("step efficiency %g != (Infer+NVMIO)/Harvested %g", got, want)
+	}
+	// The two estimates of the same quantity must be in the same regime.
+	ratio := step.SystemEfficiency / ana.SystemEfficiency
+	if ratio < 0.5 || ratio > 2 {
+		t.Fatalf("step efficiency %g vs analytic %g (ratio %.2f)", step.SystemEfficiency, ana.SystemEfficiency, ratio)
+	}
+}
+
 func TestAnalyticUnavailability(t *testing.T) {
 	es, err := energy.NewSolar(energy.Spec{PanelArea: 1, Cap: 10e-3}, solar.Dark())
 	if err != nil {

@@ -42,12 +42,26 @@ const (
 	KehDark units.Power = 0.25e-3
 )
 
+// SteadyEnvironment is implemented by environments whose Keh is
+// constant over all of scenario time. The event-driven simulator
+// (internal/sim) uses it to prove the harvest term of its closed-form
+// segment solver is time-invariant; time-varying environments simply
+// don't implement it and fall back to step integration.
+type SteadyEnvironment interface {
+	Environment
+	// SteadyKeh reports whether Keh(t) is the same for every t.
+	SteadyKeh() bool
+}
+
 // Constant is an Environment with a fixed k_eh, matching the paper's
 // assumption of stable light within one inference.
 type Constant struct {
 	K     units.Power
 	Label string
 }
+
+// SteadyKeh implements SteadyEnvironment.
+func (c Constant) SteadyKeh() bool { return true }
 
 // Bright returns the canonical brighter search environment.
 func Bright() Constant { return Constant{K: KehBright, Label: "bright"} }

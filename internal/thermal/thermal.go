@@ -139,3 +139,14 @@ func (d DeratedEnvironment) Keh(t units.Seconds) units.Power {
 func (d DeratedEnvironment) Name() string {
 	return d.Base.Name() + "@" + d.Thermal.Name()
 }
+
+// SteadyKeh implements solar.SteadyEnvironment: the derated coefficient
+// is time-invariant when both the base irradiance and the temperature
+// profile are constant (Keh is then the same product at every t).
+func (d DeratedEnvironment) SteadyKeh() bool {
+	if se, ok := d.Base.(solar.SteadyEnvironment); !ok || !se.SteadyKeh() {
+		return false
+	}
+	_, constant := d.Thermal.(Constant)
+	return constant
+}
