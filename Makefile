@@ -2,12 +2,12 @@
 
 GO ?= go
 
-.PHONY: all ci build vet test race race-cache race-explore bench bench-json bench-smoke experiments examples fuzz cover clean serve-smoke cluster-smoke trace-smoke audit-smoke sim-diff
+.PHONY: all ci build vet test race race-cache race-explore bench bench-json bench-smoke bench-guard experiments examples fuzz cover clean serve-smoke cluster-smoke trace-smoke trace-cluster-smoke audit-smoke sim-diff
 
 all: build vet test
 
 # Everything the CI workflow runs.
-ci: build vet test race race-explore bench-smoke serve-smoke cluster-smoke trace-smoke audit-smoke sim-diff
+ci: build vet test race race-explore bench-smoke bench-guard serve-smoke cluster-smoke trace-smoke trace-cluster-smoke audit-smoke sim-diff
 
 build:
 	$(GO) build ./...
@@ -57,6 +57,19 @@ bench-json:
 		| $(GO) run ./cmd/benchjson -note "micro fixed -benchtime=2000x (100x undersampled the sub-5us benches), search 300x; speedup_vs_pr6 = baseline ns/op / new ns/op" \
 			-baseline $(BENCH_BASELINE) -out $(BENCH_JSON)
 
+# Benchmark regression gate: re-run the end-to-end search benchmarks
+# (the paths the tracing/metrics hooks ride) and fail if either
+# regressed more than BENCH_GUARD_MAX vs the committed record. Micro
+# benches are too noisy for a hard gate, so only the guarded names can
+# fail the run.
+BENCH_GUARD_MAX ?= 0.25
+BENCH_GUARD_TMP ?= /tmp/chrysalis-bench-guard.json
+bench-guard:
+	$(GO) test -run='^$$' -bench='^Benchmark($(BENCH_MULTI))$$' -benchtime=300x -benchmem -cpu 1,4 . \
+		| $(GO) run ./cmd/benchjson -out $(BENCH_GUARD_TMP)
+	$(GO) run ./cmd/benchguard -baseline $(BENCH_JSON) -candidate $(BENCH_GUARD_TMP) \
+		-bench 'GASearch,AccelSearch' -max-regress $(BENCH_GUARD_MAX)
+
 # Regenerate every paper table/figure at full budget.
 experiments:
 	$(GO) run ./cmd/experiments -run all -budget 400 -pareto 600 -seed 1 -out experiments_full.txt
@@ -98,6 +111,14 @@ trace-smoke:
 sim-diff:
 	$(GO) test ./internal/sim/ -run 'TestDifferential|TestEvent' -count=1
 	$(GO) run ./cmd/chrysalis -workload har -budget 100 -verify -sim-mode differential >/dev/null
+
+# End-to-end distributed-tracing check: a delegated job across an
+# in-process 3-node cluster exports ONE stitched trace (the client's
+# trace ID, spans from both nodes), the job timeline endpoint reports
+# the golden phase sequence, and /v1/fleet aggregates every peer.
+trace-cluster-smoke:
+	$(GO) test -race ./internal/serve/ \
+		-run 'TestClusterStitchedTrace|TestClusterBreakerOpenInstant|TestTimelineEndpoint|TestFleetEndpoint|TestWALMetricsExported' -v
 
 # End-to-end flight-recorder check: a design search with an audited
 # verification replay through the CLI (non-zero exit on any energy-

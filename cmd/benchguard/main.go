@@ -1,0 +1,179 @@
+// Command benchguard compares a fresh benchmark record (the JSON
+// emitted by cmd/benchjson, see `make bench-json`) against a committed
+// baseline record and exits non-zero when a guarded benchmark regressed
+// beyond the allowed ratio. It is the CI tripwire that keeps
+// observability work honest: tracing hooks, metrics registration and
+// timeline bookkeeping all ride the hot search path, and this tool
+// fails the build if they start costing real throughput.
+//
+// Usage:
+//
+//	benchguard -baseline BENCH_PR7.json -candidate /tmp/bench.json \
+//	    -bench GASearch,AccelSearch -max-regress 0.25
+//
+// Entries are matched by (name, procs) so a -cpu 1,4 sweep guards the
+// serial and parallel widths independently. -bench restricts which
+// benchmarks can fail the run (others are still reported); empty
+// guards every matched benchmark. A guarded benchmark missing from
+// either record is itself a failure — silently dropping a benchmark
+// must not green the gate.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// Benchmark mirrors cmd/benchjson's entry; only the fields benchguard
+// compares are declared, unknown fields are ignored.
+type Benchmark struct {
+	Name    string  `json:"name"`
+	Procs   int     `json:"procs,omitempty"`
+	NsPerOp float64 `json:"ns_per_op"`
+}
+
+// Record mirrors cmd/benchjson's envelope.
+type Record struct {
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// benchKey identifies one benchmark variant across records.
+type benchKey struct {
+	name  string
+	procs int
+}
+
+func (k benchKey) String() string {
+	if k.procs > 0 {
+		return fmt.Sprintf("%s-%d", k.name, k.procs)
+	}
+	return k.name
+}
+
+// delta is one matched benchmark's comparison.
+type delta struct {
+	key      benchKey
+	baseNs   float64
+	candNs   float64
+	ratio    float64 // candNs / baseNs - 1; positive = slower
+	guarded  bool
+	breached bool
+}
+
+// compare matches candidate benchmarks to the baseline by (name,
+// procs) and flags guarded entries whose slowdown exceeds maxRegress.
+// guard is the set of guarded names (nil/empty = guard everything).
+// The returned missing list holds guarded names absent from either
+// record's match set.
+func compare(base, cand Record, guard map[string]bool, maxRegress float64) (deltas []delta, missing []string) {
+	ref := make(map[benchKey]float64, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		ref[benchKey{b.Name, b.Procs}] = b.NsPerOp
+	}
+	matched := make(map[string]bool)
+	for _, b := range cand.Benchmarks {
+		k := benchKey{b.Name, b.Procs}
+		baseNs, ok := ref[k]
+		if !ok || baseNs <= 0 || b.NsPerOp <= 0 {
+			continue
+		}
+		d := delta{
+			key:     k,
+			baseNs:  baseNs,
+			candNs:  b.NsPerOp,
+			ratio:   b.NsPerOp/baseNs - 1,
+			guarded: len(guard) == 0 || guard[b.Name],
+		}
+		d.breached = d.guarded && d.ratio > maxRegress
+		deltas = append(deltas, d)
+		matched[b.Name] = true
+	}
+	for name := range guard {
+		if !matched[name] {
+			missing = append(missing, name)
+		}
+	}
+	return deltas, missing
+}
+
+func readRecord(path string) (Record, error) {
+	var r io.Reader
+	if path == "-" {
+		r = os.Stdin
+	} else {
+		f, err := os.Open(path)
+		if err != nil {
+			return Record{}, err
+		}
+		defer f.Close()
+		r = f
+	}
+	var rec Record
+	if err := json.NewDecoder(r).Decode(&rec); err != nil {
+		return Record{}, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(rec.Benchmarks) == 0 {
+		return Record{}, fmt.Errorf("%s: no benchmarks in record", path)
+	}
+	return rec, nil
+}
+
+func main() {
+	baseline := flag.String("baseline", "", "committed baseline record (benchjson output)")
+	candidate := flag.String("candidate", "-", "fresh record to check, or - for stdin")
+	benches := flag.String("bench", "GASearch,AccelSearch",
+		"comma-separated benchmark names that gate the run (empty = all matched)")
+	maxRegress := flag.Float64("max-regress", 0.25,
+		"maximum tolerated slowdown as a fraction (0.25 = fail beyond +25% ns/op)")
+	flag.Parse()
+	if *baseline == "" {
+		fmt.Fprintln(os.Stderr, "benchguard: -baseline is required")
+		os.Exit(2)
+	}
+
+	base, err := readRecord(*baseline)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: baseline: %v\n", err)
+		os.Exit(2)
+	}
+	cand, err := readRecord(*candidate)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: candidate: %v\n", err)
+		os.Exit(2)
+	}
+
+	guard := map[string]bool{}
+	for _, n := range strings.Split(*benches, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			guard[n] = true
+		}
+	}
+
+	deltas, missing := compare(base, cand, guard, *maxRegress)
+	failed := len(missing) > 0
+	for _, d := range deltas {
+		mark := " "
+		switch {
+		case d.breached:
+			mark, failed = "F", true
+		case d.guarded:
+			mark = "*"
+		}
+		fmt.Printf("%s %-22s %12.0f -> %12.0f ns/op  %+6.1f%%\n",
+			mark, d.key, d.baseNs, d.candNs, d.ratio*100)
+	}
+	for _, name := range missing {
+		fmt.Printf("F %-22s missing from baseline or candidate record\n", name)
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchguard: FAIL — regression beyond +%.0f%% (or guarded benchmark missing)\n",
+			*maxRegress*100)
+		os.Exit(1)
+	}
+	fmt.Printf("benchguard: OK — %d benchmarks within +%.0f%% of %s\n",
+		len(deltas), *maxRegress*100, *baseline)
+}

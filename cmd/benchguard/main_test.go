@@ -1,0 +1,70 @@
+package main
+
+import "testing"
+
+func rec(bs ...Benchmark) Record { return Record{Benchmarks: bs} }
+
+func TestCompareGuardedRegressionBreaches(t *testing.T) {
+	base := rec(
+		Benchmark{Name: "GASearch", NsPerOp: 1000},
+		Benchmark{Name: "GASearch", Procs: 4, NsPerOp: 400},
+		Benchmark{Name: "CostModel", NsPerOp: 40},
+	)
+	cand := rec(
+		Benchmark{Name: "GASearch", NsPerOp: 1100},           // +10%: fine
+		Benchmark{Name: "GASearch", Procs: 4, NsPerOp: 600},  // +50%: breach
+		Benchmark{Name: "CostModel", NsPerOp: 100},           // +150% but unguarded
+	)
+	guard := map[string]bool{"GASearch": true}
+	deltas, missing := compare(base, cand, guard, 0.25)
+	if len(missing) != 0 {
+		t.Fatalf("missing = %v, want none", missing)
+	}
+	if len(deltas) != 3 {
+		t.Fatalf("deltas = %d, want 3", len(deltas))
+	}
+	byKey := map[string]delta{}
+	for _, d := range deltas {
+		byKey[d.key.String()] = d
+	}
+	if byKey["GASearch"].breached {
+		t.Error("GASearch +10% flagged as breach at 25% threshold")
+	}
+	if !byKey["GASearch-4"].breached {
+		t.Error("GASearch-4 +50% not flagged as breach")
+	}
+	if byKey["CostModel"].breached || byKey["CostModel"].guarded {
+		t.Error("unguarded CostModel must never breach")
+	}
+}
+
+func TestCompareMissingGuardedBench(t *testing.T) {
+	base := rec(Benchmark{Name: "GASearch", NsPerOp: 1000})
+	cand := rec(Benchmark{Name: "GASearch", NsPerOp: 1000})
+	_, missing := compare(base, cand, map[string]bool{"GASearch": true, "AccelSearch": true}, 0.25)
+	if len(missing) != 1 || missing[0] != "AccelSearch" {
+		t.Fatalf("missing = %v, want [AccelSearch]", missing)
+	}
+}
+
+func TestCompareProcsMatchIsExact(t *testing.T) {
+	// A -cpu 4 candidate line must not match a single-proc baseline.
+	base := rec(Benchmark{Name: "AccelSearch", NsPerOp: 1000})
+	cand := rec(Benchmark{Name: "AccelSearch", Procs: 4, NsPerOp: 5000})
+	deltas, missing := compare(base, cand, map[string]bool{"AccelSearch": true}, 0.25)
+	if len(deltas) != 0 {
+		t.Fatalf("deltas = %v, want no cross-procs match", deltas)
+	}
+	if len(missing) != 1 {
+		t.Fatalf("missing = %v, want AccelSearch reported missing", missing)
+	}
+}
+
+func TestCompareEmptyGuardGuardsEverything(t *testing.T) {
+	base := rec(Benchmark{Name: "CostModel", NsPerOp: 40})
+	cand := rec(Benchmark{Name: "CostModel", NsPerOp: 100})
+	deltas, _ := compare(base, cand, nil, 0.25)
+	if len(deltas) != 1 || !deltas[0].breached {
+		t.Fatalf("deltas = %+v, want the single entry breached", deltas)
+	}
+}

@@ -13,6 +13,8 @@
 //	curl -s localhost:8080/v1/designs/j-000001         # status / result
 //	curl -s localhost:8080/v1/designs/j-000001/trace \
 //	     -o trace.json                                 # open in ui.perfetto.dev
+//	curl -s localhost:8080/v1/designs/j-000001/timeline # end-to-end phase timeline
+//	curl -s localhost:8080/v1/fleet                    # aggregated cluster view
 //	curl -s 'localhost:8080/v1/designs/j-000001/waveform?format=csv' \
 //	     -o wave.csv                                   # flight recording (verify jobs)
 //	open http://localhost:8080/debug/dashboard         # live flight deck
@@ -75,6 +77,8 @@ func main() {
 		clusterTO    = flag.Duration("cluster-timeout", 0, "per-peer-call timeout in cluster mode (0 = 2s)")
 		quota        = flag.Float64("quota", 0, "per-client sustained submissions/sec, keyed on the X-API-Key header (0 = unlimited); over-quota submissions get 429 + Retry-After")
 		quotaBurst   = flag.Int("quota-burst", 0, "per-client burst allowance in submissions (0 = 2x -quota, minimum 1)")
+		sloLatency   = flag.Duration("slo-latency", 0, "job-latency SLO target; jobs finishing within it count as good (0 = 30s)")
+		sloObjective = flag.Float64("slo-objective", 0, "target good-fraction of jobs for the SLO burn-rate gauges (0 = 0.99)")
 	)
 	queueDepth := flag.Int("max-queue", 64, "maximum queued jobs before submissions are shed with 429 + Retry-After")
 	flag.IntVar(queueDepth, "queue", 64, "alias for -max-queue (kept for compatibility)")
@@ -120,6 +124,8 @@ func main() {
 		ClusterTimeout: *clusterTO,
 		QuotaRPS:       *quota,
 		QuotaBurst:     *quotaBurst,
+		SLOLatency:     *sloLatency,
+		SLOObjective:   *sloObjective,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "chrysalisd: %v\n", err)

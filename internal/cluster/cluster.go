@@ -39,6 +39,16 @@ type Options struct {
 	BackoffMax     time.Duration
 	// Client is the HTTP client to use (nil builds one from Timeout).
 	Client *http.Client
+	// OnHop, when non-nil, observes the wall-clock duration of every
+	// completed HTTP exchange with a peer (any status; transport
+	// failures are not hops). Serving layers hang per-peer latency
+	// histograms off it. Must be fast and safe for concurrent use.
+	OnHop func(peer string, seconds float64)
+	// OnBreaker, when non-nil, fires on circuit-breaker state
+	// transitions: open=true when a peer's breaker trips closed→open,
+	// open=false when a call succeeds against a previously-open breaker.
+	// Repeated failures while already open do not re-fire.
+	OnBreaker func(peer string, open bool)
 	// now is injectable for breaker tests.
 	now func() time.Time
 }
@@ -189,25 +199,66 @@ func (c *Client) CountFallback() { c.fallbacks.Add(1) }
 func (c *Client) fail(peer string) {
 	c.peerErrors.Add(1)
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	b := c.breakers[peer]
 	if b == nil {
 		b = &breaker{}
 		c.breakers[peer] = b
 	}
+	wasOpen := c.now().Before(b.openTill)
 	b.failures++
 	backoff := c.opts.FailureBackoff << (b.failures - 1)
 	if backoff > c.opts.BackoffMax || backoff <= 0 {
 		backoff = c.opts.BackoffMax
 	}
 	b.openTill = c.now().Add(backoff)
+	c.mu.Unlock()
+	if !wasOpen && c.opts.OnBreaker != nil {
+		c.opts.OnBreaker(peer, true)
+	}
 }
 
 // ok closes a peer's breaker after a successful call.
 func (c *Client) ok(peer string) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	b := c.breakers[peer]
+	wasOpen := b != nil && c.now().Before(b.openTill)
 	delete(c.breakers, peer)
+	c.mu.Unlock()
+	if wasOpen && c.opts.OnBreaker != nil {
+		c.opts.OnBreaker(peer, false)
+	}
+}
+
+// PeerState is one remote peer's availability as this node sees it.
+type PeerState struct {
+	// Peer is the peer's base URL.
+	Peer string `json:"peer"`
+	// Open reports an open circuit breaker (the peer's keys currently
+	// run locally).
+	Open bool `json:"open"`
+	// Failures counts the consecutive failures behind the current
+	// backoff (0 when the breaker is closed).
+	Failures int `json:"failures"`
+}
+
+// PeerStates snapshots every remote peer's breaker, in ring-node order.
+func (c *Client) PeerStates() []PeerState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.now()
+	var out []PeerState
+	for _, n := range c.ring.Nodes() {
+		if n == c.opts.Self {
+			continue
+		}
+		ps := PeerState{Peer: n}
+		if b, ok := c.breakers[n]; ok {
+			ps.Open = now.Before(b.openTill)
+			ps.Failures = b.failures
+		}
+		out = append(out, ps)
+	}
+	return out
 }
 
 // errPeer wraps any transport or HTTP-status failure talking to a peer.
@@ -313,13 +364,37 @@ func (c *Client) Delegate(ctx context.Context, owner string, req []byte) ([]byte
 	return body, nil
 }
 
+// Get runs one GET against a peer and returns (body, status). Transport
+// errors count against the peer's breaker exactly as delegation calls
+// do; HTTP statuses are the caller's to interpret. Used for best-effort
+// sidecar fetches (remote job timelines, metric snapshots) that ride
+// the same breaker and hop accounting as the main delegation path.
+func (c *Client) Get(ctx context.Context, peer, path string) ([]byte, int, error) {
+	return c.do(ctx, peer, http.MethodGet, path, nil)
+}
+
 // CountRemoteHit / CountRemoteMiss record delegation outcomes.
 func (c *Client) CountRemoteHit()  { c.remoteHits.Add(1) }
 func (c *Client) CountRemoteMiss() { c.remoteMisses.Add(1) }
 
+// traceparentKey carries a W3C traceparent header value through a
+// context into every peer call made under it.
+type traceparentKey struct{}
+
+// WithTraceparent returns a context whose peer calls carry the given
+// traceparent header, so a delegated request keeps one distributed
+// trace identity across the hop. Empty values are ignored.
+func WithTraceparent(ctx context.Context, traceparent string) context.Context {
+	if traceparent == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, traceparentKey{}, traceparent)
+}
+
 // do runs one bounded HTTP call against a peer. Transport errors open
 // the peer's breaker; HTTP statuses are returned for the caller to
-// interpret (only the caller knows which are failures).
+// interpret (only the caller knows which are failures). Completed
+// exchanges (any status) report their latency through OnHop.
 func (c *Client) do(ctx context.Context, peer, method, path string, body []byte) ([]byte, int, error) {
 	callCtx, cancel := context.WithTimeout(ctx, c.opts.Timeout)
 	defer cancel()
@@ -334,6 +409,10 @@ func (c *Client) do(ctx context.Context, peer, method, path string, body []byte)
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	if tp, ok := ctx.Value(traceparentKey{}).(string); ok {
+		req.Header.Set("traceparent", tp)
+	}
+	start := c.now()
 	resp, err := c.http.Do(req)
 	if err != nil {
 		if ctx.Err() != nil {
@@ -349,6 +428,9 @@ func (c *Client) do(ctx context.Context, peer, method, path string, body []byte)
 	if err != nil {
 		c.fail(peer)
 		return nil, 0, &errPeer{peer: peer, err: err}
+	}
+	if c.opts.OnHop != nil {
+		c.opts.OnHop(peer, c.now().Sub(start).Seconds())
 	}
 	return data, resp.StatusCode, nil
 }

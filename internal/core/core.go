@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -92,6 +93,12 @@ type SearchConfig struct {
 	// ignored by serialization and caching layers. Nil (the default)
 	// disables tracing at zero cost.
 	Trace *obs.Trace `json:"-"`
+	// Labels, when non-nil, carries runtime/pprof labels
+	// (pprof.WithLabels) that evaluation worker goroutines adopt, so CPU
+	// profiles attribute search work to the owning job. Observational
+	// only: like Trace it is excluded from identity, serialization and
+	// caching.
+	Labels context.Context `json:"-"`
 }
 
 func (s SearchConfig) withDefaults() SearchConfig {
@@ -222,6 +229,7 @@ func gaConfig(s SearchConfig) (search.GAConfig, error) {
 		cfg.Progress = s.Progress
 		cfg.Stop = s.Stop
 		cfg.Trace = s.Trace
+		cfg.Labels = s.Labels
 		cfg.Workers = s.Workers
 		return cfg, nil
 	default:
@@ -232,6 +240,7 @@ func gaConfig(s SearchConfig) (search.GAConfig, error) {
 	cfg.Progress = s.Progress
 	cfg.Stop = s.Stop
 	cfg.Trace = s.Trace
+	cfg.Labels = s.Labels
 	cfg.Workers = s.Workers
 	return cfg, nil
 }

@@ -1,0 +1,137 @@
+package obs
+
+// Distributed trace identity. A TraceContext names one request across
+// process boundaries: a 128-bit trace ID shared by every span the
+// request touches anywhere in the fleet, plus a 64-bit span ID naming
+// the caller's own span. It serializes as a W3C Trace Context
+// `traceparent` header (https://www.w3.org/TR/trace-context/):
+//
+//	00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01
+//	^^ ^^^^^^^^^^^^ trace-id ^^^^^^^^^^ ^^ span-id ^^^^^^ ^^ flags
+//
+// so chrysalisd nodes (and any W3C-conformant proxy between them) can
+// thread one identity through HTTP hops, and the spans recorded on
+// different nodes stitch back into a single Perfetto trace.
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Traceparent field sizes (hex characters).
+const (
+	traceIDHexLen = 32 // 128-bit trace ID
+	spanIDHexLen  = 16 // 64-bit span ID
+)
+
+// TraceContext is one request's distributed identity: the trace it
+// belongs to and the span that carried it here. The zero value is
+// invalid (no identity).
+type TraceContext struct {
+	// TraceID is 32 lowercase hex characters, shared by every span of
+	// the request across all nodes.
+	TraceID string
+	// SpanID is 16 lowercase hex characters naming the sender's span —
+	// the parent of whatever span the receiver opens.
+	SpanID string
+	// Sampled mirrors the traceparent sampled flag. Chrysalis records
+	// unconditionally (the ring is bounded), but the flag round-trips so
+	// upstream samplers keep their decision.
+	Sampled bool
+}
+
+// idSeq de-duplicates IDs generated within the same crypto/rand
+// failure window (entropy exhaustion is vanishingly rare, but an ID
+// generator must never silently collide).
+var idSeq atomic.Uint64
+
+// randomHex returns n/2 random bytes as n lowercase hex characters,
+// falling back to a time+sequence stamp if the system entropy source
+// fails.
+func randomHex(n int) string {
+	b := make([]byte, n/2)
+	if _, err := rand.Read(b); err != nil {
+		seq := idSeq.Add(1)
+		now := uint64(time.Now().UnixNano())
+		for i := range b {
+			b[i] = byte(now>>(8*(i%8))) ^ byte(seq>>(8*(i%4)))
+		}
+	}
+	return hex.EncodeToString(b)
+}
+
+// NewTraceContext mints a fresh sampled context: a new trace ID and a
+// new root span ID.
+func NewTraceContext() TraceContext {
+	return TraceContext{TraceID: randomHex(traceIDHexLen), SpanID: randomHex(spanIDHexLen), Sampled: true}
+}
+
+// Child returns a context in the same trace with a fresh span ID — the
+// identity a new unit of work (a job, a delegated evaluation) should
+// record its spans under.
+func (tc TraceContext) Child() TraceContext {
+	return TraceContext{TraceID: tc.TraceID, SpanID: randomHex(spanIDHexLen), Sampled: tc.Sampled}
+}
+
+// Valid reports whether the context carries a usable identity: exact
+// field widths, hex-only, and not all-zero (the W3C spec reserves
+// all-zero IDs as invalid).
+func (tc TraceContext) Valid() bool {
+	return validHexID(tc.TraceID, traceIDHexLen) && validHexID(tc.SpanID, spanIDHexLen)
+}
+
+func validHexID(s string, n int) bool {
+	if len(s) != n {
+		return false
+	}
+	zero := true
+	for i := 0; i < n; i++ {
+		c := s[i]
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+			return false
+		}
+		if c != '0' {
+			zero = false
+		}
+	}
+	return !zero
+}
+
+// Traceparent renders the context as a version-00 W3C traceparent
+// header value. Invalid contexts render as "".
+func (tc TraceContext) Traceparent() string {
+	if !tc.Valid() {
+		return ""
+	}
+	flags := "00"
+	if tc.Sampled {
+		flags = "01"
+	}
+	return "00-" + tc.TraceID + "-" + tc.SpanID + "-" + flags
+}
+
+// ParseTraceparent parses a traceparent header value. It accepts any
+// version (per spec, unknown versions parse as version 00 plus ignored
+// extra fields) and reports ok=false for malformed or all-zero IDs.
+func ParseTraceparent(s string) (TraceContext, bool) {
+	parts := strings.Split(strings.TrimSpace(s), "-")
+	if len(parts) < 4 {
+		return TraceContext{}, false
+	}
+	version, traceID, spanID, flags := parts[0], parts[1], parts[2], parts[3]
+	if len(version) != 2 || version == "ff" {
+		return TraceContext{}, false
+	}
+	if version == "00" && len(parts) != 4 {
+		return TraceContext{}, false
+	}
+	tc := TraceContext{TraceID: strings.ToLower(traceID), SpanID: strings.ToLower(spanID)}
+	if !tc.Valid() || len(flags) != 2 {
+		return TraceContext{}, false
+	}
+	tc.Sampled = flags[len(flags)-1]&1 == 1
+	return tc, true
+}

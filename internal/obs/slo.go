@@ -1,0 +1,208 @@
+package obs
+
+// Latency SLO tracking with multi-window burn rates, in the style of
+// the SRE workbook: the service commits to an objective ("99% of jobs
+// finish under T seconds"), every completed request is classified good
+// or breaching, and the burn rate over each window is
+//
+//	burn = error_rate / error_budget = (breaches/total) / (1-objective)
+//
+// A burn rate of 1 consumes the budget exactly as fast as the SLO
+// allows; sustained burn > 1 on the long window plus a spiking short
+// window is the canonical page condition. Windows are maintained as a
+// ring of fixed-width buckets, so memory is O(longest window / bucket)
+// and Observe is O(1).
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// sloBucketSeconds is the burn-rate bucket granularity. Windows round
+// up to whole buckets.
+const sloBucketSeconds = 10
+
+// WindowBurn is one window's current burn rate.
+type WindowBurn struct {
+	// Window is the duration label, e.g. "5m".
+	Window string `json:"window"`
+	// Rate is the burn rate: error rate over the window divided by the
+	// error budget (1 - objective). 0 with no traffic.
+	Rate float64 `json:"rate"`
+	// Good and Total are the window's raw event counts.
+	Good  int64 `json:"good"`
+	Total int64 `json:"total"`
+}
+
+type sloBucket struct {
+	start int64 // unix seconds, aligned to sloBucketSeconds
+	good  int64
+	total int64
+}
+
+// SLO classifies observed latencies against a target and maintains
+// burn rates over several sliding windows. Safe for concurrent use.
+type SLO struct {
+	target    float64 // seconds
+	objective float64 // fraction of events that must be good, e.g. 0.99
+	windows   []time.Duration
+	now       func() time.Time
+
+	mu        sync.Mutex
+	buckets   []sloBucket // ring, len = longest window in buckets + 1
+	head      int         // ring index of the current bucket
+	good, tot int64       // lifetime counts
+}
+
+// NewSLO builds a latency SLO: latencies <= targetSeconds are good,
+// and the service aims to keep the good fraction >= objective
+// (clamped into (0,1)). Windows default to 5m and 1h when empty.
+func NewSLO(targetSeconds, objective float64, windows ...time.Duration) *SLO {
+	if objective <= 0 || objective >= 1 {
+		objective = 0.99
+	}
+	if len(windows) == 0 {
+		windows = []time.Duration{5 * time.Minute, time.Hour}
+	}
+	longest := windows[0]
+	for _, w := range windows {
+		if w > longest {
+			longest = w
+		}
+	}
+	n := int(longest/(sloBucketSeconds*time.Second)) + 2
+	return &SLO{
+		target:    targetSeconds,
+		objective: objective,
+		windows:   windows,
+		now:       time.Now,
+		buckets:   make([]sloBucket, n),
+	}
+}
+
+// Target returns the latency objective in seconds.
+func (s *SLO) Target() float64 { return s.target }
+
+// Objective returns the good-event fraction the SLO commits to.
+func (s *SLO) Objective() float64 { return s.objective }
+
+// advanceLocked rotates the ring so the head bucket covers now.
+func (s *SLO) advanceLocked(now time.Time) {
+	start := now.Unix() - now.Unix()%sloBucketSeconds
+	if s.buckets[s.head].start == start {
+		return
+	}
+	// Step forward bucket by bucket so intermediate idle buckets zero
+	// out; a long idle gap just wraps the whole ring once.
+	steps := (start - s.buckets[s.head].start) / sloBucketSeconds
+	if s.buckets[s.head].start == 0 || steps <= 0 || steps > int64(len(s.buckets)) {
+		for i := range s.buckets {
+			s.buckets[i] = sloBucket{}
+		}
+		s.head = 0
+		s.buckets[0].start = start
+		return
+	}
+	for i := int64(0); i < steps; i++ {
+		s.head = (s.head + 1) % len(s.buckets)
+		s.buckets[s.head] = sloBucket{start: s.buckets[(s.head+len(s.buckets)-1)%len(s.buckets)].start + sloBucketSeconds}
+	}
+}
+
+// Observe classifies one completed event's latency.
+func (s *SLO) Observe(latencySeconds float64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.advanceLocked(s.now())
+	b := &s.buckets[s.head]
+	b.total++
+	s.tot++
+	if latencySeconds <= s.target {
+		b.good++
+		s.good++
+	}
+}
+
+// Totals returns the lifetime good/total counts.
+func (s *SLO) Totals() (good, total int64) {
+	if s == nil {
+		return 0, 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.good, s.tot
+}
+
+// BurnRates samples every window's current burn rate.
+func (s *SLO) BurnRates() []WindowBurn {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.now()
+	s.advanceLocked(now)
+	out := make([]WindowBurn, 0, len(s.windows))
+	for _, w := range s.windows {
+		cutoff := now.Unix() - int64(w/time.Second)
+		var good, total int64
+		for _, b := range s.buckets {
+			if b.start != 0 && b.start+sloBucketSeconds > cutoff {
+				good += b.good
+				total += b.total
+			}
+		}
+		wb := WindowBurn{Window: shortDuration(w), Good: good, Total: total}
+		if total > 0 {
+			errRate := float64(total-good) / float64(total)
+			wb.Rate = errRate / (1 - s.objective)
+		}
+		out = append(out, wb)
+	}
+	return out
+}
+
+// Register exposes the SLO on a registry: the target and objective as
+// float gauges, lifetime good/breach counters, and one burn-rate gauge
+// per window.
+func (s *SLO) Register(reg *Registry, prefix string) {
+	reg.GaugeFloatFunc(prefix+"_slo_latency_target_seconds",
+		"Latency threshold under which a job counts toward the SLO.",
+		s.Target)
+	reg.GaugeFloatFunc(prefix+"_slo_objective",
+		"Fraction of jobs that must finish under the latency target.",
+		s.Objective)
+	reg.CounterFunc(prefix+"_slo_good_total",
+		"Jobs that finished within the SLO latency target.",
+		func() int64 { g, _ := s.Totals(); return g })
+	reg.CounterFunc(prefix+"_slo_events_total",
+		"Jobs classified against the SLO latency target.",
+		func() int64 { _, t := s.Totals(); return t })
+	reg.GaugeFloatSampleFunc(prefix+"_slo_burn_rate",
+		"Error-budget burn rate per window (1.0 = burning exactly at the objective).",
+		[]string{"window"}, func() []LabeledFloat {
+			burns := s.BurnRates()
+			out := make([]LabeledFloat, 0, len(burns))
+			for _, b := range burns {
+				out = append(out, LabeledFloat{Labels: []string{b.Window}, Value: b.Rate})
+			}
+			return out
+		})
+}
+
+// shortDuration renders 5m/1h-style labels (time.Duration.String says
+// "5m0s", which makes ugly label values).
+func shortDuration(d time.Duration) string {
+	switch {
+	case d%time.Hour == 0:
+		return fmt.Sprintf("%dh", d/time.Hour)
+	case d%time.Minute == 0:
+		return fmt.Sprintf("%dm", d/time.Minute)
+	default:
+		return d.String()
+	}
+}

@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// sloAt builds an SLO with a controllable clock starting at a fixed
+// instant (aligned so bucket math is predictable).
+func sloAt(target, objective float64, windows ...time.Duration) (*SLO, *time.Time) {
+	s := NewSLO(target, objective, windows...)
+	now := time.Unix(1_700_000_000, 0)
+	s.now = func() time.Time { return now }
+	return s, &now
+}
+
+func TestSLOBurnRates(t *testing.T) {
+	s, now := sloAt(0.5, 0.99, 5*time.Minute, time.Hour)
+
+	// 99 good + 1 breach = exactly the objective: burn rate 1.
+	for i := 0; i < 99; i++ {
+		s.Observe(0.1)
+	}
+	s.Observe(2.0)
+
+	burns := s.BurnRates()
+	if len(burns) != 2 || burns[0].Window != "5m" || burns[1].Window != "1h" {
+		t.Fatalf("windows = %+v", burns)
+	}
+	for _, b := range burns {
+		if b.Total != 100 || b.Good != 99 {
+			t.Fatalf("window %s counts = %d/%d, want 99/100", b.Window, b.Good, b.Total)
+		}
+		if b.Rate < 0.999 || b.Rate > 1.001 {
+			t.Fatalf("window %s burn = %v, want 1.0", b.Window, b.Rate)
+		}
+	}
+
+	// Advance 10 minutes: the 5m window forgets, the 1h window keeps.
+	*now = now.Add(10 * time.Minute)
+	burns = s.BurnRates()
+	if burns[0].Total != 0 || burns[0].Rate != 0 {
+		t.Fatalf("5m window should be empty after 10min: %+v", burns[0])
+	}
+	if burns[1].Total != 100 || burns[1].Rate < 0.999 {
+		t.Fatalf("1h window should still see the breach: %+v", burns[1])
+	}
+
+	// A fresh all-breach burst spikes the short window (100x burn) while
+	// the long window dilutes it.
+	for i := 0; i < 10; i++ {
+		s.Observe(5.0)
+	}
+	burns = s.BurnRates()
+	if burns[0].Rate < 99 || burns[0].Rate > 101 {
+		t.Fatalf("5m burn after all-breach burst = %v, want 100", burns[0].Rate)
+	}
+	if burns[1].Rate >= burns[0].Rate {
+		t.Fatalf("1h burn %v should be diluted below 5m burn %v", burns[1].Rate, burns[0].Rate)
+	}
+
+	if good, total := s.Totals(); good != 99 || total != 110 {
+		t.Fatalf("lifetime totals = %d/%d, want 99/110", good, total)
+	}
+}
+
+func TestSLOLongIdleGapResets(t *testing.T) {
+	s, now := sloAt(1, 0.9, time.Minute)
+	s.Observe(10) // breach
+	*now = now.Add(24 * time.Hour)
+	burns := s.BurnRates()
+	if burns[0].Total != 0 {
+		t.Fatalf("after a day idle the 1m window should be empty: %+v", burns[0])
+	}
+	if _, total := s.Totals(); total != 1 {
+		t.Fatalf("lifetime total = %d, want 1", total)
+	}
+}
+
+func TestSLONilSafe(t *testing.T) {
+	var s *SLO
+	s.Observe(1)
+	if br := s.BurnRates(); br != nil {
+		t.Fatalf("nil SLO burn rates = %v", br)
+	}
+	if g, tot := s.Totals(); g != 0 || tot != 0 {
+		t.Fatal("nil SLO totals should be zero")
+	}
+}
+
+func TestSLORegister(t *testing.T) {
+	s, _ := sloAt(0.75, 0.95)
+	s.Observe(0.1)
+	s.Observe(3.0)
+	reg := NewRegistry()
+	s.Register(reg, "chrysalisd")
+	var buf strings.Builder
+	reg.WritePrometheus(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		`chrysalisd_slo_latency_target_seconds 0.75`,
+		`chrysalisd_slo_objective 0.95`,
+		`chrysalisd_slo_good_total 1`,
+		`chrysalisd_slo_events_total 2`,
+		`chrysalisd_slo_burn_rate{window="5m"}`,
+		`chrysalisd_slo_burn_rate{window="1h"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics output missing %q\n%s", want, out)
+		}
+	}
+}

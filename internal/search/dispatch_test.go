@@ -15,7 +15,7 @@ func TestForEachIndexCoversAllIndices(t *testing.T) {
 	for _, n := range []int{0, 1, 2, 3, 7, 64, 257} {
 		for _, workers := range []int{1, 2, 4, 8, 300} {
 			var visits sync.Map
-			forEachIndex(n, workers, func(worker, i int) {
+			forEachIndex(n, workers, nil, func(worker, i int) {
 				if c, loaded := visits.LoadOrStore(i, 1); loaded {
 					visits.Store(i, c.(int)+1)
 				}
@@ -44,7 +44,7 @@ func TestForEachIndexCoversAllIndices(t *testing.T) {
 func TestForEachIndexWorkerSlots(t *testing.T) {
 	const n, workers = 100, 4
 	var maxWorker atomic.Int64
-	forEachIndex(n, workers, func(worker, i int) {
+	forEachIndex(n, workers, nil, func(worker, i int) {
 		for {
 			cur := maxWorker.Load()
 			if int64(worker) <= cur || maxWorker.CompareAndSwap(cur, int64(worker)) {
@@ -209,7 +209,7 @@ func BenchmarkBatchDispatch(b *testing.B) {
 	sink := make([]float64, n)
 	b.Run("chunked", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			forEachIndex(n, workers, func(_, i int) { sink[i] = busyEval(i) })
+			forEachIndex(n, workers, nil, func(_, i int) { sink[i] = busyEval(i) })
 		}
 	})
 	b.Run("channel", func(b *testing.B) {

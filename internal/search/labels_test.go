@@ -1,0 +1,70 @@
+package search
+
+import (
+	"bytes"
+	"context"
+	"runtime/pprof"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestWorkerGoroutineLabels asserts that evaluation workers adopt the
+// pprof labels from GAConfig.Labels, so CPU and goroutine profiles
+// attribute search work to the owning job. The objective blocks its
+// workers while the test snapshots the goroutine profile (debug=1
+// prints each goroutine's labels) and looks for the job label.
+func TestWorkerGoroutineLabels(t *testing.T) {
+	labels := pprof.WithLabels(context.Background(),
+		pprof.Labels("job", "j-labels-test", "phase", "search"))
+
+	var started atomic.Int64
+	release := make(chan struct{})
+	p := Problem{
+		Dim: 2,
+		EvalCtx: func(ec EvalContext, g []float64) float64 {
+			if started.Add(1) <= 4 {
+				<-release // hold the first batch so the profile sees the workers
+			}
+			return g[0] + g[1]
+		},
+	}
+
+	cfg := DefaultGA(11)
+	cfg.Population = 8
+	cfg.Generations = 1
+	cfg.Workers = 4
+	cfg.Labels = labels
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := RunGA(p, cfg)
+		done <- err
+	}()
+
+	// Wait until at least one worker is inside the objective.
+	deadline := time.Now().Add(5 * time.Second)
+	for started.Load() < 2 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if started.Load() < 2 {
+		close(release)
+		t.Fatal("workers never started evaluating")
+	}
+
+	var buf bytes.Buffer
+	if err := pprof.Lookup("goroutine").WriteTo(&buf, 1); err != nil {
+		close(release)
+		t.Fatalf("goroutine profile: %v", err)
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatalf("RunGA: %v", err)
+	}
+
+	prof := buf.String()
+	if !strings.Contains(prof, `"job":"j-labels-test"`) || !strings.Contains(prof, `"phase":"search"`) {
+		t.Fatalf("goroutine profile missing worker labels; profile:\n%s", prof)
+	}
+}

@@ -78,7 +78,7 @@ func RunNSGA2(p BiProblem, cfg GAConfig) ([]FrontPoint, int, error) {
 	// RunGA).
 	evalBatch := func(batch []nsgaIndividual) {
 		base := evals
-		forEachIndex(len(batch), cfg.Workers, func(worker, i int) {
+		forEachIndex(len(batch), cfg.Workers, cfg.Labels, func(worker, i int) {
 			batch[i].f1, batch[i].f2 = eval(EvalContext{Index: base + i, Worker: worker}, batch[i].genome)
 		})
 		evals += len(batch)

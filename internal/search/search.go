@@ -10,9 +10,11 @@
 package search
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime/pprof"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -132,6 +134,12 @@ type GAConfig struct {
 	// cumulative evaluation count and best objective as attributes) plus
 	// a run-level span. Nil disables tracing at zero cost.
 	Trace *obs.Trace
+	// Labels, when non-nil, is a context carrying runtime/pprof labels
+	// (built with pprof.WithLabels); every evaluation worker goroutine
+	// adopts them, so CPU profiles attribute objective work to the
+	// owning job and phase instead of anonymous search workers. Like
+	// Trace it is observational only — it never affects results.
+	Labels context.Context
 }
 
 // DefaultGA returns a reasonable configuration for the AuT design
@@ -217,7 +225,7 @@ func RunGA(p Problem, cfg GAConfig) (Result, error) {
 			// overstate the steady-state cost.
 			for i := 0; i < 2; i++ {
 				start := time.Now()
-				evaluateBatch(p, base, rest[:1], 1)
+				evaluateBatch(p, base, rest[:1], 1, cfg.Labels)
 				if d := time.Since(start); costEst < 0 || d < costEst {
 					costEst = d
 				}
@@ -229,7 +237,7 @@ func RunGA(p Problem, cfg GAConfig) (Result, error) {
 			workers = 1
 		}
 		start := time.Now()
-		evaluateBatch(p, base, rest, workers)
+		evaluateBatch(p, base, rest, workers, cfg.Labels)
 		if n := len(rest); n > 0 && cfg.SerialCostFloor > 0 {
 			per := time.Since(start) / time.Duration(n)
 			if workers > 1 {
@@ -301,9 +309,9 @@ func RunGA(p Problem, cfg GAConfig) (Result, error) {
 // workers. base is the global ordinal of batch[0] (the run's cumulative
 // evaluation count before this batch), so batch[i] evaluates as
 // EvalContext{Index: base+i} regardless of worker count.
-func evaluateBatch(p Problem, base int, batch []individual, workers int) {
+func evaluateBatch(p Problem, base int, batch []individual, workers int, labels context.Context) {
 	eval := p.evalFn()
-	forEachIndex(len(batch), workers, func(worker, i int) {
+	forEachIndex(len(batch), workers, labels, func(worker, i int) {
 		batch[i].value = eval(EvalContext{Index: base + i, Worker: worker}, batch[i].genome)
 	})
 }
@@ -327,7 +335,12 @@ func dispatchChunk(n, workers int) int {
 // synchronization to a few atomic adds per worker (see
 // BenchmarkBatchDispatch). workers <= 1 (or n < 2) degenerates to a
 // plain serial loop on the caller's goroutine with worker slot 0.
-func forEachIndex(n, workers int, fn func(worker, i int)) {
+//
+// labels, when non-nil, is a context carrying runtime/pprof labels;
+// each spawned worker adopts them so profiles attribute the work. The
+// serial path leaves the caller's goroutine labels untouched (the
+// caller already carries its own).
+func forEachIndex(n, workers int, labels context.Context, fn func(worker, i int)) {
 	if workers <= 1 || n < 2 {
 		for i := 0; i < n; i++ {
 			fn(0, i)
@@ -344,6 +357,9 @@ func forEachIndex(n, workers int, fn func(worker, i int)) {
 		wg.Add(1)
 		go func(worker int) {
 			defer wg.Done()
+			if labels != nil {
+				pprof.SetGoroutineLabels(labels)
+			}
 			for {
 				end := int(next.Add(int64(chunk)))
 				start := end - chunk
@@ -387,7 +403,7 @@ func RunRandomWorkers(p Problem, n int, seed int64, keepVisited bool, workers in
 	}
 	values := make([]float64, n)
 	eval := p.evalFn()
-	forEachIndex(n, workers, func(worker, i int) {
+	forEachIndex(n, workers, nil, func(worker, i int) {
 		values[i] = eval(EvalContext{Index: i, Worker: worker}, genomes[i])
 	})
 

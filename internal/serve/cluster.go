@@ -16,9 +16,12 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"time"
 
 	"chrysalis/internal/audit"
+	"chrysalis/internal/cluster"
 	"chrysalis/internal/core"
+	"chrysalis/internal/obs"
 )
 
 // cachePayload is the wire form of GET /internal/cache/{key}: the
@@ -59,6 +62,9 @@ func (s *Server) handleInternalSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	js.noDelegate = true
+	// The delegating node sends its job's traceparent; the owner's job
+	// becomes a child span of it, so both nodes share one trace ID.
+	js.tc = traceFromRequest(r)
 	j, reused, err := s.mgr.submit(js)
 	switch {
 	case errors.Is(err, ErrQueueFull):
@@ -89,8 +95,17 @@ func (m *manager) runRemote(ctx context.Context, j *job) bool {
 	}
 	owner, remote := m.cluster.RemoteOwner(j.js.key)
 	if !remote {
+		if owner != "" {
+			// The key has a remote owner but its breaker is open: the
+			// degradation to local compute is a trace-worthy event.
+			j.trace.Instant("cluster", "breaker-open", obs.A("peer", owner))
+		}
 		return false
 	}
+	// Every peer call under this job carries the job's trace identity,
+	// so the owner's spans join this trace instead of starting their own.
+	ctx = cluster.WithTraceparent(ctx, j.trace.Context().Traceparent())
+	hopStart := time.Now()
 	body, hit, err := m.cluster.FetchCached(ctx, owner, j.js.key)
 	if err != nil {
 		m.cluster.CountFallback()
@@ -107,6 +122,8 @@ func (m *manager) runRemote(ctx context.Context, j *job) bool {
 			return false
 		}
 		m.cluster.CountRemoteHit()
+		m.addPhase(j, "peer-hop", hopStart, time.Now(),
+			obs.A("owner", owner), obs.A("outcome", "cache-hit"))
 		m.adoptRemote(j, p.Result, p.Verify, p.Audit, true)
 		return true
 	}
@@ -145,11 +162,17 @@ func (m *manager) runRemote(ctx context.Context, j *job) bool {
 			m.cluster.CountFallback()
 			return false
 		}
+		m.addPhase(j, "peer-hop", hopStart, time.Now(),
+			obs.A("owner", owner), obs.A("outcome", "delegated"))
+		m.fetchRemoteSegment(ctx, j, owner, st.ID)
 		m.adoptRemote(j, *st.Result, st.Verify, st.Audit, false)
 		return true
 	case JobFailed:
 		// A deterministic failure (bad spec reaching the search) fails
 		// identically everywhere; re-running locally would just repeat it.
+		m.addPhase(j, "peer-hop", hopStart, time.Now(),
+			obs.A("owner", owner), obs.A("outcome", "delegated-failed"))
+		m.fetchRemoteSegment(ctx, j, owner, st.ID)
 		m.finish(j, JobFailed, fmt.Errorf("delegated to %s: %s", owner, st.Error))
 		return true
 	default:
@@ -158,6 +181,31 @@ func (m *manager) runRemote(ctx context.Context, j *job) bool {
 		m.cluster.CountFallback()
 		return false
 	}
+}
+
+// fetchRemoteSegment pulls the owner's trace segment for a delegated
+// job so the local trace export stitches both nodes' spans into one
+// timeline. Best effort: a failed fetch costs the remote spans, never
+// the job.
+func (m *manager) fetchRemoteSegment(ctx context.Context, j *job, owner, remoteID string) {
+	if remoteID == "" {
+		return
+	}
+	body, status, err := m.cluster.Get(ctx, owner, "/internal/jobs/"+remoteID+"/timeline")
+	if err != nil || status != http.StatusOK {
+		m.opts.Logger.Warn("cluster: remote trace segment fetch failed",
+			"job", j.id, "owner", owner, "remote_job", remoteID, "status", status, "error", err)
+		return
+	}
+	var it internalTimeline
+	if err := json.Unmarshal(body, &it); err != nil {
+		m.opts.Logger.Warn("cluster: bad remote trace segment",
+			"job", j.id, "owner", owner, "error", err)
+		return
+	}
+	j.mu.Lock()
+	j.remote = &remoteSegment{node: it.Node, anchorUnixMicros: it.AnchorUnixMicros, events: it.Events}
+	j.mu.Unlock()
 }
 
 // adoptRemote installs a peer-computed result and finishes the job.

@@ -73,18 +73,32 @@ type dashJob struct {
 	Cycles   int
 	Samples  int64
 	Spark    template.HTML
+	Timeline template.HTML
+}
+
+// dashPeer is one row of the fleet panel.
+type dashPeer struct {
+	Node        string
+	QueueDepth  int
+	JobsRunning int64
+	HitRatio    string
+	FastRatio   string
+	Breakers    string
+	BreakersBad bool
 }
 
 // dashData feeds the dashboard template.
 type dashData struct {
-	Version   string
-	Revision  string
-	GoVersion string
-	Platform  string
-	Now       string
-	Stats     dashStats
-	Jobs      []dashJob
-	ActiveID  string
+	Version     string
+	Revision    string
+	GoVersion   string
+	Platform    string
+	Now         string
+	Stats       dashStats
+	Jobs        []dashJob
+	ActiveID    string
+	Fleet       []dashPeer
+	Unreachable []string
 }
 
 // dashRow snapshots one job for the table, including its v_cap
@@ -176,6 +190,57 @@ func sparklineSVG(ch *sim.WaveChannel, w, h int) template.HTML {
 	return template.HTML(svg)
 }
 
+// phaseColors maps timeline phase names to their bar color; unknown
+// phases render grey.
+var phaseColors = map[string]string{
+	"admission":   "#4cc9f0",
+	"queue-wait":  "#6c8a80",
+	"peer-hop":    "#f4a261",
+	"search":      "#74c69d",
+	"sim":         "#95d5b2",
+	"wal-journal": "#e9c46a",
+}
+
+// timelineSVG renders a job's phase list as one horizontal bar: each
+// phase a colored segment proportional to its share of the job's
+// wall-clock life, with a hover tooltip naming the phase, its node and
+// its duration.
+func timelineSVG(tl Timeline, w, h int) template.HTML {
+	if len(tl.Phases) == 0 {
+		return ""
+	}
+	t0 := tl.Phases[0].StartUnixUS
+	t1 := t0
+	for _, p := range tl.Phases {
+		if end := p.StartUnixUS + p.DurUS; end > t1 {
+			t1 = end
+		}
+	}
+	if t1 <= t0 {
+		t1 = t0 + 1
+	}
+	span := float64(t1 - t0)
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg width="%d" height="%d" viewBox="0 0 %d %d" role="img" aria-label="job timeline">`, w, h, w, h)
+	for _, p := range tl.Phases {
+		x := float64(p.StartUnixUS-t0) / span * float64(w)
+		wd := float64(p.DurUS) / span * float64(w)
+		if wd < 1 {
+			wd = 1
+		}
+		color := phaseColors[p.Name]
+		if color == "" {
+			color = "#888888"
+		}
+		fmt.Fprintf(&b, `<rect x="%.1f" y="2" width="%.1f" height="%d" fill="%s"><title>%s on %s: %v</title></rect>`,
+			x, wd, h-4, color,
+			template.HTMLEscapeString(p.Name), template.HTMLEscapeString(p.Node),
+			(time.Duration(p.DurUS) * time.Microsecond).Round(time.Microsecond))
+	}
+	b.WriteString(`</svg>`)
+	return template.HTML(b.String())
+}
+
 var dashTmpl = template.Must(template.New("dashboard").Parse(`<!DOCTYPE html>
 <html lang="en"><head><meta charset="utf-8">
 <title>chrysalisd flight deck</title>
@@ -209,8 +274,21 @@ th{color:#74c69d}
 <div class="card">remote hit/miss <b>{{.Stats.RemoteHits}}/{{.Stats.RemoteMisses}}</b></div>
 <div class="card">peer errors <b>{{.Stats.PeerErrors}}</b></div>{{end}}
 </div>
+{{if .Fleet}}<h2 style="color:#95d5b2;font-size:1.1em;margin-top:1.2em">fleet</h2>
 <table>
-<tr><th>job</th><th>workload</th><th>state</th><th>latency</th><th>best</th><th>cycles</th><th>samples</th><th>audit</th><th>v_cap (min/max band)</th></tr>
+<tr><th>node</th><th>queue</th><th>running</th><th>cache hit ratio</th><th>sim fastpath</th><th>breakers</th></tr>
+{{range .Fleet}}<tr>
+<td>{{.Node}}</td>
+<td>{{.QueueDepth}}</td>
+<td>{{.JobsRunning}}</td>
+<td>{{.HitRatio}}</td>
+<td>{{.FastRatio}}</td>
+<td{{if .BreakersBad}} class="fail"{{end}}>{{.Breakers}}</td>
+</tr>{{end}}
+{{range .Unreachable}}<tr><td>{{.}}</td><td colspan="5" class="fail">unreachable</td></tr>{{end}}
+</table>{{end}}
+<table>
+<tr><th>job</th><th>workload</th><th>state</th><th>latency</th><th>best</th><th>cycles</th><th>samples</th><th>audit</th><th>timeline</th><th>v_cap (min/max band)</th></tr>
 {{range .Jobs}}<tr>
 <td>{{.ID}}{{if .Cached}} <small class="dim">cached</small>{{end}}</td>
 <td>{{.Workload}}</td>
@@ -220,10 +298,11 @@ th{color:#74c69d}
 <td>{{if .Cycles}}{{.Cycles}}{{end}}</td>
 <td>{{if .Samples}}{{.Samples}}{{end}}</td>
 <td>{{if .HasAudit}}<span class="{{if .AuditOK}}pass{{else}}fail{{end}}">{{.Audit}}</span>{{end}}</td>
+<td>{{.Timeline}}</td>
 <td>{{.Spark}}</td>
-</tr>{{else}}<tr><td colspan="9" class="dim">no jobs yet — POST /v1/designs with "verify": true to see a flight recording here</td></tr>{{end}}
+</tr>{{else}}<tr><td colspan="10" class="dim">no jobs yet — POST /v1/designs with "verify": true to see a flight recording here</td></tr>{{end}}
 </table>
-<p><small class="dim">waveform detail: GET /v1/designs/{id}/waveform (json | ?format=csv) · audit verdict rides the job status and the "audit" SSE event</small></p>
+<p><small class="dim">waveform detail: GET /v1/designs/{id}/waveform (json | ?format=csv) · job phases: GET /v1/designs/{id}/timeline · stitched trace: GET /v1/designs/{id}/trace · audit verdict rides the job status and the "audit" SSE event</small></p>
 <script>
 (function () {
 	var active = "{{.ActiveID}}";
@@ -246,7 +325,7 @@ th{color:#74c69d}
 `))
 
 // handleDashboard renders the live flight deck.
-func (s *Server) handleDashboard(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request) {
 	met := s.mgr.met
 	p50, p95, n := met.quantiles()
 	data := dashData{
@@ -281,9 +360,33 @@ func (s *Server) handleDashboard(w http.ResponseWriter, _ *http.Request) {
 		data.Stats.RemoteMisses = st.RemoteMisses
 		data.Stats.PeerErrors = st.PeerErrors
 		data.Stats.PeersUp = int64(cl.PeersUp())
+		fl := s.mgr.fleet(r)
+		for _, ns := range fl.Nodes {
+			peer := dashPeer{
+				Node:        ns.Node,
+				QueueDepth:  ns.QueueDepth,
+				JobsRunning: ns.JobsRunning,
+				HitRatio:    fmt.Sprintf("%.0f%%", ns.CacheHitRatio*100),
+				FastRatio:   fmt.Sprintf("%.0f%%", ns.SimFastRatio*100),
+				Breakers:    "all closed",
+			}
+			open := 0
+			for _, b := range ns.Breakers {
+				if b.Open {
+					open++
+				}
+			}
+			if open > 0 {
+				peer.Breakers = fmt.Sprintf("%d open", open)
+				peer.BreakersBad = true
+			}
+			data.Fleet = append(data.Fleet, peer)
+		}
+		data.Unreachable = fl.Unreachable
 	}
 	for _, j := range s.mgr.recent(dashJobs) {
 		row := j.dashRow()
+		row.Timeline = timelineSVG(s.mgr.timeline(j), sparkW, 16)
 		if data.ActiveID == "" && !row.State.terminal() {
 			data.ActiveID = row.ID
 		}

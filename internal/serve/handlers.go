@@ -5,10 +5,12 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"time"
 
 	"chrysalis/internal/core"
 	"chrysalis/internal/dnn"
 	"chrysalis/internal/explore"
+	"chrysalis/internal/obs"
 	"chrysalis/internal/units"
 )
 
@@ -41,6 +43,7 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
 // 429 with Retry-After when admission control sheds it (client over
 // quota, or the job queue is full). 503 means shutdown, nothing else.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	admStart := time.Now()
 	if adm := s.mgr.adm; adm != nil {
 		if ok, retry := adm.allow(r.Header.Get("X-API-Key")); !ok {
 			s.mgr.met.shed.With("quota").Inc()
@@ -59,6 +62,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	js.tc = traceFromRequest(r)
 	j, reused, err := s.mgr.submit(js)
 	switch {
 	case errors.Is(err, ErrQueueFull):
@@ -72,6 +76,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	case err != nil:
 		writeError(w, http.StatusInternalServerError, err)
 		return
+	}
+	if !reused {
+		// Quota check, decode, normalization and enqueue — the admission
+		// cost the client paid before the job existed.
+		s.mgr.addPhase(j, "admission", admStart, time.Now())
 	}
 	code := http.StatusAccepted
 	if reused {
@@ -142,7 +151,9 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 // trace-event JSON, loadable in Perfetto (ui.perfetto.dev) or
 // chrome://tracing: search generations, explorer score/evaluate and
 // ladder builds and, for verify jobs, the step simulator's power
-// cycles, tiles and checkpoint activity on the simulated clock.
+// cycles, tiles and checkpoint activity on the simulated clock. A
+// delegated job's export stitches the owner node's spans in as a
+// second process sharing this job's trace ID.
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.mgr.get(r.PathValue("id"))
 	if !ok {
@@ -151,7 +162,7 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%q", j.id+"-trace.json"))
-	_ = j.trace.WriteJSON(w)
+	_ = obs.WriteStitched(w, j.trace.Context(), s.mgr.stitchedProcs(j))
 }
 
 // SimulateRequest is the wire form of POST /v1/simulate: a workload

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"log/slog"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 	"time"
 
@@ -120,6 +121,12 @@ type job struct {
 	stream *stream
 	trace  *obs.Trace
 	done   chan struct{}
+
+	// timeline accumulates the job's completed phases (admission, queue
+	// wait, search, …) for the timeline endpoint; remote holds the owner
+	// node's trace segment when the job was delegated. Both under mu.
+	timeline []timelinePhase
+	remote   *remoteSegment
 }
 
 // status snapshots the job for the wire.
@@ -203,20 +210,52 @@ func newManager(opts Options) (*manager, error) {
 		baseCtx:    ctx,
 		baseCancel: cancel,
 	}
+	m.met.slo = obs.NewSLO(opts.SLOLatency.Seconds(), opts.SLOObjective)
+	m.met.slo.Register(m.met.reg, "chrysalisd_job")
 	if opts.QuotaRPS > 0 {
 		m.adm = newAdmission(opts.QuotaRPS, opts.QuotaBurst)
 	}
 	if len(opts.Peers) > 0 {
+		hops := m.met.reg.HistogramVec("chrysalisd_cluster_hop_seconds",
+			"Latency of completed peer exchanges (probes, delegations, polls), by peer.",
+			nil, "peer")
+		transitions := m.met.reg.CounterVec("chrysalisd_cluster_breaker_transitions_total",
+			"Circuit-breaker state transitions, by peer and new state.",
+			"peer", "state")
 		cl, err := cluster.New(cluster.Options{
 			Self:    opts.Self,
 			Peers:   opts.Peers,
 			Timeout: opts.ClusterTimeout,
+			OnHop: func(peer string, seconds float64) {
+				hops.With(peer).Observe(seconds)
+			},
+			OnBreaker: func(peer string, open bool) {
+				state := "closed"
+				if open {
+					state = "open"
+				}
+				transitions.With(peer, state).Inc()
+			},
 		})
 		if err != nil {
 			cancel()
 			return nil, err
 		}
 		m.cluster = cl
+		m.met.reg.GaugeSampleFunc("chrysalisd_cluster_breaker_open",
+			"Whether each remote peer's circuit breaker is currently open (1) or closed (0).",
+			[]string{"peer"}, func() []obs.LabeledValue {
+				states := cl.PeerStates()
+				out := make([]obs.LabeledValue, 0, len(states))
+				for _, ps := range states {
+					v := int64(0)
+					if ps.Open {
+						v = 1
+					}
+					out = append(out, obs.LabeledValue{Labels: []string{ps.Peer}, Value: v})
+				}
+				return out
+			})
 	}
 
 	// Recover the job table from the WAL before the queue exists and the
@@ -231,6 +270,7 @@ func newManager(opts Options) (*manager, error) {
 		m.journal = jn
 		m.nextID = next
 		recovered = recs
+		m.registerWALMetrics()
 	}
 	pending := 0
 	for _, r := range recovered {
@@ -313,6 +353,9 @@ func (m *manager) adopt(recovered []*recoveredJob) {
 			trace:   obs.NewTrace(m.opts.TraceEvents),
 			done:    make(chan struct{}),
 		}
+		// The original submission's trace identity did not survive the
+		// crash; the recovered run gets a fresh root.
+		j.trace.SetContext(obs.NewTraceContext())
 		m.jobs[j.id] = j
 		m.order = append(m.order, j.id)
 		if n := jobSeq(r.id); n > m.nextID {
@@ -416,6 +459,9 @@ func (m *manager) journalLocked(rec walRecord) {
 }
 
 // newJobLocked allocates and registers a job record; m.mu must be held.
+// The job's trace identity is assigned here, before any worker can see
+// the job: a child of the submitting request's context when it carried
+// one, a fresh root otherwise.
 func (m *manager) newJobLocked(js jobSpec) *job {
 	m.nextID++
 	j := &job{
@@ -426,6 +472,11 @@ func (m *manager) newJobLocked(js jobSpec) *job {
 		stream:  newStream(),
 		trace:   obs.NewTrace(m.opts.TraceEvents),
 		done:    make(chan struct{}),
+	}
+	if js.tc.Valid() {
+		j.trace.SetContext(js.tc.Child())
+	} else {
+		j.trace.SetContext(obs.NewTraceContext())
 	}
 	m.jobs[j.id] = j
 	m.order = append(m.order, j.id)
@@ -534,6 +585,15 @@ func (m *manager) run(j *job) {
 	defer m.met.jobsRunning.Add(-1)
 	j.stream.publish("state", map[string]string{"state": string(JobRunning)})
 
+	// Tag this worker goroutine with the job ID so CPU and goroutine
+	// profiles attribute pipeline work to the job that caused it; the
+	// search inherits the labels (plus its own phase) via the config.
+	lctx := pprof.WithLabels(ctx, pprof.Labels("job", j.id))
+	pprof.SetGoroutineLabels(lctx)
+	defer pprof.SetGoroutineLabels(ctx)
+
+	m.addPhase(j, "queue-wait", j.created, j.started)
+
 	// Cluster path: when a peer owns this design's key, probe its cache
 	// and delegate the evaluation to it. Any peer failure falls through
 	// to the local path below — degradation is never user-visible.
@@ -568,6 +628,7 @@ func (m *manager) run(j *job) {
 	j.mu.Unlock()
 
 	spec.Search.Trace = j.trace
+	spec.Search.Labels = pprof.WithLabels(lctx, pprof.Labels("phase", "search"))
 	spec.Search.Progress = func(gen, evals int, best float64) {
 		p := ProgressInfo{Gen: gen, Evals: evals, Best: best}
 		j.mu.Lock()
@@ -578,7 +639,9 @@ func (m *manager) run(j *job) {
 	spec.Search.Stop = func() bool { return ctx.Err() != nil }
 
 	m.met.evaluations.Inc()
+	searchStart := time.Now()
 	res, err := core.RunBaseline(spec, j.js.baseline)
+	m.addPhase(j, "search", searchStart, time.Now(), obs.A("workers", workers))
 	// The search is over: hand the extra slots back before the (serial)
 	// verify replay so queued jobs can fan out while this one replays.
 	if granted > 0 {
@@ -613,6 +676,8 @@ func (m *manager) run(j *job) {
 		j.mu.Lock()
 		j.rec = rec
 		j.mu.Unlock()
+		pprof.SetGoroutineLabels(pprof.WithLabels(lctx, pprof.Labels("phase", "sim")))
+		simStart := time.Now()
 		published := 0
 		dropped := 0
 		adapter := sim.TraceTo(j.trace)
@@ -632,6 +697,7 @@ func (m *manager) run(j *job) {
 			})
 		}, rec)
 		adapter.Close()
+		m.addPhase(j, "sim", simStart, time.Now())
 		if verr != nil {
 			m.finish(j, JobFailed, fmt.Errorf("verify replay: %w", verr))
 			return
@@ -680,8 +746,15 @@ func (m *manager) finish(j *job, state JobState, err error) {
 	if m.inflight[j.js.key] == j {
 		delete(m.inflight, j.js.key)
 	}
+	journalStart := time.Now()
 	m.journalLocked(rec)
+	journalEnd := time.Now()
 	m.mu.Unlock()
+	if m.journal != nil {
+		// Terminal records fsync, so the journal write is a real phase of
+		// the job's life worth seeing on its timeline.
+		m.addPhase(j, "wal-journal", journalStart, journalEnd)
+	}
 
 	switch state {
 	case JobDone:

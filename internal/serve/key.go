@@ -9,6 +9,7 @@ import (
 	"chrysalis/internal/core"
 	"chrysalis/internal/dnn"
 	"chrysalis/internal/explore"
+	"chrysalis/internal/obs"
 	"chrysalis/internal/sim"
 	"chrysalis/internal/units"
 )
@@ -75,6 +76,11 @@ type jobSpec struct {
 	// arriving over /internal/designs so a delegated job can never hop
 	// to a third node, even if peers momentarily disagree on the ring.
 	noDelegate bool
+	// tc is the submitting request's trace context; the job's own trace
+	// becomes its child so one distributed trace spans client →
+	// submission → (delegation →) evaluation. Excluded from the cache
+	// key: identity never changes results.
+	tc obs.TraceContext
 }
 
 // keyPayload is the canonical identity of a design request: every field

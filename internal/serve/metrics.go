@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"log/slog"
 	"net/http"
 	"sort"
@@ -40,6 +41,11 @@ type metrics struct {
 
 	httpRequests *obs.CounterVec
 	httpLatency  *obs.Histogram
+
+	// slo tracks the job-latency objective and its multi-window burn
+	// rates (nil until newManager wires the configured target in; every
+	// SLO method is nil-safe, so bare newMetrics() still works in tests).
+	slo *obs.SLO
 
 	// Windowed job-latency reservoir, kept alongside the histogram so
 	// the p50/p95 quantiles over recent jobs stay queryable exactly
@@ -100,6 +106,9 @@ func newMetrics() *metrics {
 	reg.CounterFunc("chrysalisd_sim_fallback_runs_total",
 		"Event-simulator runs that fell back to pure literal stepping.",
 		func() int64 { _, _, _, fb := sim.EventStats(); return fb })
+	reg.CounterFunc("obs_trace_dropped_total",
+		"Spans overwritten by full trace ring buffers, process-wide.",
+		obs.TraceDroppedTotal)
 	obs.RegisterBuildInfo(reg)
 	return m
 }
@@ -108,6 +117,7 @@ func newMetrics() *metrics {
 // the histogram and the quantile reservoir.
 func (m *metrics) observeLatency(sec float64) {
 	m.jobLatency.Observe(sec)
+	m.slo.Observe(sec)
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if len(m.lat) < latencyWindow {
@@ -162,11 +172,32 @@ func (w *statusWriter) Flush() {
 	}
 }
 
-// instrument wraps a handler with request metrics and structured
-// request logging.
+// traceCtxKey carries the request's TraceContext through the request
+// context from the middleware to the handlers.
+type traceCtxKey struct{}
+
+// traceFromRequest returns the TraceContext the middleware attached to
+// the request (invalid zero value when the handler runs unwrapped, as
+// in direct-mux tests).
+func traceFromRequest(r *http.Request) obs.TraceContext {
+	tc, _ := r.Context().Value(traceCtxKey{}).(obs.TraceContext)
+	return tc
+}
+
+// instrument wraps a handler with request metrics, structured request
+// logging and W3C trace-context propagation: an incoming traceparent
+// header joins the caller's distributed trace, any other request mints
+// a fresh identity, and either way the response echoes the header so
+// clients can correlate their submission with the job's trace export.
 func (s *Server) instrument(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		tc, ok := obs.ParseTraceparent(r.Header.Get("traceparent"))
+		if !ok {
+			tc = obs.NewTraceContext()
+		}
+		r = r.WithContext(context.WithValue(r.Context(), traceCtxKey{}, tc))
+		w.Header().Set("traceparent", tc.Traceparent())
 		sw := &statusWriter{ResponseWriter: w}
 		next.ServeHTTP(sw, r)
 		if sw.code == 0 {

@@ -74,6 +74,12 @@ type journal struct {
 	log      *wal.Log
 	logger   *slog.Logger
 	detached bool
+
+	// Recovery outcome of the open that produced this journal, frozen
+	// for the metrics page: bytes dropped from a torn tail and whether
+	// the snapshot failed its checksum.
+	recTruncated   int64
+	recSnapCorrupt bool
 }
 
 // openJournal opens (or creates) the WAL directory and replays it into
@@ -151,7 +157,50 @@ func openJournal(dir string, logger *slog.Logger) (jn *journal, jobs []*recovere
 			nextID = n
 		}
 	}
-	return &journal{log: lg, logger: logger}, out, nextID, nil
+	jn = &journal{
+		log: lg, logger: logger,
+		recTruncated:   rec.TruncatedBytes,
+		recSnapCorrupt: rec.SnapshotCorrupt,
+	}
+	return jn, out, nextID, nil
+}
+
+// registerWALMetrics exports the journal's durability counters: append
+// and fsync volume, compaction work, and the recovery outcome of the
+// last startup. The fsync histogram is fed straight from the log's sync
+// observer, so every journal fsync (terminal records, snapshots,
+// shutdown) lands in it.
+func (m *manager) registerWALMetrics() {
+	reg, jn := m.met.reg, m.journal
+	fsync := reg.Histogram("chrysalisd_wal_fsync_seconds",
+		"Latency of WAL fsync calls (terminal job records, snapshots, shutdown).", nil)
+	jn.log.SetSyncObserver(fsync.Observe)
+	reg.CounterFunc("chrysalisd_wal_appends_total",
+		"Records appended to the WAL.",
+		func() int64 { return jn.log.Stats().Appends })
+	reg.CounterFunc("chrysalisd_wal_appended_bytes_total",
+		"Bytes appended to the WAL, framing included.",
+		func() int64 { return jn.log.Stats().BytesAppended })
+	reg.CounterFunc("chrysalisd_wal_compactions_total",
+		"Snapshot compactions the WAL has performed.",
+		func() int64 { return jn.log.Stats().Compactions })
+	reg.CounterFloatFunc("chrysalisd_wal_compaction_seconds_total",
+		"Wall-clock time spent in WAL snapshot compactions.",
+		func() float64 { return float64(jn.log.Stats().CompactionNanos) / 1e9 })
+	reg.GaugeFunc("chrysalisd_wal_snapshot_bytes",
+		"Size of the most recent WAL snapshot.",
+		func() int64 { return jn.log.Stats().SnapshotBytes })
+	reg.GaugeFunc("chrysalisd_wal_recovery_truncated_bytes",
+		"Bytes dropped from a torn WAL tail at the last startup.",
+		func() int64 { return jn.recTruncated })
+	reg.GaugeFunc("chrysalisd_wal_recovery_snapshot_corrupt",
+		"Whether the last startup found a checksum-corrupt WAL snapshot (1) or not (0).",
+		func() int64 {
+			if jn.recSnapCorrupt {
+				return 1
+			}
+			return 0
+		})
 }
 
 // append writes one record. Terminal records are synced to disk — a

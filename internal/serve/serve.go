@@ -15,6 +15,12 @@
 //     of the job's pipeline spans (also mounted as /jobs/{id}/trace)
 //   - GET  /v1/designs/{id}/waveform  flight-recorder energy waveform
 //     and per-cycle ledgers as JSON (default) or CSV (?format=csv)
+//   - GET  /v1/designs/{id}/timeline  end-to-end job timeline (also
+//     mounted as /jobs/{id}/timeline): admission, queue wait, peer
+//     hop, search, sim replay and WAL journal as ordered phases —
+//     across nodes for delegated jobs
+//   - GET  /v1/fleet              aggregated cluster telemetry (every
+//     peer's queue depth, cache hit ratio, breaker states, SLO burn)
 //   - POST /v1/simulate           synchronous step-simulation
 //   - GET  /v1/workloads          workload catalog
 //   - GET  /v1/presets            deployment-scenario presets
@@ -104,6 +110,17 @@ type Options struct {
 	// shed with 429 + Retry-After. 0 disables quotas.
 	QuotaRPS   float64
 	QuotaBurst int
+
+	// SLOLatency is the job-latency service-level objective target: a
+	// job finishing within this wall-clock bound counts as good
+	// (<= 0 selects 30s). Multi-window burn rates over the objective are
+	// exported as chrysalisd_slo_burn_rate on /metrics and ride the
+	// fleet snapshot.
+	SLOLatency time.Duration
+	// SLOObjective is the target good-fraction of jobs (outside (0,1)
+	// selects 0.99). A burn rate of 1.0 means the error budget is being
+	// consumed exactly at the sustainable pace.
+	SLOObjective float64
 }
 
 func (o Options) withDefaults() Options {
@@ -124,6 +141,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Logger == nil {
 		o.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	if o.SLOLatency <= 0 {
+		o.SLOLatency = 30 * time.Second
+	}
+	if o.SLOObjective <= 0 || o.SLOObjective >= 1 {
+		o.SLOObjective = 0.99
 	}
 	return o
 }
@@ -158,7 +181,10 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/designs/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("GET /v1/designs/{id}/trace", s.handleTrace)
 	s.mux.HandleFunc("GET /v1/designs/{id}/waveform", s.handleWaveform)
+	s.mux.HandleFunc("GET /v1/designs/{id}/timeline", s.handleTimeline)
 	s.mux.HandleFunc("GET /jobs/{id}/trace", s.handleTrace)
+	s.mux.HandleFunc("GET /jobs/{id}/timeline", s.handleTimeline)
+	s.mux.HandleFunc("GET /v1/fleet", s.handleFleet)
 	s.mux.HandleFunc("GET /debug/dashboard", s.handleDashboard)
 	s.mux.HandleFunc("POST /v1/simulate", s.handleSimulate)
 	s.mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
@@ -167,6 +193,8 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /internal/cache/{key}", s.handleInternalCache)
 	s.mux.HandleFunc("POST /internal/designs", s.handleInternalSubmit)
+	s.mux.HandleFunc("GET /internal/jobs/{id}/timeline", s.handleInternalTimeline)
+	s.mux.HandleFunc("GET /internal/metrics/snapshot", s.handleMetricsSnapshot)
 	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
 	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)

@@ -1,0 +1,52 @@
+package wal
+
+// Operational statistics for the log, kept dependency-free: the wal
+// package counts, the daemon layer owns the metrics registry and maps
+// these onto /metrics families (plus a latency histogram fed through
+// SetSyncObserver).
+
+import "time"
+
+// Stats is a point-in-time snapshot of a Log's lifetime counters
+// (since Open; replayed records do not count as appends).
+type Stats struct {
+	// Appends and BytesAppended count Append calls and their framed
+	// on-disk bytes (header included).
+	Appends       int64
+	BytesAppended int64
+	// Syncs and SyncNanos count explicit Sync calls and their cumulative
+	// wall time.
+	Syncs     int64
+	SyncNanos int64
+	// Compactions and CompactionNanos count WriteSnapshot calls and
+	// their cumulative wall time (staging + fsync + rename + log reset).
+	Compactions     int64
+	CompactionNanos int64
+	// SnapshotBytes is the payload size of the most recent snapshot.
+	SnapshotBytes int64
+}
+
+// Stats returns the log's current counters.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stats
+}
+
+// SetSyncObserver installs a callback invoked with each Sync's duration
+// in seconds — the hook a latency histogram hangs off. Pass nil to
+// remove. Not safe to call concurrently with Sync.
+func (l *Log) SetSyncObserver(fn func(seconds float64)) {
+	l.mu.Lock()
+	l.syncObs = fn
+	l.mu.Unlock()
+}
+
+// observeSyncLocked accounts one timed fsync. Callers hold l.mu.
+func (l *Log) observeSyncLocked(d time.Duration) {
+	l.stats.Syncs++
+	l.stats.SyncNanos += int64(d)
+	if l.syncObs != nil {
+		l.syncObs(d.Seconds())
+	}
+}

@@ -34,6 +34,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 )
 
 const (
@@ -77,6 +78,8 @@ type Log struct {
 	f       *os.File
 	records int // appended (or replayed) since the last snapshot
 	closed  bool
+	stats   Stats
+	syncObs func(seconds float64)
 }
 
 // Open creates the directory if needed, recovers the snapshot and every
@@ -174,10 +177,13 @@ func (l *Log) Append(payload []byte) error {
 	if l.closed {
 		return errors.New("wal: closed")
 	}
-	if _, err := l.f.Write(encodeRecord(payload)); err != nil {
+	frame := encodeRecord(payload)
+	if _, err := l.f.Write(frame); err != nil {
 		return fmt.Errorf("wal: append: %w", err)
 	}
 	l.records++
+	l.stats.Appends++
+	l.stats.BytesAppended += int64(len(frame))
 	return nil
 }
 
@@ -197,7 +203,10 @@ func (l *Log) Sync() error {
 	if l.closed {
 		return nil
 	}
-	return l.f.Sync()
+	start := time.Now()
+	err := l.f.Sync()
+	l.observeSyncLocked(time.Since(start))
+	return err
 }
 
 // WriteSnapshot atomically replaces the snapshot with state and resets
@@ -213,6 +222,7 @@ func (l *Log) WriteSnapshot(state []byte) error {
 	if l.closed {
 		return errors.New("wal: closed")
 	}
+	compactStart := time.Now()
 	tmp := filepath.Join(l.dir, snapTempName)
 	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
@@ -239,6 +249,9 @@ func (l *Log) WriteSnapshot(state []byte) error {
 		return fmt.Errorf("wal: seek: %w", err)
 	}
 	l.records = 0
+	l.stats.Compactions++
+	l.stats.CompactionNanos += int64(time.Since(compactStart))
+	l.stats.SnapshotBytes = int64(len(state))
 	return nil
 }
 
