@@ -2,12 +2,12 @@
 
 GO ?= go
 
-.PHONY: all ci build vet test race race-cache race-explore bench bench-json bench-smoke bench-guard experiments examples fuzz cover clean serve-smoke cluster-smoke trace-smoke trace-cluster-smoke audit-smoke sim-diff
+.PHONY: all ci build vet test race race-cache race-explore bench bench-json bench-smoke bench-guard experiments examples fuzz cover clean serve-smoke cluster-smoke trace-smoke trace-cluster-smoke audit-smoke sim-diff converge-smoke
 
 all: build vet test
 
 # Everything the CI workflow runs.
-ci: build vet test race race-explore bench-smoke bench-guard serve-smoke cluster-smoke trace-smoke trace-cluster-smoke audit-smoke sim-diff
+ci: build vet test race race-explore bench-smoke bench-guard serve-smoke cluster-smoke trace-smoke trace-cluster-smoke audit-smoke sim-diff converge-smoke
 
 build:
 	$(GO) build ./...
@@ -46,8 +46,8 @@ bench-smoke:
 # benchmarks additionally run at -cpu 1,4 so the record captures both
 # the serial regression check and the parallel speedup; -baseline
 # computes speedup_vs_baseline ratios against the previous PR's record.
-BENCH_JSON ?= BENCH_PR7.json
-BENCH_BASELINE ?= BENCH_PR6.json
+BENCH_JSON ?= BENCH_PR9.json
+BENCH_BASELINE ?= BENCH_PR7.json
 BENCH_MICRO = CostModel|PlanWorkload|AnalyticEvaluate|StepSimulator|EventSimulator|NSGAFront
 BENCH_MULTI = GASearch|AccelSearch
 
@@ -59,15 +59,19 @@ bench-json:
 
 # Benchmark regression gate: re-run the end-to-end search benchmarks
 # (the paths the tracing/metrics hooks ride) and fail if either
-# regressed more than BENCH_GUARD_MAX vs the committed record. Micro
-# benches are too noisy for a hard gate, so only the guarded names can
-# fail the run.
+# regressed more than BENCH_GUARD_MAX vs the newest committed record
+# (benchguard auto-discovers the highest-numbered BENCH_*.json, so this
+# target needs no edit when a new PR lands its record). The candidate
+# runs -count=3 and benchguard judges the fastest of the three — shared
+# CI machines swing tens of percent minute to minute, and best-of-N is
+# the estimate least contaminated by that noise. Micro benches are too
+# noisy even for that, so only the guarded names can fail the run.
 BENCH_GUARD_MAX ?= 0.25
 BENCH_GUARD_TMP ?= /tmp/chrysalis-bench-guard.json
 bench-guard:
-	$(GO) test -run='^$$' -bench='^Benchmark($(BENCH_MULTI))$$' -benchtime=300x -benchmem -cpu 1,4 . \
+	$(GO) test -run='^$$' -bench='^Benchmark($(BENCH_MULTI))$$' -benchtime=300x -count=3 -benchmem -cpu 1,4 . \
 		| $(GO) run ./cmd/benchjson -out $(BENCH_GUARD_TMP)
-	$(GO) run ./cmd/benchguard -baseline $(BENCH_JSON) -candidate $(BENCH_GUARD_TMP) \
+	$(GO) run ./cmd/benchguard -baseline auto -candidate $(BENCH_GUARD_TMP) \
 		-bench 'GASearch,AccelSearch' -max-regress $(BENCH_GUARD_MAX)
 
 # Regenerate every paper table/figure at full budget.
@@ -126,6 +130,13 @@ trace-cluster-smoke:
 audit-smoke:
 	$(GO) run ./cmd/chrysalis -workload har -budget 100 -audit -waveform-out /tmp/chrysalis-wave.csv >/dev/null
 	$(GO) test ./internal/serve/ -run TestAuditSmoke -v
+
+# End-to-end search-observatory check: a short GA job with the plateau
+# early stop enabled must serve a monotone-best convergence series,
+# stream one "quality" SSE event per generation, and replay the series
+# from the result cache — plus the Pareto-job front-quality indicators.
+converge-smoke:
+	$(GO) test ./internal/serve/ -run 'TestConvergeSmoke|TestConvergenceParetoJob' -v
 
 cover:
 	$(GO) test -cover ./...

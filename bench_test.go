@@ -253,7 +253,7 @@ func BenchmarkNSGAFront(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = int64(i)
-		if _, _, err := explore.ParetoSearch(sc, cfg); err != nil {
+		if _, err := explore.ParetoSearch(sc, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}

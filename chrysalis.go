@@ -82,12 +82,16 @@ type Spec = core.Spec
 
 // SearchConfig sizes the HW-level optimizer. Its Progress field, when
 // set, receives a callback after every outer-GA generation (generation
-// index, cumulative evaluations, best objective value so far), and its
-// Stop field is polled between generations to end a search early —
-// the hooks behind chrysalisd's live SSE telemetry and job
-// cancellation. Its Workers field sets the candidate-evaluation
+// index, cumulative evaluations, best objective value so far), its
+// OnQuality field receives the full GenQuality telemetry record per
+// generation, and its Stop field is polled between generations to end a
+// search early — the hooks behind chrysalisd's live SSE telemetry and
+// job cancellation. Its Workers field sets the candidate-evaluation
 // concurrency (0 = all cores, negative = serial); the returned design
-// is bit-identical for any worker count.
+// is bit-identical for any worker count. Patience enables the plateau
+// early-stop policy (stop after N generations whose relative
+// improvement stays below PlateauTol); unlike Workers it changes the
+// result, so serving layers include it in cache keys.
 type SearchConfig = core.SearchConfig
 
 // Result is the ideal AuT solution (the paper's Table II outputs).

@@ -11,8 +11,15 @@
 //	benchguard -baseline BENCH_PR7.json -candidate /tmp/bench.json \
 //	    -bench GASearch,AccelSearch -max-regress 0.25
 //
+// -baseline auto discovers the newest committed record by itself: it
+// picks the BENCH_*.json in the current directory with the highest
+// trailing number (BENCH_PR9.json beats BENCH_PR7.json), so the
+// Makefile never hardcodes a PR-numbered baseline again.
+//
 // Entries are matched by (name, procs) so a -cpu 1,4 sweep guards the
-// serial and parallel widths independently. -bench restricts which
+// serial and parallel widths independently; repeated entries from a
+// -count=N run collapse to their fastest, the estimate least
+// contaminated by machine noise. -bench restricts which
 // benchmarks can fail the run (others are still reported); empty
 // guards every matched benchmark. A guarded benchmark missing from
 // either record is itself a failure — silently dropping a benchmark
@@ -25,6 +32,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -64,40 +75,94 @@ type delta struct {
 	breached bool
 }
 
-// compare matches candidate benchmarks to the baseline by (name,
-// procs) and flags guarded entries whose slowdown exceeds maxRegress.
-// guard is the set of guarded names (nil/empty = guard everything).
-// The returned missing list holds guarded names absent from either
-// record's match set.
-func compare(base, cand Record, guard map[string]bool, maxRegress float64) (deltas []delta, missing []string) {
-	ref := make(map[benchKey]float64, len(base.Benchmarks))
-	for _, b := range base.Benchmarks {
-		ref[benchKey{b.Name, b.Procs}] = b.NsPerOp
-	}
-	matched := make(map[string]bool)
-	for _, b := range cand.Benchmarks {
+// minByKey collapses a record to the minimum positive ns/op per
+// (name, procs). Records carry one entry per `go test` output line, so
+// a -count=N run yields N entries per key; the fastest one is the
+// least machine-noise-contaminated estimate and is what the guard
+// should judge.
+func minByKey(rec Record) map[benchKey]float64 {
+	out := make(map[benchKey]float64, len(rec.Benchmarks))
+	for _, b := range rec.Benchmarks {
+		if b.NsPerOp <= 0 {
+			continue
+		}
 		k := benchKey{b.Name, b.Procs}
+		if prev, ok := out[k]; !ok || b.NsPerOp < prev {
+			out[k] = b.NsPerOp
+		}
+	}
+	return out
+}
+
+// compare matches candidate benchmarks to the baseline by (name,
+// procs) — collapsing repeated entries (-count=N runs) to their
+// fastest — and flags guarded entries whose slowdown exceeds
+// maxRegress. guard is the set of guarded names (nil/empty = guard
+// everything). The returned missing list holds guarded names absent
+// from either record's match set.
+func compare(base, cand Record, guard map[string]bool, maxRegress float64) (deltas []delta, missing []string) {
+	ref := minByKey(base)
+	matched := make(map[string]bool)
+	for k, candNs := range minByKey(cand) {
 		baseNs, ok := ref[k]
-		if !ok || baseNs <= 0 || b.NsPerOp <= 0 {
+		if !ok || baseNs <= 0 {
 			continue
 		}
 		d := delta{
 			key:     k,
 			baseNs:  baseNs,
-			candNs:  b.NsPerOp,
-			ratio:   b.NsPerOp/baseNs - 1,
-			guarded: len(guard) == 0 || guard[b.Name],
+			candNs:  candNs,
+			ratio:   candNs/baseNs - 1,
+			guarded: len(guard) == 0 || guard[k.name],
 		}
 		d.breached = d.guarded && d.ratio > maxRegress
 		deltas = append(deltas, d)
-		matched[b.Name] = true
+		matched[k.name] = true
 	}
+	sort.Slice(deltas, func(i, j int) bool {
+		if deltas[i].key.name != deltas[j].key.name {
+			return deltas[i].key.name < deltas[j].key.name
+		}
+		return deltas[i].key.procs < deltas[j].key.procs
+	})
 	for name := range guard {
 		if !matched[name] {
 			missing = append(missing, name)
 		}
 	}
+	sort.Strings(missing)
 	return deltas, missing
+}
+
+// baselinePattern matches committed bench records; the captured digits
+// order them (BENCH_PR10.json > BENCH_PR9.json, numerically not
+// lexically).
+var baselinePattern = regexp.MustCompile(`^BENCH_[A-Za-z]*(\d+)\.json$`)
+
+// autoBaseline returns the BENCH_*.json in dir with the highest
+// trailing number. Ties cannot happen (the number is the whole key).
+func autoBaseline(dir string) (string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", err
+	}
+	best := -1
+	var path string
+	for _, e := range entries {
+		m := baselinePattern.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		n, err := strconv.Atoi(m[1])
+		if err != nil || n <= best {
+			continue
+		}
+		best, path = n, filepath.Join(dir, e.Name())
+	}
+	if best < 0 {
+		return "", fmt.Errorf("no BENCH_*.json records in %s", dir)
+	}
+	return path, nil
 }
 
 func readRecord(path string) (Record, error) {
@@ -123,7 +188,9 @@ func readRecord(path string) (Record, error) {
 }
 
 func main() {
-	baseline := flag.String("baseline", "", "committed baseline record (benchjson output)")
+	baseline := flag.String("baseline", "auto",
+		"committed baseline record (benchjson output), or auto = newest BENCH_*.json in -dir")
+	dir := flag.String("dir", ".", "directory searched by -baseline auto")
 	candidate := flag.String("candidate", "-", "fresh record to check, or - for stdin")
 	benches := flag.String("bench", "GASearch,AccelSearch",
 		"comma-separated benchmark names that gate the run (empty = all matched)")
@@ -133,6 +200,14 @@ func main() {
 	if *baseline == "" {
 		fmt.Fprintln(os.Stderr, "benchguard: -baseline is required")
 		os.Exit(2)
+	}
+	if *baseline == "auto" {
+		picked, err := autoBaseline(*dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchguard: baseline auto-discovery: %v\n", err)
+			os.Exit(2)
+		}
+		*baseline = picked
 	}
 
 	base, err := readRecord(*baseline)

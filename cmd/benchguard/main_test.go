@@ -1,6 +1,10 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 func rec(bs ...Benchmark) Record { return Record{Benchmarks: bs} }
 
@@ -11,9 +15,9 @@ func TestCompareGuardedRegressionBreaches(t *testing.T) {
 		Benchmark{Name: "CostModel", NsPerOp: 40},
 	)
 	cand := rec(
-		Benchmark{Name: "GASearch", NsPerOp: 1100},           // +10%: fine
-		Benchmark{Name: "GASearch", Procs: 4, NsPerOp: 600},  // +50%: breach
-		Benchmark{Name: "CostModel", NsPerOp: 100},           // +150% but unguarded
+		Benchmark{Name: "GASearch", NsPerOp: 1100},          // +10%: fine
+		Benchmark{Name: "GASearch", Procs: 4, NsPerOp: 600}, // +50%: breach
+		Benchmark{Name: "CostModel", NsPerOp: 100},          // +150% but unguarded
 	)
 	guard := map[string]bool{"GASearch": true}
 	deltas, missing := compare(base, cand, guard, 0.25)
@@ -66,5 +70,58 @@ func TestCompareEmptyGuardGuardsEverything(t *testing.T) {
 	deltas, _ := compare(base, cand, nil, 0.25)
 	if len(deltas) != 1 || !deltas[0].breached {
 		t.Fatalf("deltas = %+v, want the single entry breached", deltas)
+	}
+}
+
+func TestCompareCollapsesRepeatedRunsToFastest(t *testing.T) {
+	// A -count=3 candidate contributes three lines per key; the guard
+	// must judge the fastest one (a single noisy-slow rep, here +60%,
+	// must not breach when another rep is clean).
+	base := rec(
+		Benchmark{Name: "GASearch", NsPerOp: 1000},
+		Benchmark{Name: "GASearch", NsPerOp: 900}, // baseline collapses too
+	)
+	cand := rec(
+		Benchmark{Name: "GASearch", NsPerOp: 1600},
+		Benchmark{Name: "GASearch", NsPerOp: 950},
+		Benchmark{Name: "GASearch", NsPerOp: 1200},
+	)
+	deltas, missing := compare(base, cand, map[string]bool{"GASearch": true}, 0.25)
+	if len(missing) != 0 {
+		t.Fatalf("missing = %v, want none", missing)
+	}
+	if len(deltas) != 1 {
+		t.Fatalf("deltas = %d, want the three reps collapsed to one", len(deltas))
+	}
+	d := deltas[0]
+	if d.baseNs != 900 || d.candNs != 950 {
+		t.Errorf("collapsed to %v -> %v ns/op, want 900 -> 950 (min of each)", d.baseNs, d.candNs)
+	}
+	if d.breached {
+		t.Error("fastest rep +5.6% flagged as breach at 25% threshold")
+	}
+}
+
+func TestAutoBaselinePicksHighestNumber(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"BENCH_PR7.json", "BENCH_PR9.json", "BENCH_PR10.json",
+		"BENCH_notes.txt", "bench_pr99.json", "BENCH_PR3.json.bak"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("{}"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := autoBaseline(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Numeric ordering: PR10 beats PR9 and PR7 even though "BENCH_PR10"
+	// sorts before "BENCH_PR7" lexically.
+	if want := filepath.Join(dir, "BENCH_PR10.json"); got != want {
+		t.Errorf("autoBaseline = %q, want %q", got, want)
+	}
+
+	empty := t.TempDir()
+	if _, err := autoBaseline(empty); err == nil {
+		t.Error("autoBaseline on an empty directory should fail")
 	}
 }

@@ -8,6 +8,7 @@
 //	chrysalis -workload har -platform msp430 -objective 'lat*sp'
 //	chrysalis -workload resnet18 -platform accel -objective lat -max-panel 20
 //	chrysalis -workload kws -baseline wo/EA -budget 800 -json
+//	chrysalis -workload har -algorithm nsga -patience 8  # Pareto front, plateau early stop
 //	chrysalis -workload har -verify -trace-out trace.json   # open in ui.perfetto.dev
 //	chrysalis -workload har -audit -waveform-out wave.csv   # physics flight recording
 package main
@@ -37,7 +38,8 @@ func main() {
 		budget       = flag.Int("budget", 400, "approximate search-evaluation budget")
 		seed         = flag.Int64("seed", 1, "search seed")
 		searchWkrs   = flag.Int("search-workers", 0, "candidate-evaluation concurrency (0 = all cores, negative = serial); never changes results, only wall-clock time")
-		algorithm    = flag.String("algorithm", "ga", "search algorithm: ga or random")
+		algorithm    = flag.String("algorithm", "ga", "search algorithm: ga, random or nsga (multi-objective Pareto front)")
+		patience     = flag.Int("patience", 0, "stop after N generations with relative improvement below ~0.1% (0 = run the full budget); deterministic for any -search-workers")
 		verify       = flag.Bool("verify", false, "replay the winning design on the co-simulator")
 		simMode      = flag.String("sim-mode", "event", "co-simulator core for -verify/-audit replays: event (analytic fast path), step (bit-honest oracle) or differential (run both, fail on divergence)")
 		explain      = flag.Bool("explain", false, "print the Figure-4 style loop nest of each layer's mapping")
@@ -89,6 +91,7 @@ func main() {
 		fatal(err)
 	}
 	spec.Search.Workers = *searchWkrs
+	spec.Search.Patience = *patience
 	spec.SimMode, err = chrysalis.ParseSimMode(*simMode)
 	if err != nil {
 		fatal(err)
@@ -320,6 +323,16 @@ func printResult(res chrysalis.Result) {
 			e.Env+":", e.Latency, e.Energy, e.Efficiency*100)
 	}
 	fmt.Printf("  search evaluations:  %d\n", res.Evals)
+	if res.StoppedEarly {
+		fmt.Printf("  early stop:          plateau after %d generations (-patience)\n", len(res.History))
+	}
+	if len(res.Front) > 0 {
+		fmt.Println("  pareto front (latency vs panel area):")
+		for _, m := range res.Front {
+			fmt.Printf("    %-8v %v cap, latency %v  (lat*sp = %.3g cm²·s)\n",
+				m.PanelArea, m.Cap, m.Latency, m.LatSP)
+		}
+	}
 	fmt.Println("  per-layer dataflow:")
 	for _, d := range res.Dataflow {
 		fmt.Printf("    %-12s %s/%s  N_tile=%-4d ckpt=%v\n",

@@ -14,6 +14,7 @@
 //	curl -s localhost:8080/v1/designs/j-000001/trace \
 //	     -o trace.json                                 # open in ui.perfetto.dev
 //	curl -s localhost:8080/v1/designs/j-000001/timeline # end-to-end phase timeline
+//	curl -s localhost:8080/v1/designs/j-000001/convergence # per-generation search quality
 //	curl -s localhost:8080/v1/fleet                    # aggregated cluster view
 //	curl -s 'localhost:8080/v1/designs/j-000001/waveform?format=csv' \
 //	     -o wave.csv                                   # flight recording (verify jobs)

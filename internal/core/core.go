@@ -62,7 +62,9 @@ type Spec struct {
 
 // SearchConfig sizes the HW-level optimizer.
 type SearchConfig struct {
-	// Algorithm is "ga" (default) or "random".
+	// Algorithm is "ga" (default), "random", or "nsga" — the
+	// multi-objective NSGA-II search over (panel area, latency) whose
+	// Result additionally carries the Pareto front.
 	Algorithm string
 	// Budget approximates the number of candidate evaluations
 	// (0 selects ~1200, matching the paper's hardware-point counts
@@ -76,6 +78,21 @@ type SearchConfig struct {
 	// throughput knob, not part of a design's identity (serving layers
 	// exclude it from cache keys).
 	Workers int
+	// Patience, when > 0, enables the deterministic plateau early-stop
+	// policy: the search ends after Patience consecutive generations
+	// whose relative best-objective improvement (dominated-hypervolume
+	// improvement for "nsga") stays below PlateauTol. Unlike Workers it
+	// changes results, so it IS part of a design's identity — serving
+	// layers include it in cache keys. 0 disables early stopping.
+	Patience int
+	// PlateauTol is the relative-improvement threshold backing Patience;
+	// <= 0 selects search.DefaultPlateauTol (0.1%).
+	PlateauTol float64
+	// OnQuality, when non-nil, receives every generation's quality
+	// record (population statistics and, for "nsga", front-quality
+	// indicators) as the search runs. Observational only, like Progress:
+	// excluded from identity, serialization and caching.
+	OnQuality func(q search.GenQuality) `json:"-"`
 	// Progress, when non-nil, receives a callback after every outer-GA
 	// generation: the 1-based generation index, cumulative candidate
 	// evaluations and best objective value so far. It runs on the search
@@ -185,6 +202,32 @@ type Result struct {
 	Workers   int
 	Objective string
 	Baseline  string
+
+	// History is the per-generation convergence series: best objective
+	// value for scalar searches, dominated hypervolume for "nsga".
+	History []float64 `json:",omitempty"`
+	// Quality is the matching per-generation population-statistics
+	// series (sanitized for JSON: non-finite fields are zeroed, with
+	// Feasible==0 marking all-infeasible generations).
+	Quality search.QualityHistory `json:",omitempty"`
+	// StoppedEarly reports that the plateau policy (Search.Patience)
+	// ended the search before its configured generation count; the stop
+	// generation is len(History).
+	StoppedEarly bool `json:",omitempty"`
+	// Front is the Pareto front of an "nsga" run over (panel area,
+	// average latency), sorted by panel area; empty for scalar searches.
+	Front []FrontMember `json:",omitempty"`
+}
+
+// FrontMember is one member of an "nsga" result's Pareto front.
+type FrontMember struct {
+	PanelArea  units.AreaCM2
+	Cap        units.Capacitance
+	InferHW    string      `json:",omitempty"`
+	NPE        int         `json:",omitempty"`
+	CacheBytes units.Bytes `json:",omitempty"`
+	Latency    units.Seconds
+	LatSP      float64
 }
 
 // Run executes the full CHRYSALIS pipeline for a spec under the full
@@ -194,7 +237,10 @@ func Run(spec Spec) (Result, error) {
 }
 
 // RunBaseline executes the pipeline with one of Table VI's ablated
-// search spaces (or the full space).
+// search spaces (or the full space). The "nsga" algorithm always
+// searches the full co-design space (the front is a Figure-6 artifact,
+// not a Table VI ablation) and reports the Pareto front alongside the
+// minimum-lat·sp member as the headline design.
 func RunBaseline(spec Spec, b explore.Baseline) (Result, error) {
 	sc, err := spec.scenario()
 	if err != nil {
@@ -205,6 +251,9 @@ func RunBaseline(spec Spec, b explore.Baseline) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	if spec.Search.withDefaults().Algorithm == "nsga" {
+		return runPareto(sc, b, cfg)
+	}
 	out, err := explore.Explore(sc, b, cfg)
 	if err != nil {
 		return Result{}, err
@@ -212,36 +261,70 @@ func RunBaseline(spec Spec, b explore.Baseline) (Result, error) {
 	return assemble(out), nil
 }
 
+// runPareto is the multi-objective pipeline: NSGA-II over (panel,
+// latency), headline design = the front member minimizing lat·sp.
+func runPareto(sc explore.Scenario, b explore.Baseline, cfg search.GAConfig) (Result, error) {
+	po, err := explore.ParetoSearch(sc, cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	if len(po.Front) == 0 {
+		return Result{}, fmt.Errorf("core: empty Pareto front for %s/%s: %w",
+			po.Scenario.Workload.Name, po.Scenario.Platform, explore.ErrNoFeasibleDesign)
+	}
+	best := po.Front[0]
+	for _, p := range po.Front[1:] {
+		if p.LatSP < best.LatSP {
+			best = p
+		}
+	}
+	ev, err := explore.EvaluateCandidate(po.Scenario, best.Candidate)
+	if err != nil {
+		return Result{}, err
+	}
+	r := assemble(explore.Outcome{
+		Scenario: po.Scenario, Baseline: b, Best: ev, Value: ev.LatSP,
+		Evals: po.Evals, Workers: po.Workers,
+		History: po.History, Quality: po.Quality, StoppedEarly: po.StoppedEarly,
+	})
+	for _, p := range po.Front {
+		m := FrontMember{PanelArea: p.PanelArea, Cap: p.Candidate.Cap,
+			InferHW: "msp430", NPE: 1, Latency: p.Latency, LatSP: p.LatSP}
+		if ac := p.Candidate.Accel; ac != nil {
+			m.InferHW = ac.Arch.String()
+			m.NPE = ac.NPE
+			m.CacheBytes = ac.CacheBytes
+		}
+		r.Front = append(r.Front, m)
+	}
+	return r, nil
+}
+
 // gaConfig maps the search config onto GA hyperparameters.
 func gaConfig(s SearchConfig) (search.GAConfig, error) {
 	s = s.withDefaults()
+	cfg := search.DefaultGA(s.Seed)
 	switch s.Algorithm {
-	case "ga":
+	case "ga", "nsga":
 	case "random":
 		// Random sampling is modeled as a GA with no selection pressure:
 		// full mutation, no elitism.
-		cfg := search.DefaultGA(s.Seed)
 		cfg.MutRate = 1
 		cfg.MutSigma = 10
 		cfg.Elite = 0
 		cfg.TournamentK = 1
-		sizeGA(&cfg, s.Budget)
-		cfg.Progress = s.Progress
-		cfg.Stop = s.Stop
-		cfg.Trace = s.Trace
-		cfg.Labels = s.Labels
-		cfg.Workers = s.Workers
-		return cfg, nil
 	default:
-		return search.GAConfig{}, fmt.Errorf("core: unknown search algorithm %q (want ga or random)", s.Algorithm)
+		return search.GAConfig{}, fmt.Errorf("core: unknown search algorithm %q (want ga, random or nsga)", s.Algorithm)
 	}
-	cfg := search.DefaultGA(s.Seed)
 	sizeGA(&cfg, s.Budget)
 	cfg.Progress = s.Progress
 	cfg.Stop = s.Stop
 	cfg.Trace = s.Trace
 	cfg.Labels = s.Labels
 	cfg.Workers = s.Workers
+	cfg.Patience = s.Patience
+	cfg.PlateauTol = s.PlateauTol
+	cfg.OnQuality = s.OnQuality
 	return cfg, nil
 }
 
@@ -272,7 +355,11 @@ func sizeGA(cfg *search.GAConfig, budget int) {
 	}
 }
 
-// assemble converts an explorer outcome into the public result.
+// assemble converts an explorer outcome into the public result. The
+// convergence series are sanitized for the wire: Result round-trips
+// through JSON (WAL journal, HTTP responses), which rejects IEEE
+// infinities, so all-infeasible generations carry 0 with the matching
+// Quality record's Feasible==0 marking them.
 func assemble(out explore.Outcome) Result {
 	ev := out.Best
 	r := Result{
@@ -286,6 +373,10 @@ func assemble(out explore.Outcome) Result {
 		Workers:    out.Workers,
 		Objective:  out.Scenario.Objective.String(),
 		Baseline:   out.Baseline.String(),
+		History:    sanitizeSeries(out.History),
+		Quality:    out.Quality.SanitizeJSON(),
+
+		StoppedEarly: out.StoppedEarly,
 	}
 	if ac := ev.Candidate.Accel; ac != nil {
 		r.InferHW = ac.Arch.String()
@@ -313,6 +404,22 @@ func assemble(out explore.Outcome) Result {
 		})
 	}
 	return r
+}
+
+// sanitizeSeries maps non-finite history entries to 0 so the series
+// survives encoding/json.
+func sanitizeSeries(h []float64) []float64 {
+	if h == nil {
+		return nil
+	}
+	out := make([]float64, len(h))
+	for i, v := range h {
+		if math.IsInf(v, 0) || math.IsNaN(v) {
+			v = 0
+		}
+		out[i] = v
+	}
+	return out
 }
 
 // Verify re-evaluates a result with the step-based simulator under the
@@ -371,4 +478,3 @@ func candidateFromResult(spec Spec, res Result) (explore.Candidate, error) {
 	}
 	return cand, nil
 }
-

@@ -53,7 +53,8 @@ func Fig6(w io.Writer, o Options) error {
 		if cfg.Generations < 4 {
 			cfg.Generations = 4
 		}
-		nsga, _, err := explore.ParetoSearch(sc, cfg)
+		po, err := explore.ParetoSearch(sc, cfg)
+		nsga := po.Front
 		if err == nil && len(nsga) > 0 {
 			fmt.Fprintf(w, "NSGA-II front: %d points spanning %v..%v panel, %s..%s latency\n",
 				len(nsga), nsga[0].PanelArea, nsga[len(nsga)-1].PanelArea,

@@ -875,6 +875,15 @@ type Outcome struct {
 	// across the run (misses = distinct hardware fingerprints built).
 	CacheHits   int64
 	CacheMisses int64
+	// History is the outer GA's per-generation best-objective series
+	// (search.Result.History), and Quality the matching per-generation
+	// population statistics — the search observatory's raw material.
+	History []float64
+	Quality search.QualityHistory
+	// StoppedEarly reports that the plateau policy (GAConfig.Patience)
+	// ended the search before the configured generation count; the stop
+	// generation is len(History).
+	StoppedEarly bool
 }
 
 // DefaultSerialCostFloor is the per-candidate cost below which the
@@ -995,7 +1004,8 @@ func Explore(sc Scenario, b Baseline, cfg search.GAConfig) (Outcome, error) {
 	}
 	hits, misses := e.CacheStats()
 	return Outcome{Scenario: sc, Baseline: b, Best: best, Value: bt.value, Evals: res.Evals,
-		Workers: cfg.Workers, CacheHits: hits, CacheMisses: misses}, nil
+		Workers: cfg.Workers, CacheHits: hits, CacheMisses: misses,
+		History: res.History, Quality: res.Quality, StoppedEarly: res.StoppedEarly}, nil
 }
 
 // ParetoPoint pairs a candidate with its (panel, latency) coordinates.
@@ -1077,15 +1087,29 @@ func ParetoScanWorkers(sc Scenario, n int, seed int64, workers int) (points, fro
 	return all, front, nil
 }
 
+// ParetoOutcome is the result of one ParetoSearch run: the front plus
+// the same convergence telemetry Outcome carries for scalar searches
+// (History here is the per-generation dominated-hypervolume series).
+type ParetoOutcome struct {
+	Scenario     Scenario
+	Front        []ParetoPoint
+	Evals        int
+	Workers      int
+	History      []float64
+	Quality      search.QualityHistory
+	StoppedEarly bool
+}
+
 // ParetoSearch runs a true multi-objective search (NSGA-II) over the
 // hardware space for the (panel area, average latency) front — a
 // stronger generator for the paper's Figure 6 curve than the random
 // scan, at the same evaluation budget. cfg.Workers follows the
-// resolveWorkers convention; the front is bit-identical for any count.
-func ParetoSearch(sc Scenario, cfg search.GAConfig) (front []ParetoPoint, evals int, err error) {
+// resolveWorkers convention; the outcome is bit-identical for any
+// count (Workers aside).
+func ParetoSearch(sc Scenario, cfg search.GAConfig) (ParetoOutcome, error) {
 	e, err := NewEvaluator(sc)
 	if err != nil {
-		return nil, 0, err
+		return ParetoOutcome{}, err
 	}
 	sc = e.Scenario()
 	g := spec(sc, Full)
@@ -1101,18 +1125,20 @@ func ParetoSearch(sc Scenario, cfg search.GAConfig) (front []ParetoPoint, evals 
 			return float64(cand.PanelArea), float64(s.avgLatency)
 		},
 	}
-	raw, evals, err := search.RunNSGA2(problem, cfg)
+	raw, stats, err := search.RunNSGA2(problem, cfg)
 	if err != nil {
-		return nil, 0, err
+		return ParetoOutcome{}, err
 	}
+	out := ParetoOutcome{Scenario: sc, Evals: stats.Evals, Workers: cfg.Workers,
+		History: stats.History, Quality: stats.Quality, StoppedEarly: stats.StoppedEarly}
 	for _, p := range raw {
 		cand := decode(sc, g, p.Genome)
-		front = append(front, ParetoPoint{
+		out.Front = append(out.Front, ParetoPoint{
 			Candidate: cand,
 			PanelArea: units.AreaCM2(p.F1),
 			Latency:   units.Seconds(p.F2),
 			LatSP:     p.F1 * p.F2,
 		})
 	}
-	return front, evals, nil
+	return out, nil
 }

@@ -308,15 +308,22 @@ func TestForcedArchPinned(t *testing.T) {
 func TestParetoSearchNSGA(t *testing.T) {
 	sc := Scenario{Workload: dnn.SimpleConv(), Platform: MSP, Objective: LatSP}
 	cfg := smallGA(13)
-	front, evals, err := ParetoSearch(sc, cfg)
+	out, err := ParetoSearch(sc, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
+	front, evals := out.Front, out.Evals
 	if len(front) < 3 {
 		t.Fatalf("front has only %d points", len(front))
 	}
 	if evals < cfg.Population {
 		t.Fatalf("evals = %d", evals)
+	}
+	if len(out.Quality) != len(out.History) || len(out.Quality) == 0 {
+		t.Fatalf("telemetry lengths = %d/%d", len(out.Quality), len(out.History))
+	}
+	if last := out.Quality[len(out.Quality)-1]; last.Hypervolume <= 0 || last.FrontSize < 1 {
+		t.Fatalf("final quality record malformed: %+v", last)
 	}
 	// Non-dominated and sorted: bigger panels must buy lower latency.
 	for i := 1; i < len(front); i++ {

@@ -144,17 +144,67 @@ func TestParetoScanWorkersBitIdentical(t *testing.T) {
 // TestParetoSearchWorkersBitIdentical checks the NSGA-II front path.
 func TestParetoSearchWorkersBitIdentical(t *testing.T) {
 	sc := Scenario{Workload: dnn.HAR(), Platform: MSP, Objective: LatSP}
-	run := func(workers int) []ParetoPoint {
+	run := func(workers int) ParetoOutcome {
 		cfg := smallGA(5)
 		cfg.Workers = workers
-		front, _, err := ParetoSearch(sc, cfg)
+		out, err := ParetoSearch(sc, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
-		return front
+		out.Workers = 0
+		return out
 	}
 	if serial, parallel := run(1), run(8); !reflect.DeepEqual(serial, parallel) {
-		t.Error("ParetoSearch fronts differ between 1 and 8 workers")
+		t.Error("ParetoSearch outcomes differ between 1 and 8 workers")
+	}
+}
+
+// TestPatienceEarlyStopWorkersBitIdentical extends the determinism
+// contract to the plateau early-stop policy: with Patience set, a
+// serial and an 8-worker run must stop at the identical generation
+// with bit-identical Outcomes (including the Quality series the stop
+// decision is derived from), on both platform presets.
+func TestPatienceEarlyStopWorkersBitIdentical(t *testing.T) {
+	tpu := accel.TPU
+	presets := []struct {
+		name string
+		sc   Scenario
+	}{
+		{"msp430", Scenario{Workload: dnn.HAR(), Platform: MSP, Objective: LatSP}},
+		{"accel-tpu", Scenario{Workload: dnn.HAR(), Platform: Accel, Objective: LatSP, Arch: &tpu}},
+	}
+	run := func(t *testing.T, sc Scenario, workers int) Outcome {
+		t.Helper()
+		cfg := smallGA(11)
+		cfg.Generations = 40
+		cfg.Patience = 3
+		cfg.Workers = workers
+		cfg.SerialCostFloor = -1
+		out, err := Explore(sc, Full, cfg)
+		if err != nil {
+			t.Fatalf("Explore(workers=%d): %v", workers, err)
+		}
+		out.Workers = 0
+		out.CacheHits, out.CacheMisses = 0, 0
+		return out
+	}
+	for _, tc := range presets {
+		t.Run(tc.name, func(t *testing.T) {
+			serial := run(t, tc.sc, 1)
+			parallel := run(t, tc.sc, 8)
+			if !serial.StoppedEarly || len(serial.History) >= 40 {
+				t.Fatalf("patience 3 should stop a 40-generation run early, ran %d (stopped=%v)",
+					len(serial.History), serial.StoppedEarly)
+			}
+			if len(serial.History) != len(parallel.History) {
+				t.Fatalf("stop generation differs: %d serial vs %d parallel",
+					len(serial.History), len(parallel.History))
+			}
+			if !reflect.DeepEqual(serial, parallel) {
+				t.Errorf("Outcome differs between Workers=1 and Workers=8\nserial:   value=%v\nparallel: value=%v",
+					serial.Value, parallel.Value)
+			}
+		})
 	}
 }
 

@@ -58,30 +58,50 @@ type FrontPoint struct {
 	F1, F2 float64
 }
 
+// NSGAStats is the run-level telemetry of an NSGA-II run. History is
+// the per-generation dominated-hypervolume series (the bi-objective
+// analogue of Result.History), parallel to Quality.
+type NSGAStats struct {
+	Evals   int
+	History []float64
+	Quality QualityHistory
+	// StoppedEarly reports that the plateau policy (GAConfig.Patience,
+	// applied to relative hypervolume improvement) ended the run before
+	// the configured generation count.
+	StoppedEarly bool
+}
+
 // RunNSGA2 runs a compact NSGA-II: non-dominated sorting, crowding
 // distance, binary tournament on (rank, crowding), uniform crossover
 // and Gaussian mutation. It returns the final population's first
-// (non-dominated) front sorted by F1.
-func RunNSGA2(p BiProblem, cfg GAConfig) ([]FrontPoint, int, error) {
+// (non-dominated) front sorted by F1, plus per-generation telemetry.
+//
+// The hypervolume indicator uses cfg.HVRef when set; otherwise the
+// reference point freezes at 1.1× the finite objective maxima of the
+// first generation with a feasible member (deterministic: the early
+// population depends only on the seed). cfg.Stop is polled once per
+// generation; cfg.Progress and cfg.OnQuality fire per generation with
+// the scalarized (f1·f2) population best and the quality record.
+func RunNSGA2(p BiProblem, cfg GAConfig) ([]FrontPoint, NSGAStats, error) {
+	var stats NSGAStats
 	if err := p.Validate(); err != nil {
-		return nil, 0, err
+		return nil, stats, err
 	}
 	if err := cfg.Validate(); err != nil {
-		return nil, 0, err
+		return nil, stats, err
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	eval := p.evalFn()
-	evals := 0
 	// Genome generation stays sequential and seeded; only objective
 	// evaluations fan out across cfg.Workers, per batch, so the search
 	// trajectory is identical for any worker count (the same contract as
 	// RunGA).
 	evalBatch := func(batch []nsgaIndividual) {
-		base := evals
+		base := stats.Evals
 		forEachIndex(len(batch), cfg.Workers, cfg.Labels, func(worker, i int) {
 			batch[i].f1, batch[i].f2 = eval(EvalContext{Index: base + i, Worker: worker}, batch[i].genome)
 		})
-		evals += len(batch)
+		stats.Evals += len(batch)
 	}
 
 	pop := make([]nsgaIndividual, cfg.Population)
@@ -91,7 +111,15 @@ func RunNSGA2(p BiProblem, cfg GAConfig) ([]FrontPoint, int, error) {
 	evalBatch(pop)
 	rankAndCrowd(pop)
 
+	ref := cfg.HVRef
+	values := make([]float64, cfg.Population)
+	genomes := make([][]float64, cfg.Population)
+	stopper := newPlateau(cfg.Patience, cfg.PlateauTol)
+
 	for gen := 0; gen < cfg.Generations; gen++ {
+		if cfg.Stop != nil && cfg.Stop() {
+			break
+		}
 		// Offspring.
 		children := make([]nsgaIndividual, 0, cfg.Population)
 		for len(children) < cfg.Population {
@@ -112,6 +140,38 @@ func RunNSGA2(p BiProblem, cfg GAConfig) ([]FrontPoint, int, error) {
 			return union[i].crowding > union[j].crowding
 		})
 		pop = append([]nsgaIndividual(nil), union[:cfg.Population]...)
+
+		// Per-generation telemetry: scalar statistics over the f1·f2
+		// product, front-quality indicators over the selected rank-0
+		// members, plateau bookkeeping on the hypervolume series.
+		if ref == ([2]float64{}) {
+			ref = freezeHVRef(pop)
+		}
+		for i, ind := range pop {
+			values[i] = scalarObjective(ind.f1, ind.f2)
+			genomes[i] = ind.genome
+		}
+		q := scalarQuality(gen+1, stats.Evals, values, genomes)
+		front := selectedFront(pop)
+		q.FrontSize = len(front)
+		q.Spacing = Spacing(front)
+		if ref != ([2]float64{}) {
+			q.Hypervolume = Hypervolume2(front, ref[0], ref[1])
+		}
+		var stop bool
+		q.Stagnation, stop = stopper.observe(-q.Hypervolume)
+		stats.History = append(stats.History, q.Hypervolume)
+		stats.Quality = append(stats.Quality, q)
+		if cfg.Progress != nil {
+			cfg.Progress(gen+1, stats.Evals, q.Best)
+		}
+		if cfg.OnQuality != nil {
+			cfg.OnQuality(q)
+		}
+		if stop {
+			stats.StoppedEarly = true
+			break
+		}
 	}
 
 	rankAndCrowd(pop)
@@ -127,7 +187,63 @@ func RunNSGA2(p BiProblem, cfg GAConfig) ([]FrontPoint, int, error) {
 	sort.Slice(front, func(i, j int) bool { return front[i].F1 < front[j].F1 })
 	// Drop duplicates that crowd the same point.
 	front = dedupeFront(front)
-	return front, evals, nil
+	return front, stats, nil
+}
+
+// scalarObjective collapses a bi-objective sample to the domain's
+// space-time product (panel·latency); infeasible in either coordinate
+// is infeasible overall.
+func scalarObjective(f1, f2 float64) float64 {
+	if math.IsInf(f1, 1) || math.IsInf(f2, 1) || math.IsNaN(f1) || math.IsNaN(f2) {
+		return math.Inf(1)
+	}
+	return f1 * f2
+}
+
+// selectedFront extracts the finite rank-0 members of the current
+// population as a deduplicated, F1-sorted front (ranks are valid from
+// the preceding rankAndCrowd over the selection union).
+func selectedFront(pop []nsgaIndividual) []FrontPoint {
+	var front []FrontPoint
+	for _, ind := range pop {
+		if ind.rank == 0 && !math.IsInf(ind.f1, 1) && !math.IsInf(ind.f2, 1) {
+			front = append(front, FrontPoint{F1: ind.f1, F2: ind.f2})
+		}
+	}
+	sort.Slice(front, func(i, j int) bool {
+		if front[i].F1 != front[j].F1 {
+			return front[i].F1 < front[j].F1
+		}
+		return front[i].F2 < front[j].F2
+	})
+	return dedupeFront(front)
+}
+
+// freezeHVRef derives the run's fixed hypervolume reference from the
+// first population holding a feasible member: 1.1× the finite
+// objective maxima (plus a tiny absolute pad so zero-valued objectives
+// still dominate area). Returns the zero value while no member is
+// feasible.
+func freezeHVRef(pop []nsgaIndividual) [2]float64 {
+	m1, m2 := math.Inf(-1), math.Inf(-1)
+	any := false
+	for _, ind := range pop {
+		if math.IsInf(ind.f1, 1) || math.IsInf(ind.f2, 1) || math.IsNaN(ind.f1) || math.IsNaN(ind.f2) {
+			continue
+		}
+		any = true
+		if ind.f1 > m1 {
+			m1 = ind.f1
+		}
+		if ind.f2 > m2 {
+			m2 = ind.f2
+		}
+	}
+	if !any {
+		return [2]float64{}
+	}
+	pad := func(m float64) float64 { return m + 0.1*math.Abs(m) + 1e-9 }
+	return [2]float64{pad(m1), pad(m2)}
 }
 
 // rankAndCrowd assigns Pareto ranks (0 = non-dominated) and crowding

@@ -35,15 +35,26 @@ func TestNSGA2Validation(t *testing.T) {
 }
 
 func TestNSGA2FindsSchafferFront(t *testing.T) {
-	front, evals, err := RunNSGA2(BiProblem{Dim: 1, Eval: schaffer}, nsgaCfg(42))
+	front, stats, err := RunNSGA2(BiProblem{Dim: 1, Eval: schaffer}, nsgaCfg(42))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(front) < 10 {
 		t.Fatalf("front has only %d points", len(front))
 	}
-	if evals < 40*40 {
-		t.Fatalf("evals = %d", evals)
+	if stats.Evals < 40*40 {
+		t.Fatalf("evals = %d", stats.Evals)
+	}
+	if len(stats.Quality) != 40 || len(stats.History) != 40 {
+		t.Fatalf("telemetry lengths = %d/%d, want 40", len(stats.Quality), len(stats.History))
+	}
+	for i, q := range stats.Quality {
+		if q.Gen != i+1 || q.FrontSize < 1 || q.Hypervolume <= 0 {
+			t.Fatalf("generation %d quality malformed: %+v", i+1, q)
+		}
+		if q.Hypervolume != stats.History[i] {
+			t.Fatalf("history[%d] diverges from quality record", i)
+		}
 	}
 	// Front must be sorted by F1 with F2 strictly decreasing
 	// (non-dominated), and close to the analytic front.
@@ -113,10 +124,11 @@ func TestNSGA2HandlesInfeasibleRegions(t *testing.T) {
 func TestNSGA2BeatsRandomScanHypervolume(t *testing.T) {
 	// At equal evaluation budgets the NSGA-II front should dominate at
 	// least as much objective space as a random scan's front.
-	front, evals, err := RunNSGA2(BiProblem{Dim: 1, Eval: schaffer}, nsgaCfg(9))
+	front, stats, err := RunNSGA2(BiProblem{Dim: 1, Eval: schaffer}, nsgaCfg(9))
 	if err != nil {
 		t.Fatal(err)
 	}
+	evals := stats.Evals
 	// Random scan with the same budget.
 	rngPts := make([]Point2, 0, evals)
 	probe := Problem{Dim: 1, Eval: func(g []float64) float64 {
@@ -130,28 +142,13 @@ func TestNSGA2BeatsRandomScanHypervolume(t *testing.T) {
 	rndFront := ParetoFront(rngPts)
 
 	ref := 20.0 // reference point beyond both fronts
-	hvNSGA := hypervolume(front, ref)
+	hvNSGA := Hypervolume2(front, ref, ref)
 	var rnd []FrontPoint
 	for _, p := range rndFront {
 		rnd = append(rnd, FrontPoint{F1: p.X, F2: p.Y})
 	}
-	hvRnd := hypervolume(rnd, ref)
+	hvRnd := Hypervolume2(rnd, ref, ref)
 	if hvNSGA < hvRnd*0.95 {
 		t.Fatalf("NSGA-II hypervolume %.3f worse than random %.3f", hvNSGA, hvRnd)
 	}
-}
-
-// hypervolume computes the 2-D dominated hypervolume against (ref, ref)
-// for a front sorted by F1.
-func hypervolume(front []FrontPoint, ref float64) float64 {
-	var hv float64
-	prevF2 := ref
-	for _, p := range front {
-		if p.F1 >= ref || p.F2 >= ref {
-			continue
-		}
-		hv += (ref - p.F1) * (prevF2 - p.F2)
-		prevF2 = p.F2
-	}
-	return hv
 }

@@ -1,0 +1,260 @@
+package search
+
+import (
+	"math"
+	"sort"
+)
+
+// This file is the search observatory: per-generation population
+// statistics, Pareto front-quality indicators, and the plateau detector
+// behind GAConfig.Patience. Everything here is O(population·dim) per
+// generation (and O(front·log front) for the front indicators), cheap
+// enough to stay default-on next to objective evaluations that each run
+// a full energy/latency model.
+
+// GenQuality is one generation's population statistics. The scalar
+// fields describe the objective values of the post-selection population
+// (for NSGA-II runs, the f1·f2 product — the domain's lat·sp-style
+// scalarization); the front fields are filled for Pareto runs only.
+type GenQuality struct {
+	// Gen is the 1-based generation index; Evals the cumulative
+	// objective-evaluation count when the generation closed.
+	Gen   int `json:"gen"`
+	Evals int `json:"evals"`
+	// Best/Mean/Median/Spread summarize the finite objective values of
+	// the population (Spread is max−min). Feasible counts them; when it
+	// is zero the summary fields are +Inf (JSON "+Inf"-unsafe values are
+	// sanitized by sanitizeJSON before they reach a wire format).
+	Best     float64 `json:"best"`
+	Mean     float64 `json:"mean"`
+	Median   float64 `json:"median"`
+	Spread   float64 `json:"spread"`
+	Feasible int     `json:"feasible"`
+	// Diversity is the mean Euclidean distance of the population's
+	// genomes to their centroid — a collapse indicator computed in
+	// O(population·dim), not O(population²).
+	Diversity float64 `json:"diversity"`
+	// Stagnation counts the consecutive generations, up to and including
+	// this one, whose relative improvement stayed below the plateau
+	// tolerance. The run stops early once it reaches GAConfig.Patience.
+	Stagnation int `json:"stagnation"`
+	// Hypervolume, FrontSize and Spacing are the front-quality
+	// indicators of bi-objective (NSGA-II) runs: the 2-D dominated
+	// hypervolume of the rank-0 front against the run's fixed reference
+	// point, the number of distinct finite front members, and Schott's
+	// spacing metric (0 for fronts smaller than 3 points).
+	Hypervolume float64 `json:"hypervolume,omitempty"`
+	FrontSize   int     `json:"front_size,omitempty"`
+	Spacing     float64 `json:"spacing,omitempty"`
+}
+
+// QualityHistory is the per-generation quality series of one run,
+// parallel to Result.History.
+type QualityHistory []GenQuality
+
+// SanitizeJSON maps non-finite summary fields to zero so the record
+// survives encoding/json (which rejects IEEE infinities). Feasible==0
+// still tells the reader the generation had no finite member.
+func (q GenQuality) SanitizeJSON() GenQuality {
+	fin := func(v float64) float64 {
+		if math.IsInf(v, 0) || math.IsNaN(v) {
+			return 0
+		}
+		return v
+	}
+	q.Best, q.Mean, q.Median, q.Spread = fin(q.Best), fin(q.Mean), fin(q.Median), fin(q.Spread)
+	q.Diversity, q.Hypervolume, q.Spacing = fin(q.Diversity), fin(q.Hypervolume), fin(q.Spacing)
+	return q
+}
+
+// SanitizeJSON returns the history with non-finite fields zeroed, for
+// callers that serialize it (see GenQuality.SanitizeJSON).
+func (h QualityHistory) SanitizeJSON() QualityHistory {
+	if h == nil {
+		return nil
+	}
+	out := make(QualityHistory, len(h))
+	for i, q := range h {
+		out[i] = q.SanitizeJSON()
+	}
+	return out
+}
+
+// scalarQuality summarizes one generation: objective statistics over
+// values and genome diversity over genomes (both slices are population-
+// parallel). Infinite values mark infeasible members; they count toward
+// diversity (their genomes are real points) but not the objective
+// summary.
+func scalarQuality(gen, evals int, values []float64, genomes [][]float64) GenQuality {
+	q := GenQuality{Gen: gen, Evals: evals}
+	fin := make([]float64, 0, len(values))
+	for _, v := range values {
+		if !math.IsInf(v, 0) && !math.IsNaN(v) {
+			fin = append(fin, v)
+		}
+	}
+	q.Feasible = len(fin)
+	if len(fin) == 0 {
+		inf := math.Inf(1)
+		q.Best, q.Mean, q.Median, q.Spread = inf, inf, inf, 0
+	} else {
+		sort.Float64s(fin)
+		q.Best = fin[0]
+		q.Spread = fin[len(fin)-1] - fin[0]
+		sum := 0.0
+		for _, v := range fin {
+			sum += v
+		}
+		q.Mean = sum / float64(len(fin))
+		if n := len(fin); n%2 == 1 {
+			q.Median = fin[n/2]
+		} else {
+			q.Median = (fin[n/2-1] + fin[n/2]) / 2
+		}
+	}
+	q.Diversity = genomeDiversity(genomes)
+	return q
+}
+
+// genomeDiversity is the mean Euclidean distance to the genome
+// centroid: one pass for the centroid, one for the distances.
+func genomeDiversity(genomes [][]float64) float64 {
+	if len(genomes) == 0 || len(genomes[0]) == 0 {
+		return 0
+	}
+	dim := len(genomes[0])
+	centroid := make([]float64, dim)
+	for _, g := range genomes {
+		for d := 0; d < dim && d < len(g); d++ {
+			centroid[d] += g[d]
+		}
+	}
+	for d := range centroid {
+		centroid[d] /= float64(len(genomes))
+	}
+	total := 0.0
+	for _, g := range genomes {
+		ss := 0.0
+		for d := 0; d < dim && d < len(g); d++ {
+			diff := g[d] - centroid[d]
+			ss += diff * diff
+		}
+		total += math.Sqrt(ss)
+	}
+	return total / float64(len(genomes))
+}
+
+// Hypervolume2 computes the 2-D dominated hypervolume of a
+// minimization front against the reference point (refX, refY): the
+// area dominated by at least one front member inside the rectangle
+// bounded by the reference. The input need not be sorted or strictly
+// non-dominated — duplicates, dominated members and points beyond the
+// reference contribute nothing (rather than the negative slabs a naive
+// staircase sum would produce on degenerate fronts).
+func Hypervolume2(front []FrontPoint, refX, refY float64) float64 {
+	if len(front) == 0 {
+		return 0
+	}
+	pts := append([]FrontPoint(nil), front...)
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].F1 != pts[j].F1 {
+			return pts[i].F1 < pts[j].F1
+		}
+		return pts[i].F2 < pts[j].F2
+	})
+	hv := 0.0
+	prevF2 := refY
+	for _, p := range pts {
+		if p.F1 >= refX || p.F2 >= prevF2 || math.IsInf(p.F1, -1) || math.IsInf(p.F2, -1) {
+			continue // outside the reference box, or dominated by the staircase so far
+		}
+		hv += (refX - p.F1) * (prevF2 - p.F2)
+		prevF2 = p.F2
+	}
+	return hv
+}
+
+// Spacing is Schott's spacing metric over the front sorted by F1: the
+// standard deviation of consecutive Euclidean gaps. Zero means a
+// perfectly even front; fronts with fewer than 3 points return 0.
+func Spacing(front []FrontPoint) float64 {
+	if len(front) < 3 {
+		return 0
+	}
+	pts := append([]FrontPoint(nil), front...)
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].F1 != pts[j].F1 {
+			return pts[i].F1 < pts[j].F1
+		}
+		return pts[i].F2 < pts[j].F2
+	})
+	gaps := make([]float64, 0, len(pts)-1)
+	mean := 0.0
+	for i := 1; i < len(pts); i++ {
+		d := math.Hypot(pts[i].F1-pts[i-1].F1, pts[i].F2-pts[i-1].F2)
+		gaps = append(gaps, d)
+		mean += d
+	}
+	mean /= float64(len(gaps))
+	varsum := 0.0
+	for _, d := range gaps {
+		varsum += (d - mean) * (d - mean)
+	}
+	return math.Sqrt(varsum / float64(len(gaps)))
+}
+
+// DefaultPlateauTol is the relative-improvement threshold used when
+// Patience is set and PlateauTol is not: a generation improving the
+// best objective by less than 0.1% (relative) counts as stagnant.
+const DefaultPlateauTol = 1e-3
+
+// plateau tracks consecutive low-improvement generations. Scores
+// improve downward (feed -hypervolume for maximized indicators); the
+// decision depends only on the per-generation score series, which the
+// determinism contract keeps bit-identical for any worker count. The
+// reference score advances only on significant improvement, so slow
+// cumulative drift still resets the counter once it adds up past the
+// tolerance.
+type plateau struct {
+	patience int
+	tol      float64
+	ref      float64
+	seen     bool
+	count    int
+}
+
+func newPlateau(patience int, tol float64) plateau {
+	if tol <= 0 {
+		tol = DefaultPlateauTol
+	}
+	return plateau{patience: patience, tol: tol}
+}
+
+// observe feeds one generation's score and reports the updated
+// stagnation count and whether the patience budget is exhausted. With
+// patience <= 0 it still counts stagnation (for telemetry) but never
+// asks to stop.
+func (p *plateau) observe(score float64) (stagnation int, stop bool) {
+	improved := false
+	switch {
+	case !p.seen:
+		// The first observation has no predecessor; only a feasible
+		// score counts as progress.
+		improved = !math.IsInf(score, 1) && !math.IsNaN(score)
+	case math.IsInf(p.ref, 1) || math.IsNaN(p.ref):
+		improved = !math.IsInf(score, 1) && !math.IsNaN(score)
+	default:
+		denom := math.Abs(p.ref)
+		if denom < 1e-300 {
+			denom = 1e-300
+		}
+		improved = (p.ref-score)/denom > p.tol
+	}
+	p.seen = true
+	if improved {
+		p.ref, p.count = score, 0
+	} else {
+		p.count++
+	}
+	return p.count, p.patience > 0 && p.count >= p.patience
+}

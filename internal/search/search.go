@@ -78,6 +78,13 @@ type Result struct {
 	// History records the best value after each generation (GA) or
 	// sample batch (random), for convergence ablations.
 	History []float64
+	// Quality records per-generation population statistics, parallel to
+	// History (filled by RunGA; samplers leave it nil).
+	Quality QualityHistory
+	// StoppedEarly reports that the plateau policy (GAConfig.Patience)
+	// ended the run before the configured generation count; the stop
+	// generation is len(History).
+	StoppedEarly bool
 	// Visited holds every evaluated (genome, value) pair when the
 	// optimizer is asked to keep them (for Pareto analyses).
 	Visited []Sample
@@ -130,6 +137,29 @@ type GAConfig struct {
 	// ends the search early with the best individual found so far (used
 	// for context cancellation and deadlines by serving layers).
 	Stop func() bool
+	// Patience, when > 0, enables the plateau early-stop policy: the run
+	// ends after Patience consecutive generations whose relative
+	// improvement of the best objective (dominated hypervolume for
+	// NSGA-II) stayed below PlateauTol. The decision depends only on the
+	// per-generation best series, which is bit-identical for any worker
+	// count, so early stopping preserves the determinism contract:
+	// Workers=1 and Workers=N stop at the identical generation. 0
+	// disables early stopping.
+	Patience int
+	// PlateauTol is the relative-improvement threshold backing Patience;
+	// <= 0 selects DefaultPlateauTol.
+	PlateauTol float64
+	// HVRef is the fixed (f1, f2) reference point for the per-generation
+	// dominated-hypervolume indicator of NSGA-II runs. Zero (the
+	// default) freezes the reference from the first generation with a
+	// feasible member: 1.1× that generation's finite objective maxima —
+	// deterministic, since the first population depends only on the
+	// seed. Ignored by the scalar GA.
+	HVRef [2]float64
+	// OnQuality, when non-nil, receives each generation's GenQuality
+	// record right after it is computed, on the search goroutine (same
+	// rules as Progress: fast, no re-entry). Observational only.
+	OnQuality func(q GenQuality)
 	// Trace, when non-nil, records one span per generation (with the
 	// cumulative evaluation count and best objective as attributes) plus
 	// a run-level span. Nil disables tracing at zero cost.
@@ -175,6 +205,9 @@ func (c GAConfig) Validate() error {
 	}
 	if c.Elite < 0 || c.Elite >= c.Population {
 		return fmt.Errorf("search: elite count %d outside [0, population)", c.Elite)
+	}
+	if c.Patience < 0 {
+		return fmt.Errorf("search: patience must be >= 0, got %d", c.Patience)
 	}
 	return nil
 }
@@ -262,6 +295,12 @@ func RunGA(p Problem, cfg GAConfig) (Result, error) {
 	evalBatch(pop)
 	sortPop(pop)
 
+	// Quality telemetry is default-on: the per-generation statistics are
+	// O(population·dim), noise next to the objective evaluations.
+	values := make([]float64, cfg.Population)
+	genomes := make([][]float64, cfg.Population)
+	stopper := newPlateau(cfg.Patience, cfg.PlateauTol)
+
 	for gen := 0; gen < cfg.Generations; gen++ {
 		if cfg.Stop != nil && cfg.Stop() {
 			break
@@ -289,11 +328,25 @@ func RunGA(p Problem, cfg GAConfig) (Result, error) {
 		pop = append(next, fresh...)
 		sortPop(pop)
 		res.History = append(res.History, pop[0].value)
+		for i, ind := range pop {
+			values[i], genomes[i] = ind.value, ind.genome
+		}
+		q := scalarQuality(gen+1, res.Evals, values, genomes)
+		var stop bool
+		q.Stagnation, stop = stopper.observe(pop[0].value)
+		res.Quality = append(res.Quality, q)
 		if genSpan != nil {
 			genSpan.End(obs.A("evals", res.Evals), obs.A("best", pop[0].value))
 		}
 		if cfg.Progress != nil {
 			cfg.Progress(gen+1, res.Evals, pop[0].value)
+		}
+		if cfg.OnQuality != nil {
+			cfg.OnQuality(q)
+		}
+		if stop {
+			res.StoppedEarly = true
+			break
 		}
 	}
 

@@ -1,0 +1,150 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"reflect"
+	"testing"
+)
+
+// fetchConvergence GETs one job's convergence series.
+func fetchConvergence(t *testing.T, base, id string) Convergence {
+	t.Helper()
+	var c Convergence
+	if code := getJSON(t, base+"/v1/designs/"+id+"/convergence", &c); code != http.StatusOK {
+		t.Fatalf("GET convergence: status %d", code)
+	}
+	return c
+}
+
+// TestConvergeSmoke is the end-to-end check behind `make converge-smoke`:
+// submit a short GA job with Patience set, then assert the convergence
+// endpoint serves a monotone-best series parallel to the scalar history,
+// the "quality" SSE events streamed one per generation, and a cached
+// resubmission replays the identical series from the result cache.
+func TestConvergeSmoke(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1})
+	req := smallJob()
+	req.Budget = 400
+	req.Patience = 3
+
+	resp, body := postJSON(t, ts.URL+"/v1/designs", req)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", resp.StatusCode, body)
+	}
+	var st JobStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	final := pollJob(t, ts.URL, st.ID)
+	if final.State != JobDone || final.Result == nil {
+		t.Fatalf("job state %s (%s)", final.State, final.Error)
+	}
+
+	c := fetchConvergence(t, ts.URL, st.ID)
+	if c.State != JobDone || c.Algorithm != "ga" {
+		t.Fatalf("convergence header wrong: %+v", c)
+	}
+	if c.Generations == 0 || c.Generations != len(c.Series) || len(c.Series) != len(c.History) {
+		t.Fatalf("series/history mismatch: gens=%d series=%d history=%d",
+			c.Generations, len(c.Series), len(c.History))
+	}
+	for i, q := range c.Series {
+		if q.Gen != i+1 || q.Best != c.History[i] {
+			t.Fatalf("generation %d record diverges from history: %+v vs %g", i+1, q, c.History[i])
+		}
+		if q.Feasible == 0 || q.Mean < q.Best || q.Evals == 0 {
+			t.Fatalf("generation %d stats inconsistent: %+v", i+1, q)
+		}
+		// Elitism makes the best series monotone non-increasing; this is
+		// the converge-smoke acceptance assertion.
+		if i > 0 && q.Best > c.Series[i-1].Best {
+			t.Fatalf("best objective regressed at generation %d: %g -> %g",
+				i+1, c.Series[i-1].Best, q.Best)
+		}
+	}
+	if c.StoppedEarly != final.Result.StoppedEarly {
+		t.Fatalf("stopped_early %v diverges from result %v", c.StoppedEarly, final.Result.StoppedEarly)
+	}
+
+	// One "quality" SSE event per generation rides the stream replay.
+	counts := readSSE(t, ts.URL+"/v1/designs/"+st.ID+"/events")
+	if counts["quality"] != c.Generations {
+		t.Errorf("quality SSE events = %d, want %d", counts["quality"], c.Generations)
+	}
+	if gens := metricValue(t, ts.URL, "chrysalis_search_generations_total"); gens != float64(c.Generations) {
+		t.Errorf("generation counter = %g, want %d", gens, c.Generations)
+	}
+	if c.StoppedEarly {
+		if stops := metricValue(t, ts.URL, "chrysalis_search_early_stops_total"); stops != 1 {
+			t.Errorf("early-stop counter = %g, want 1", stops)
+		}
+	}
+
+	// A cache-hit job materializes with the full result, so its
+	// convergence series must replay identically without a new search.
+	resp2, body2 := postJSON(t, ts.URL+"/v1/designs", req)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("resubmit: %d %s", resp2.StatusCode, body2)
+	}
+	var st2 JobStatus
+	if err := json.Unmarshal(body2, &st2); err != nil {
+		t.Fatal(err)
+	}
+	if !st2.Cached {
+		t.Fatalf("resubmit not cached: %s", body2)
+	}
+	c2 := fetchConvergence(t, ts.URL, st2.ID)
+	c2.ID = c.ID
+	if !reflect.DeepEqual(c, c2) {
+		t.Error("cached job's convergence series diverges from the original")
+	}
+
+	// Unknown jobs are a 404.
+	if code := getJSON(t, ts.URL+"/v1/designs/j-999999/convergence", nil); code != http.StatusNotFound {
+		t.Errorf("convergence for unknown job: %d", code)
+	}
+}
+
+// TestConvergenceParetoJob checks the front-quality indicators of an
+// NSGA job reach the wire: per-generation hypervolume (which is also
+// the scalar history for Pareto runs), front size and the front itself
+// on the result.
+func TestConvergenceParetoJob(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1})
+	req := DesignRequest{Workload: "har", Budget: 240, Seed: 3, Algorithm: "nsga"}
+
+	resp, body := postJSON(t, ts.URL+"/v1/designs", req)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", resp.StatusCode, body)
+	}
+	var st JobStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	final := pollJob(t, ts.URL, st.ID)
+	if final.State != JobDone || final.Result == nil {
+		t.Fatalf("job state %s (%s)", final.State, final.Error)
+	}
+	if len(final.Result.Front) == 0 {
+		t.Fatal("nsga result carries no Pareto front")
+	}
+
+	c := fetchConvergence(t, ts.URL, st.ID)
+	if c.Algorithm != "nsga" || c.Generations == 0 {
+		t.Fatalf("convergence header wrong: %+v", c)
+	}
+	for i, q := range c.Series {
+		if q.Hypervolume != c.History[i] {
+			t.Fatalf("generation %d: history %g is not the hypervolume %g",
+				i+1, c.History[i], q.Hypervolume)
+		}
+	}
+	last := c.Series[len(c.Series)-1]
+	if last.Hypervolume <= 0 || last.FrontSize < 1 {
+		t.Fatalf("final front-quality indicators missing: %+v", last)
+	}
+	if last.Best <= 0 || last.Mean < last.Best {
+		t.Fatalf("scalarized population stats missing: %+v", last)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"chrysalis/internal/obs"
+	"chrysalis/internal/search"
 	"chrysalis/internal/sim"
 )
 
@@ -73,6 +74,7 @@ type dashJob struct {
 	Cycles   int
 	Samples  int64
 	Spark    template.HTML
+	Converge template.HTML
 	Timeline template.HTML
 }
 
@@ -132,8 +134,17 @@ func (j *job) dashRow() dashJob {
 			row.Audit = fmt.Sprintf("FAIL (%d)", len(j.audit.Findings))
 		}
 	}
+	// Convergence source mirrors the endpoint: the finished result when
+	// the job has one (cached and recovered jobs included), the live
+	// series streamed so far otherwise.
+	qual := append(search.QualityHistory(nil), j.quality...)
+	if j.result != nil {
+		qual = j.result.Quality
+	}
 	rec := j.rec
 	j.mu.Unlock()
+
+	row.Converge = convergenceSVG(qual, sparkW, sparkH)
 
 	// Snapshot the recorder outside the job lock: it has its own mutex
 	// and may be mid-replay on a worker goroutine.
@@ -187,6 +198,61 @@ func sparklineSVG(ch *sim.WaveChannel, w, h int) template.HTML {
 		w, h, w, h, template.HTMLEscapeString(ch.Name),
 		strings.TrimSpace(band.String()), strings.TrimSpace(line.String()),
 		template.HTMLEscapeString(ch.Name), lo, hi, template.HTMLEscapeString(ch.Unit), t1-t0)
+	return template.HTML(svg)
+}
+
+// convergenceSVG renders a search's per-generation quality series as an
+// inline sparkline: the best objective as a line (independently
+// normalized, so an early plateau reads as a flat tail), plus the
+// dominated hypervolume as a second line when the run produced a Pareto
+// front. Infeasible generations (Feasible==0, sanitized best 0) are
+// skipped rather than plotted as fake zeros.
+func convergenceSVG(h search.QualityHistory, w, ht int) template.HTML {
+	if len(h) < 2 {
+		return ""
+	}
+	xp := func(i int) float64 {
+		return 1 + float64(i)/float64(len(h)-1)*float64(w-2)
+	}
+	poly := func(vals []float64, ok []bool) string {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i, v := range vals {
+			if ok[i] {
+				lo, hi = math.Min(lo, v), math.Max(hi, v)
+			}
+		}
+		if hi <= lo {
+			hi = lo + 1e-9
+		}
+		var b strings.Builder
+		for i, v := range vals {
+			if !ok[i] {
+				continue
+			}
+			y := float64(ht-1) - (v-lo)/(hi-lo)*float64(ht-2)
+			fmt.Fprintf(&b, "%.1f,%.1f ", xp(i), y)
+		}
+		return strings.TrimSpace(b.String())
+	}
+	best := make([]float64, len(h))
+	bestOK := make([]bool, len(h))
+	hv := make([]float64, len(h))
+	hvOK := make([]bool, len(h))
+	pareto := false
+	for i, q := range h {
+		best[i], bestOK[i] = q.Best, q.Feasible > 0
+		hv[i], hvOK[i] = q.Hypervolume, q.FrontSize > 0
+		pareto = pareto || q.FrontSize > 0
+	}
+	svg := fmt.Sprintf(`<svg width="%d" height="%d" viewBox="0 0 %d %d" role="img" aria-label="convergence">`,
+		w, ht, w, ht)
+	if pareto {
+		svg += fmt.Sprintf(`<polyline points="%s" fill="none" stroke="#4cc9f0" stroke-width="1"/>`, poly(hv, hvOK))
+	}
+	last := h[len(h)-1]
+	svg += fmt.Sprintf(`<polyline points="%s" fill="none" stroke="#74c69d" stroke-width="1"/>`+
+		`<title>%d generations · best %.4g · stagnation %d</title></svg>`,
+		poly(best, bestOK), len(h), last.Best, last.Stagnation)
 	return template.HTML(svg)
 }
 
@@ -288,7 +354,7 @@ th{color:#74c69d}
 {{range .Unreachable}}<tr><td>{{.}}</td><td colspan="5" class="fail">unreachable</td></tr>{{end}}
 </table>{{end}}
 <table>
-<tr><th>job</th><th>workload</th><th>state</th><th>latency</th><th>best</th><th>cycles</th><th>samples</th><th>audit</th><th>timeline</th><th>v_cap (min/max band)</th></tr>
+<tr><th>job</th><th>workload</th><th>state</th><th>latency</th><th>best</th><th>cycles</th><th>samples</th><th>audit</th><th>timeline</th><th>convergence</th><th>v_cap (min/max band)</th></tr>
 {{range .Jobs}}<tr>
 <td>{{.ID}}{{if .Cached}} <small class="dim">cached</small>{{end}}</td>
 <td>{{.Workload}}</td>
@@ -299,10 +365,11 @@ th{color:#74c69d}
 <td>{{if .Samples}}{{.Samples}}{{end}}</td>
 <td>{{if .HasAudit}}<span class="{{if .AuditOK}}pass{{else}}fail{{end}}">{{.Audit}}</span>{{end}}</td>
 <td>{{.Timeline}}</td>
+<td>{{.Converge}}</td>
 <td>{{.Spark}}</td>
-</tr>{{else}}<tr><td colspan="10" class="dim">no jobs yet — POST /v1/designs with "verify": true to see a flight recording here</td></tr>{{end}}
+</tr>{{else}}<tr><td colspan="11" class="dim">no jobs yet — POST /v1/designs with "verify": true to see a flight recording here</td></tr>{{end}}
 </table>
-<p><small class="dim">waveform detail: GET /v1/designs/{id}/waveform (json | ?format=csv) · job phases: GET /v1/designs/{id}/timeline · stitched trace: GET /v1/designs/{id}/trace · audit verdict rides the job status and the "audit" SSE event</small></p>
+<p><small class="dim">waveform detail: GET /v1/designs/{id}/waveform (json | ?format=csv) · convergence series: GET /v1/designs/{id}/convergence · job phases: GET /v1/designs/{id}/timeline · stitched trace: GET /v1/designs/{id}/trace · audit verdict rides the job status and the "audit" SSE event</small></p>
 <script>
 (function () {
 	var active = "{{.ActiveID}}";
@@ -315,7 +382,7 @@ th{color:#74c69d}
 		last = now;
 		location.reload();
 	}
-	["state", "progress", "sim", "audit", "done"].forEach(function (n) {
+	["state", "progress", "quality", "sim", "audit", "done"].forEach(function (n) {
 		es.addEventListener(n, refresh);
 	});
 	es.onerror = function () { es.close(); setTimeout(function () { location.reload(); }, 3000); };

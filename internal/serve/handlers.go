@@ -111,9 +111,10 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleEvents streams a job's telemetry as server-sent events:
-// "state" transitions, "progress" GA generations, "sim" step-simulator
-// events for verify jobs, and a terminal "done" carrying the full job
-// status. Subscribers that connect late replay the buffered history.
+// "state" transitions, "progress" GA generations, "quality" search
+// telemetry per generation, "sim" step-simulator events for verify
+// jobs, and a terminal "done" carrying the full job status. Subscribers
+// that connect late replay the buffered history.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.mgr.get(r.PathValue("id"))
 	if !ok {

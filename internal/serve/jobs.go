@@ -14,6 +14,7 @@ import (
 	"chrysalis/internal/cluster"
 	"chrysalis/internal/core"
 	"chrysalis/internal/obs"
+	"chrysalis/internal/search"
 	"chrysalis/internal/sim"
 )
 
@@ -116,7 +117,11 @@ type job struct {
 	started  time.Time
 	finished time.Time
 	progress *ProgressInfo
-	cancel   context.CancelFunc
+	// quality accumulates the live per-generation search telemetry,
+	// already JSON-sanitized; the convergence endpoint serves it while
+	// the job runs and falls back to Result.Quality once it is done.
+	quality search.QualityHistory
+	cancel  context.CancelFunc
 
 	stream *stream
 	trace  *obs.Trace
@@ -300,6 +305,16 @@ func newManager(opts Options) (*manager, error) {
 	m.met.reg.GaugeFunc("chrysalisd_queue_depth",
 		"Design jobs waiting in the queue right now.",
 		func() int64 { return int64(len(m.queue)) })
+	m.met.reg.GaugeFloatSampleFunc("chrysalis_search_best_objective",
+		"Most recent per-generation best objective of each running search.",
+		[]string{"job"}, m.searchGauge(func(q search.GenQuality) (float64, bool) {
+			return q.Best, true
+		}))
+	m.met.reg.GaugeFloatSampleFunc("chrysalis_search_hypervolume",
+		"Most recent dominated hypervolume of each running Pareto search.",
+		[]string{"job"}, m.searchGauge(func(q search.GenQuality) (float64, bool) {
+			return q.Hypervolume, q.FrontSize > 0
+		}))
 	if m.adm != nil {
 		m.met.reg.GaugeSampleFunc("chrysalisd_quota_tokens_remaining",
 			"Admission tokens currently available per client (token bucket).",
@@ -327,6 +342,39 @@ func newManager(opts Options) (*manager, error) {
 		go m.worker()
 	}
 	return m, nil
+}
+
+// searchGauge samples one field of every running job's most recent
+// quality record, labeled by job ID. The field func reports whether the
+// sample applies to the job (e.g. hypervolume only for Pareto runs).
+func (m *manager) searchGauge(field func(search.GenQuality) (float64, bool)) func() []obs.LabeledFloat {
+	return func() []obs.LabeledFloat {
+		m.mu.Lock()
+		jobs := make([]*job, 0, len(m.jobs))
+		for _, id := range m.order {
+			if j, ok := m.jobs[id]; ok {
+				jobs = append(jobs, j)
+			}
+		}
+		m.mu.Unlock()
+		var out []obs.LabeledFloat
+		for _, j := range jobs {
+			j.mu.Lock()
+			var q search.GenQuality
+			sample := j.state == JobRunning && len(j.quality) > 0
+			if sample {
+				q = j.quality[len(j.quality)-1]
+			}
+			j.mu.Unlock()
+			if !sample {
+				continue
+			}
+			if v, ok := field(q); ok {
+				out = append(out, obs.LabeledFloat{Labels: []string{j.id}, Value: v})
+			}
+		}
+		return out
+	}
 }
 
 // adopt installs WAL-recovered jobs: terminal records become finished
@@ -637,6 +685,20 @@ func (m *manager) run(j *job) {
 		j.stream.publish("progress", p)
 	}
 	spec.Search.Stop = func() bool { return ctx.Err() != nil }
+	spec.Search.OnQuality = func(q search.GenQuality) {
+		// Sanitize before storing: the record rides SSE and the
+		// convergence endpoint, both of which marshal with encoding/json
+		// (which rejects the +Inf an all-infeasible generation carries).
+		sq := q.SanitizeJSON()
+		j.mu.Lock()
+		j.quality = append(j.quality, sq)
+		j.mu.Unlock()
+		j.stream.publish("quality", sq)
+		m.met.searchGenerations.Inc()
+		if q.Stagnation > 0 {
+			m.met.stagnantGens.Inc()
+		}
+	}
 
 	m.met.evaluations.Inc()
 	searchStart := time.Now()
@@ -661,6 +723,9 @@ func (m *manager) run(j *job) {
 		return
 	}
 
+	if res.StoppedEarly {
+		m.met.searchEarlyStops.Inc()
+	}
 	j.mu.Lock()
 	j.result = &res
 	j.mu.Unlock()

@@ -39,8 +39,15 @@ type DesignRequest struct {
 	Budget int `json:"budget,omitempty"`
 	// Seed seeds the search (default 1 so equal requests cache-hit).
 	Seed int64 `json:"seed,omitempty"`
-	// Algorithm is "ga" (default) or "random".
+	// Algorithm is "ga" (default), "random", or "nsga" (multi-objective
+	// Pareto search; the result carries the front and the convergence
+	// endpoint reports hypervolume).
 	Algorithm string `json:"algorithm,omitempty"`
+	// Patience enables the plateau early-stop policy: stop after N
+	// generations whose relative best-objective (or hypervolume)
+	// improvement stays below ~0.1%. Unlike SearchWorkers it changes the
+	// result, so it IS part of the cache key. 0 (default) disables it.
+	Patience int `json:"patience,omitempty"`
 	// Verify replays the winning design on the co-simulator after the
 	// search, streaming its events over SSE and attaching the summary.
 	Verify bool `json:"verify,omitempty"`
@@ -98,6 +105,7 @@ type keyPayload struct {
 	Budget     int     `json:"budget"`
 	Seed       int64   `json:"seed"`
 	Algorithm  string  `json:"algorithm"`
+	Patience   int     `json:"patience"`
 	Verify     bool    `json:"verify"`
 	SimMode    string  `json:"sim_mode"`
 }
@@ -143,11 +151,13 @@ func normalize(req DesignRequest) (jobSpec, error) {
 		return jobSpec{}, fmt.Errorf("max_latency_s must be non-negative, got %g", req.MaxLatencyS)
 	case req.SearchWorkers < 0:
 		return jobSpec{}, fmt.Errorf("search_workers must be non-negative, got %d", req.SearchWorkers)
+	case req.Patience < 0:
+		return jobSpec{}, fmt.Errorf("patience must be non-negative, got %d", req.Patience)
 	}
 	switch req.Algorithm {
-	case "ga", "random":
+	case "ga", "random", "nsga":
 	default:
-		return jobSpec{}, fmt.Errorf("unknown algorithm %q (want ga or random)", req.Algorithm)
+		return jobSpec{}, fmt.Errorf("unknown algorithm %q (want ga, random or nsga)", req.Algorithm)
 	}
 
 	js := jobSpec{verify: req.Verify, searchWorkers: req.SearchWorkers}
@@ -207,6 +217,7 @@ func normalize(req DesignRequest) (jobSpec, error) {
 		Algorithm: req.Algorithm,
 		Budget:    req.Budget,
 		Seed:      req.Seed,
+		Patience:  req.Patience,
 	}
 
 	payload, err := json.Marshal(keyPayload{
@@ -219,6 +230,7 @@ func normalize(req DesignRequest) (jobSpec, error) {
 		Budget:     req.Budget,
 		Seed:       req.Seed,
 		Algorithm:  req.Algorithm,
+		Patience:   req.Patience,
 		Verify:     req.Verify,
 		SimMode:    simMode.String(),
 	})

@@ -39,6 +39,13 @@ type metrics struct {
 	shed          *obs.CounterVec
 	jobLatency    *obs.Histogram
 
+	// Search-observatory counters: one generation of telemetry per tick,
+	// stagnant generations as flagged by the plateau detector, and runs
+	// the Patience policy actually cut short.
+	searchGenerations *obs.Counter
+	stagnantGens      *obs.Counter
+	searchEarlyStops  *obs.Counter
+
 	httpRequests *obs.CounterVec
 	httpLatency  *obs.Histogram
 
@@ -83,6 +90,12 @@ func newMetrics() *metrics {
 			"Submissions rejected with 429, by reason.", "reason"),
 		jobLatency: reg.Histogram("chrysalisd_job_latency_seconds",
 			"Job wall-clock latency from start to terminal state.", nil),
+		searchGenerations: reg.Counter("chrysalis_search_generations_total",
+			"Search generations completed across all jobs on this node."),
+		stagnantGens: reg.Counter("chrysalis_search_stagnant_generations_total",
+			"Generations whose relative improvement stayed below the plateau tolerance."),
+		searchEarlyStops: reg.Counter("chrysalis_search_early_stops_total",
+			"Searches stopped by the Patience plateau policy before their generation budget."),
 		httpRequests: reg.CounterVec("chrysalisd_http_requests_total",
 			"HTTP requests served.", "method", "code"),
 		httpLatency: reg.Histogram("chrysalisd_http_request_seconds",

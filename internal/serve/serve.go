@@ -19,6 +19,10 @@
 //     mounted as /jobs/{id}/timeline): admission, queue wait, peer
 //     hop, search, sim replay and WAL journal as ordered phases —
 //     across nodes for delegated jobs
+//   - GET  /v1/designs/{id}/convergence  per-generation search-quality
+//     series (best/mean/median, diversity, stagnation; hypervolume,
+//     front size and spacing for Pareto runs) — live while the job
+//     runs, from the cached result afterwards
 //   - GET  /v1/fleet              aggregated cluster telemetry (every
 //     peer's queue depth, cache hit ratio, breaker states, SLO burn)
 //   - POST /v1/simulate           synchronous step-simulation
@@ -182,6 +186,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/designs/{id}/trace", s.handleTrace)
 	s.mux.HandleFunc("GET /v1/designs/{id}/waveform", s.handleWaveform)
 	s.mux.HandleFunc("GET /v1/designs/{id}/timeline", s.handleTimeline)
+	s.mux.HandleFunc("GET /v1/designs/{id}/convergence", s.handleConvergence)
 	s.mux.HandleFunc("GET /jobs/{id}/trace", s.handleTrace)
 	s.mux.HandleFunc("GET /jobs/{id}/timeline", s.handleTimeline)
 	s.mux.HandleFunc("GET /v1/fleet", s.handleFleet)

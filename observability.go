@@ -2,6 +2,7 @@ package chrysalis
 
 import (
 	"chrysalis/internal/obs"
+	"chrysalis/internal/search"
 	"chrysalis/internal/sim"
 )
 
@@ -44,3 +45,31 @@ type SimTraceAdapter = sim.TraceAdapter
 //	run, _ := chrysalis.VerifyTraced(spec, res, ad.Trace)
 //	ad.Close()
 func NewSimTraceAdapter(tr *Trace) *SimTraceAdapter { return sim.TraceTo(tr) }
+
+// GenQuality is one generation's search-quality record: population
+// statistics (best/mean/median objective, spread, genome diversity),
+// the plateau detector's stagnation count and — for Pareto runs — the
+// front-quality indicators (dominated hypervolume, front size, Schott
+// spacing). Result.Quality carries one per generation, parallel to
+// Result.History, and Spec.Search.OnQuality streams them live:
+//
+//	spec.Search.Patience = 10 // stop after 10 stagnant generations
+//	spec.Search.OnQuality = func(q chrysalis.GenQuality) {
+//		fmt.Printf("gen %d best %g stagnation %d\n", q.Gen, q.Best, q.Stagnation)
+//	}
+//	res, _ := chrysalis.Design(spec)
+//	if res.StoppedEarly { /* the plateau policy cut the run short */ }
+type GenQuality = search.GenQuality
+
+// QualityHistory is a run's per-generation quality series.
+type QualityHistory = search.QualityHistory
+
+// Hypervolume2 computes the 2-D dominated hypervolume of a minimization
+// front against a reference point — the front-quality scalar the NSGA
+// convergence series reports per generation.
+func Hypervolume2(front []FrontPoint, refX, refY float64) float64 {
+	return search.Hypervolume2(front, refX, refY)
+}
+
+// FrontPoint is one member of a bi-objective front.
+type FrontPoint = search.FrontPoint
