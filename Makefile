@@ -2,12 +2,12 @@
 
 GO ?= go
 
-.PHONY: all ci build vet test race race-cache race-explore bench bench-json bench-smoke bench-guard experiments examples fuzz cover clean serve-smoke cluster-smoke trace-smoke trace-cluster-smoke audit-smoke sim-diff converge-smoke
+.PHONY: all ci build vet test race race-cache race-explore bench bench-json bench-smoke bench-guard experiments examples fuzz cover clean serve-smoke cluster-smoke trace-smoke trace-cluster-smoke audit-smoke sim-diff converge-smoke warm-smoke
 
 all: build vet test
 
 # Everything the CI workflow runs.
-ci: build vet test race race-explore bench-smoke bench-guard serve-smoke cluster-smoke trace-smoke trace-cluster-smoke audit-smoke sim-diff converge-smoke
+ci: build vet test race race-explore bench-smoke bench-guard serve-smoke cluster-smoke trace-smoke trace-cluster-smoke audit-smoke sim-diff converge-smoke warm-smoke
 
 build:
 	$(GO) build ./...
@@ -46,15 +46,15 @@ bench-smoke:
 # benchmarks additionally run at -cpu 1,4 so the record captures both
 # the serial regression check and the parallel speedup; -baseline
 # computes speedup_vs_baseline ratios against the previous PR's record.
-BENCH_JSON ?= BENCH_PR9.json
-BENCH_BASELINE ?= BENCH_PR7.json
+BENCH_JSON ?= BENCH_PR10.json
+BENCH_BASELINE ?= BENCH_PR9.json
 BENCH_MICRO = CostModel|PlanWorkload|AnalyticEvaluate|StepSimulator|EventSimulator|NSGAFront
-BENCH_MULTI = GASearch|AccelSearch
+BENCH_MULTI = GASearch|AccelSearch|GASearchWarm|AccelSearchWarm
 
 bench-json:
 	{ $(GO) test -run='^$$' -bench='^Benchmark($(BENCH_MICRO))$$' -benchtime=2000x -benchmem . ; \
 	  $(GO) test -run='^$$' -bench='^Benchmark($(BENCH_MULTI))$$' -benchtime=300x -benchmem -cpu 1,4 . ; } \
-		| $(GO) run ./cmd/benchjson -note "micro fixed -benchtime=2000x (100x undersampled the sub-5us benches), search 300x; speedup_vs_pr6 = baseline ns/op / new ns/op" \
+		| $(GO) run ./cmd/benchjson -note "micro fixed -benchtime=2000x (100x undersampled the sub-5us benches), search 300x; Warm variants run the same search against a primed process-lifetime tier; speedup_vs_baseline = baseline ns/op / new ns/op" \
 			-baseline $(BENCH_BASELINE) -out $(BENCH_JSON)
 
 # Benchmark regression gate: re-run the end-to-end search benchmarks
@@ -72,7 +72,7 @@ bench-guard:
 	$(GO) test -run='^$$' -bench='^Benchmark($(BENCH_MULTI))$$' -benchtime=300x -count=3 -benchmem -cpu 1,4 . \
 		| $(GO) run ./cmd/benchjson -out $(BENCH_GUARD_TMP)
 	$(GO) run ./cmd/benchguard -baseline auto -candidate $(BENCH_GUARD_TMP) \
-		-bench 'GASearch,AccelSearch' -max-regress $(BENCH_GUARD_MAX)
+		-bench 'GASearch,AccelSearch,GASearchWarm,AccelSearchWarm' -max-regress $(BENCH_GUARD_MAX)
 
 # Regenerate every paper table/figure at full budget.
 experiments:
@@ -92,6 +92,14 @@ fuzz:
 # to completion, assert the resubmission is a cache hit.
 serve-smoke:
 	$(GO) test ./internal/serve/ -run TestServeSmoke -v
+
+# End-to-end warm-start check: on a warm-enabled daemon a cold job fills
+# the tier and a near-duplicate job reports warm hits, with a design
+# bit-identical to a tier-less daemon's; plus the explore-level
+# warm-vs-cold determinism contract under -race.
+warm-smoke:
+	$(GO) test ./internal/serve/ -run TestWarmSmoke -v
+	$(GO) test -race ./internal/explore/ -run 'TestWarmColdWorkersBitIdentical|TestWarmTierConcurrentSearches'
 
 # End-to-end durable-cluster check: three daemons on loopback resolve a
 # design submitted to all of them exactly once (consistent-hash ring +

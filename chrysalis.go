@@ -97,6 +97,23 @@ type SearchConfig = core.SearchConfig
 // Result is the ideal AuT solution (the paper's Table II outputs).
 type Result = core.Result
 
+// WarmCache is a process-lifetime warm-start tier for plan ladders:
+// attach one to SearchConfig.Warm and consecutive searches reuse the
+// budget-independent mapping ladders earlier searches built for the
+// same hardware fingerprints, instead of rebuilding them per search.
+// It is byte-bounded, safe for concurrent searches, and never affects
+// results — warm and cold runs return bit-identical designs.
+type WarmCache = explore.WarmCache
+
+// WarmStats is a point-in-time snapshot of a WarmCache's counters.
+type WarmStats = explore.WarmStats
+
+// NewWarmCache builds a warm-start tier bounded to roughly maxBytes of
+// estimated ladder memory. A non-positive bound returns nil (the
+// disabled tier), so callers can thread a size knob through
+// unconditionally.
+func NewWarmCache(maxBytes int64) *WarmCache { return explore.NewWarmCache(maxBytes) }
+
 // Workload is a DNN task description.
 type Workload = dnn.Workload
 

@@ -38,6 +38,7 @@ func main() {
 		budget       = flag.Int("budget", 400, "approximate search-evaluation budget")
 		seed         = flag.Int64("seed", 1, "search seed")
 		searchWkrs   = flag.Int("search-workers", 0, "candidate-evaluation concurrency (0 = all cores, negative = serial); never changes results, only wall-clock time")
+		warmMB       = flag.Int("warm-cache-mb", 0, "process-lifetime warm-start tier bound in MiB (0 = off); reuses plan ladders across the searches of one invocation (e.g. -sensitivity); never changes results")
 		algorithm    = flag.String("algorithm", "ga", "search algorithm: ga, random or nsga (multi-objective Pareto front)")
 		patience     = flag.Int("patience", 0, "stop after N generations with relative improvement below ~0.1% (0 = run the full budget); deterministic for any -search-workers")
 		verify       = flag.Bool("verify", false, "replay the winning design on the co-simulator")
@@ -92,6 +93,10 @@ func main() {
 	}
 	spec.Search.Workers = *searchWkrs
 	spec.Search.Patience = *patience
+	if *warmMB < 0 {
+		fatal(fmt.Errorf("-warm-cache-mb must be >= 0, got %d", *warmMB))
+	}
+	spec.Search.Warm = chrysalis.NewWarmCache(int64(*warmMB) << 20)
 	spec.SimMode, err = chrysalis.ParseSimMode(*simMode)
 	if err != nil {
 		fatal(err)

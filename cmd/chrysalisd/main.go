@@ -66,6 +66,7 @@ func main() {
 		workers      = flag.Int("workers", 0, "design-job worker pool size (0 = GOMAXPROCS)")
 		searchWkrs   = flag.Int("search-workers", 0, "default per-job search-evaluation concurrency (0 = auto); grants are capped by a process-global semaphore sized to GOMAXPROCS minus the -workers pool width, so jobs x search workers never oversubscribes the machine; never changes results")
 		cacheSize    = flag.Int("cache", 128, "result-cache capacity in designs")
+		warmMB       = flag.Int("warm-cache-mb", 0, "process-lifetime warm-start tier bound in MiB (0 = off); near-duplicate jobs reuse plan ladders instead of rebuilding them; never changes results")
 		jobTimeout   = flag.Duration("job-timeout", 0, "per-job search deadline (0 = none)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain bound")
 		traceEvents  = flag.Int("trace-events", 0, "per-job span ring-buffer capacity (0 = default)")
@@ -88,8 +89,8 @@ func main() {
 		fmt.Printf("chrysalisd %s (%s, %s/%s)\n", obs.Version, runtime.Version(), runtime.GOOS, runtime.GOARCH)
 		return
 	}
-	if *workers < 0 || *searchWkrs < 0 || *queueDepth < 0 || *cacheSize < 0 || *quota < 0 || *quotaBurst < 0 {
-		fmt.Fprintln(os.Stderr, "chrysalisd: -workers, -search-workers, -max-queue, -cache, -quota and -quota-burst must be non-negative")
+	if *workers < 0 || *searchWkrs < 0 || *queueDepth < 0 || *cacheSize < 0 || *warmMB < 0 || *quota < 0 || *quotaBurst < 0 {
+		fmt.Fprintln(os.Stderr, "chrysalisd: -workers, -search-workers, -max-queue, -cache, -warm-cache-mb, -quota and -quota-burst must be non-negative")
 		os.Exit(1)
 	}
 	var peerList []string
@@ -116,6 +117,7 @@ func main() {
 		SearchWorkers:  *searchWkrs,
 		QueueDepth:     *queueDepth,
 		CacheSize:      *cacheSize,
+		WarmCacheMB:    *warmMB,
 		JobTimeout:     *jobTimeout,
 		TraceEvents:    *traceEvents,
 		Logger:         logger,

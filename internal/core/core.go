@@ -116,6 +116,12 @@ type SearchConfig struct {
 	// only: like Trace it is excluded from identity, serialization and
 	// caching.
 	Labels context.Context `json:"-"`
+	// Warm, when non-nil, attaches the process-lifetime warm-start tier
+	// (explore.WarmCache): the search reuses plan ladders previous
+	// searches built and publishes its own. Like Trace it is excluded
+	// from identity, serialization and caching, and it never affects
+	// results — warm and cold runs produce bit-identical designs.
+	Warm *explore.WarmCache `json:"-"`
 }
 
 func (s SearchConfig) withDefaults() SearchConfig {
@@ -203,6 +209,14 @@ type Result struct {
 	Objective string
 	Baseline  string
 
+	// CacheHits / CacheMisses count the search's plan-cache traffic;
+	// WarmHits is the subset of misses served by the process-lifetime
+	// warm tier (SearchConfig.Warm) instead of a fresh ladder build.
+	// Informational only — like Workers they never affect the design.
+	CacheHits   int64 `json:",omitempty"`
+	CacheMisses int64 `json:",omitempty"`
+	WarmHits    int64 `json:",omitempty"`
+
 	// History is the per-generation convergence series: best objective
 	// value for scalar searches, dominated hypervolume for "nsga".
 	History []float64 `json:",omitempty"`
@@ -247,6 +261,7 @@ func RunBaseline(spec Spec, b explore.Baseline) (Result, error) {
 		return Result{}, err
 	}
 	sc.Trace = spec.Search.Trace
+	sc.Warm = spec.Search.Warm
 	cfg, err := gaConfig(spec.Search)
 	if err != nil {
 		return Result{}, err
@@ -285,6 +300,7 @@ func runPareto(sc explore.Scenario, b explore.Baseline, cfg search.GAConfig) (Re
 	r := assemble(explore.Outcome{
 		Scenario: po.Scenario, Baseline: b, Best: ev, Value: ev.LatSP,
 		Evals: po.Evals, Workers: po.Workers,
+		CacheHits: po.CacheHits, CacheMisses: po.CacheMisses, WarmHits: po.WarmHits,
 		History: po.History, Quality: po.Quality, StoppedEarly: po.StoppedEarly,
 	})
 	for _, p := range po.Front {
@@ -363,18 +379,21 @@ func sizeGA(cfg *search.GAConfig, budget int) {
 func assemble(out explore.Outcome) Result {
 	ev := out.Best
 	r := Result{
-		PanelArea:  ev.Candidate.PanelArea,
-		Cap:        ev.Candidate.Cap,
-		InferHW:    "msp430",
-		NPE:        1,
-		AvgLatency: ev.AvgLatency,
-		LatSP:      ev.LatSP,
-		Evals:      out.Evals,
-		Workers:    out.Workers,
-		Objective:  out.Scenario.Objective.String(),
-		Baseline:   out.Baseline.String(),
-		History:    sanitizeSeries(out.History),
-		Quality:    out.Quality.SanitizeJSON(),
+		PanelArea:   ev.Candidate.PanelArea,
+		Cap:         ev.Candidate.Cap,
+		InferHW:     "msp430",
+		NPE:         1,
+		AvgLatency:  ev.AvgLatency,
+		LatSP:       ev.LatSP,
+		Evals:       out.Evals,
+		Workers:     out.Workers,
+		CacheHits:   out.CacheHits,
+		CacheMisses: out.CacheMisses,
+		WarmHits:    out.WarmHits,
+		Objective:   out.Scenario.Objective.String(),
+		Baseline:    out.Baseline.String(),
+		History:     sanitizeSeries(out.History),
+		Quality:     out.Quality.SanitizeJSON(),
 
 		StoppedEarly: out.StoppedEarly,
 	}

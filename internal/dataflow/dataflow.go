@@ -30,6 +30,14 @@ import (
 	"chrysalis/internal/units"
 )
 
+// CostModelVersion identifies the current generation of the dataflow
+// cost model (Eq. 4–6, the traffic decomposition and the cache-pressure
+// reuse degradation). Bump it whenever a change alters any quantity
+// Evaluate reports for an existing (layer, mapping, hardware) triple —
+// process-lifetime caches key derived artifacts on it so entries built
+// under an older model are invalidated instead of silently served.
+const CostModelVersion = 1
+
 // Dataflow is the paper's dataflow taxonomy (Sec. III-A inputs):
 // weight stationary, output stationary, or input stationary.
 type Dataflow int

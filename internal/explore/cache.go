@@ -181,18 +181,29 @@ type lastSlot struct {
 
 // planCache memoizes ladder sets per hardware fingerprint for one
 // Evaluator. It is safe for concurrent use (search.GAConfig.Workers >
-// 1): lookups take a striped read lock keyed by the fingerprint hash;
-// concurrent misses on the same fingerprint may build the set twice,
-// but both builds are deterministic and identical, so the loser's work
-// is simply discarded.
+// 1): lookups take a striped read lock keyed by the fingerprint hash,
+// and concurrent misses on the same fingerprint coalesce through a
+// per-fingerprint single-flight group, so every set is built exactly
+// once no matter how many workers miss it at once.
 type planCache struct {
 	shards [cacheShards]planShard
 	// last short-circuits the common case of consecutive lookups with
 	// the same fingerprint (on MSP the fingerprint never changes), one
 	// slot per worker so the steady-state hit touches no shared line.
-	last   [lastSlots]lastSlot
-	hits   atomic.Int64
-	misses atomic.Int64
+	last     [lastSlots]lastSlot
+	hits     atomic.Int64
+	misses   atomic.Int64
+	warmHits atomic.Int64
+	// builds counts ladder sets this cache actually constructed (not
+	// served warm, not shared from another worker's in-flight build).
+	builds atomic.Int64
+	// warm, when non-nil, is the process-lifetime tier consulted between
+	// a shard miss and a build; sets built here are published back to it.
+	warm *WarmCache
+	// flight coalesces this search's concurrent builds when no warm tier
+	// is attached; with one attached, the tier's group is used instead so
+	// deduplication spans concurrent searches too.
+	flight flightGroup
 }
 
 // lastLookup is an immutable (fingerprint, ladder set) pair published
@@ -231,30 +242,65 @@ func (pc *planCache) get(sc Scenario, cand Candidate, worker int) (*ladderSet, e
 		slot.Store(&lastLookup{fp: fp, ls: ls})
 		return ls, nil
 	}
-	var sp *obs.Span
-	if sc.Trace != nil {
-		sp = sc.Trace.Start("explore", "ladder-build",
-			obs.A("platform", sc.Platform.String()), obs.A("arch", fp.arch.String()),
-			obs.A("npe", fp.npe), obs.A("layers", fp.layers))
+	// Per-search miss. Consult the warm tier first: a set another search
+	// already built is adopted into this search's shard without a build.
+	if w := pc.warm; w != nil {
+		if ls, ok := w.lookup(fp); ok {
+			pc.misses.Add(1)
+			globalCacheMisses.Add(1)
+			pc.warmHits.Add(1)
+			pc.publish(shard, slot, fp, ls)
+			return ls, nil
+		}
 	}
-	built, err := buildLadderSet(sc, cand)
-	if sp != nil {
-		sp.End(obs.A("err", err != nil))
+	// Build exactly once per fingerprint: the single-flight group (the
+	// warm tier's when attached, so deduplication spans searches) elects
+	// one builder; everyone else waits and shares its set.
+	flight := &pc.flight
+	if pc.warm != nil {
+		flight = &pc.warm.flight
 	}
+	built, shared, err := flight.do(fp, func() (*ladderSet, error) {
+		var sp *obs.Span
+		if sc.Trace != nil {
+			sp = sc.Trace.Start("explore", "ladder-build",
+				obs.A("platform", sc.Platform.String()), obs.A("arch", fp.arch.String()),
+				obs.A("npe", fp.npe), obs.A("layers", fp.layers))
+		}
+		pc.builds.Add(1)
+		ls, err := buildLadderSet(sc, cand)
+		if sp != nil {
+			sp.End(obs.A("err", err != nil))
+		}
+		if err == nil && pc.warm != nil {
+			pc.warm.admit(fp, ls)
+		}
+		return ls, err
+	})
 	if err != nil {
 		return nil, err
 	}
+	// Waiters count as misses too — every lookup is a hit or a miss —
+	// with the saved duplicate builds tallied on the warm tier.
 	pc.misses.Add(1)
 	globalCacheMisses.Add(1)
+	if shared && pc.warm != nil {
+		pc.warm.dedup.Add(1)
+	}
+	pc.publish(shard, slot, fp, built)
+	return built, nil
+}
+
+// publish installs a set in the shard map (first writer wins — callers
+// racing here always carry the identical single-flight result) and the
+// caller's fast-path slot.
+func (pc *planCache) publish(shard *planShard, slot *atomic.Pointer[lastLookup], fp fingerprint, ls *ladderSet) {
 	shard.mu.Lock()
-	if racedIn, ok := shard.sets[fp]; ok {
-		built = racedIn // lost a build race; entries are identical
-	} else {
-		shard.sets[fp] = built
+	if _, ok := shard.sets[fp]; !ok {
+		shard.sets[fp] = ls
 	}
 	shard.mu.Unlock()
-	slot.Store(&lastLookup{fp: fp, ls: built})
-	return built, nil
+	slot.Store(&lastLookup{fp: fp, ls: ls})
 }
 
 // subsKey identifies a candidate's energy genes — the only inputs the

@@ -193,6 +193,14 @@ type Scenario struct {
 	// the analytic evaluator. The zero value is the event-driven
 	// simulator (sim.ModeEvent).
 	SimMode sim.Mode
+	// Warm, when non-nil, attaches a process-lifetime warm-start tier:
+	// the evaluator's plan cache reuses ladder sets previous searches
+	// built for the same hardware fingerprint and publishes the sets it
+	// builds. Nil keeps every search cold. Because ladder builds are
+	// deterministic and cached sets immutable, attaching a tier never
+	// affects results — warm and cold runs produce bit-identical
+	// Outcomes.
+	Warm *WarmCache
 }
 
 func (s Scenario) withDefaults() Scenario {
@@ -371,7 +379,9 @@ func NewEvaluator(sc Scenario) (*Evaluator, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, err
 	}
-	return &Evaluator{sc: sc, cache: newPlanCache(), subs: newSubsystemCache(sc.Envs)}, nil
+	pc := newPlanCache()
+	pc.warm = sc.Warm
+	return &Evaluator{sc: sc, cache: pc, subs: newSubsystemCache(sc.Envs)}, nil
 }
 
 // newDirectEvaluator builds an evaluator without a plan cache: each
@@ -395,6 +405,16 @@ func (e *Evaluator) CacheStats() (hits, misses int64) {
 		return 0, 0
 	}
 	return e.cache.hits.Load(), e.cache.misses.Load()
+}
+
+// WarmHits returns how many of this evaluator's plan-cache misses were
+// served by the attached warm tier instead of a fresh build. Zero when
+// no tier is attached (or for direct evaluators).
+func (e *Evaluator) WarmHits() int64 {
+	if e.cache == nil {
+		return 0
+	}
+	return e.cache.warmHits.Load()
 }
 
 // ladderSetFor returns the candidate's ladder set, memoized when the
@@ -872,9 +892,13 @@ type Outcome struct {
 	// bit-identical for any worker count at the same seed.
 	Workers int
 	// CacheHits / CacheMisses count the evaluator plan-cache outcomes
-	// across the run (misses = distinct hardware fingerprints built).
+	// across the run; WarmHits is the subset of misses served by the
+	// process-lifetime warm tier (Scenario.Warm) instead of a fresh
+	// ladder build. With no tier attached, misses = distinct hardware
+	// fingerprints built and WarmHits is zero.
 	CacheHits   int64
 	CacheMisses int64
+	WarmHits    int64
 	// History is the outer GA's per-generation best-objective series
 	// (search.Result.History), and Quality the matching per-generation
 	// population statistics — the search observatory's raw material.
@@ -1004,7 +1028,7 @@ func Explore(sc Scenario, b Baseline, cfg search.GAConfig) (Outcome, error) {
 	}
 	hits, misses := e.CacheStats()
 	return Outcome{Scenario: sc, Baseline: b, Best: best, Value: bt.value, Evals: res.Evals,
-		Workers: cfg.Workers, CacheHits: hits, CacheMisses: misses,
+		Workers: cfg.Workers, CacheHits: hits, CacheMisses: misses, WarmHits: e.WarmHits(),
 		History: res.History, Quality: res.Quality, StoppedEarly: res.StoppedEarly}, nil
 }
 
@@ -1091,10 +1115,16 @@ func ParetoScanWorkers(sc Scenario, n int, seed int64, workers int) (points, fro
 // the same convergence telemetry Outcome carries for scalar searches
 // (History here is the per-generation dominated-hypervolume series).
 type ParetoOutcome struct {
-	Scenario     Scenario
-	Front        []ParetoPoint
-	Evals        int
-	Workers      int
+	Scenario Scenario
+	Front    []ParetoPoint
+	Evals    int
+	Workers  int
+	// CacheHits / CacheMisses / WarmHits mirror the Outcome fields of
+	// the same names: plan-cache traffic for the run, with WarmHits the
+	// misses served by the process-lifetime warm tier.
+	CacheHits    int64
+	CacheMisses  int64
+	WarmHits     int64
 	History      []float64
 	Quality      search.QualityHistory
 	StoppedEarly bool
@@ -1129,7 +1159,9 @@ func ParetoSearch(sc Scenario, cfg search.GAConfig) (ParetoOutcome, error) {
 	if err != nil {
 		return ParetoOutcome{}, err
 	}
+	hits, misses := e.CacheStats()
 	out := ParetoOutcome{Scenario: sc, Evals: stats.Evals, Workers: cfg.Workers,
+		CacheHits: hits, CacheMisses: misses, WarmHits: e.WarmHits(),
 		History: stats.History, Quality: stats.Quality, StoppedEarly: stats.StoppedEarly}
 	for _, p := range raw {
 		cand := decode(sc, g, p.Genome)

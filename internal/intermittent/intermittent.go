@@ -24,6 +24,14 @@ import (
 // probability that a tile is interrupted and must be re-executed.
 const DefaultExceptionRate = 0.05
 
+// PlanModelVersion identifies the current generation of the
+// intermittent planning model (Eq. 5/8–9: checkpoint charging, the
+// feasibility scan and the rung reduction). Bump it whenever a change
+// alters the rungs BuildLadder computes for an existing input —
+// process-lifetime caches key ladders on it so entries built under an
+// older model are invalidated instead of silently served.
+const PlanModelVersion = 1
+
 // SaveEnergy returns the energy to persist b bytes of volatile state.
 func SaveEnergy(hw dataflow.HW, b units.Bytes) units.Energy {
 	return units.Energy(float64(hw.ENVMWritePerByte) * float64(b))

@@ -58,6 +58,11 @@ type dashStats struct {
 	Clustered                                bool
 	RemoteHits, RemoteMisses                 int64
 	PeerErrors, PeersUp                      int64
+	// Warm-start tier row (WarmEnabled gates rendering).
+	WarmEnabled             bool
+	WarmEntries             int64
+	WarmBytes, WarmMaxBytes string
+	WarmHitRatio            string
 }
 
 // dashJob is one row of the job table.
@@ -256,6 +261,20 @@ func convergenceSVG(h search.QualityHistory, w, ht int) template.HTML {
 	return template.HTML(svg)
 }
 
+// fmtBytes renders a byte count in binary units for the stat cards.
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1f GiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}
+
 // phaseColors maps timeline phase names to their bar color; unknown
 // phases render grey.
 var phaseColors = map[string]string{
@@ -336,6 +355,7 @@ th{color:#74c69d}
 <div class="card">queue depth <b>{{.Stats.QueueDepth}}</b></div>
 <div class="card">shed (429) <b>{{.Stats.Shed}}</b></div>
 {{if .Stats.Durable}}<div class="card">wal recovered <b>{{.Stats.Recovered}}</b></div>{{end}}
+{{if .Stats.WarmEnabled}}<div class="card">warm tier <b>{{.Stats.WarmEntries}} sets · {{.Stats.WarmBytes}}</b> <small>of {{.Stats.WarmMaxBytes}} · hit {{.Stats.WarmHitRatio}}</small></div>{{end}}
 {{if .Stats.Clustered}}<div class="card">peers up <b>{{.Stats.PeersUp}}</b></div>
 <div class="card">remote hit/miss <b>{{.Stats.RemoteHits}}/{{.Stats.RemoteMisses}}</b></div>
 <div class="card">peer errors <b>{{.Stats.PeerErrors}}</b></div>{{end}}
@@ -419,6 +439,14 @@ func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request) {
 			Recovered:    met.jobsRecovered.Value(),
 			Durable:      s.mgr.journal != nil,
 		},
+	}
+	if warm := s.mgr.warm; warm != nil {
+		ws := warm.Stats()
+		data.Stats.WarmEnabled = true
+		data.Stats.WarmEntries = ws.Entries
+		data.Stats.WarmBytes = fmtBytes(ws.Bytes)
+		data.Stats.WarmMaxBytes = fmtBytes(ws.MaxBytes)
+		data.Stats.WarmHitRatio = fmt.Sprintf("%.0f%%", warm.HitRatio()*100)
 	}
 	if cl := s.mgr.cluster; cl != nil {
 		st := cl.Stats()

@@ -38,6 +38,18 @@ type nodeSnapshot struct {
 	SimFastRatio    float64             `json:"sim_fast_ratio"`
 	TraceDropped    int64               `json:"trace_dropped"`
 	SLOBurn         []obs.WindowBurn    `json:"slo_burn,omitempty"`
+
+	// Warm-start tier residency and traffic (zero values when the node
+	// runs without -warm-cache-mb). In cluster mode the consistent-hash
+	// ring specializes each node's tier to its own key range, so
+	// per-node hit ratios are the interesting signal.
+	WarmEnabled   bool    `json:"warm_enabled"`
+	WarmBytes     int64   `json:"warm_bytes,omitempty"`
+	WarmEntries   int64   `json:"warm_entries,omitempty"`
+	WarmHits      int64   `json:"warm_hits,omitempty"`
+	WarmMisses    int64   `json:"warm_misses,omitempty"`
+	WarmEvictions int64   `json:"warm_evictions,omitempty"`
+	WarmHitRatio  float64 `json:"warm_hit_ratio,omitempty"`
 }
 
 // snapshot collects this node's current health.
@@ -70,6 +82,16 @@ func (m *manager) snapshot() nodeSnapshot {
 	}
 	if met.slo != nil {
 		ns.SLOBurn = met.slo.BurnRates()
+	}
+	if m.warm != nil {
+		ws := m.warm.Stats()
+		ns.WarmEnabled = true
+		ns.WarmBytes = ws.Bytes
+		ns.WarmEntries = ws.Entries
+		ns.WarmHits = ws.Hits
+		ns.WarmMisses = ws.Misses
+		ns.WarmEvictions = ws.Evictions
+		ns.WarmHitRatio = m.warm.HitRatio()
 	}
 	return ns
 }

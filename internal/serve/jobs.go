@@ -13,6 +13,7 @@ import (
 	"chrysalis/internal/audit"
 	"chrysalis/internal/cluster"
 	"chrysalis/internal/core"
+	"chrysalis/internal/explore"
 	"chrysalis/internal/obs"
 	"chrysalis/internal/search"
 	"chrysalis/internal/sim"
@@ -195,9 +196,10 @@ type manager struct {
 	queue   chan *job
 	gate    *workerGate
 	wg      sync.WaitGroup
-	journal *journal        // nil = in-memory only
-	cluster *cluster.Client // nil = single-node
-	adm     *admission      // nil = no per-client quotas
+	journal *journal           // nil = in-memory only
+	cluster *cluster.Client    // nil = single-node
+	adm     *admission         // nil = no per-client quotas
+	warm    *explore.WarmCache // nil = warm tier disabled
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -217,6 +219,10 @@ func newManager(opts Options) (*manager, error) {
 	}
 	m.met.slo = obs.NewSLO(opts.SLOLatency.Seconds(), opts.SLOObjective)
 	m.met.slo.Register(m.met.reg, "chrysalisd_job")
+	if opts.WarmCacheMB > 0 {
+		m.warm = explore.NewWarmCache(int64(opts.WarmCacheMB) << 20)
+		m.met.registerWarm(m.warm)
+	}
 	if opts.QuotaRPS > 0 {
 		m.adm = newAdmission(opts.QuotaRPS, opts.QuotaBurst)
 	}
@@ -676,6 +682,7 @@ func (m *manager) run(j *job) {
 	j.mu.Unlock()
 
 	spec.Search.Trace = j.trace
+	spec.Search.Warm = m.warm
 	spec.Search.Labels = pprof.WithLabels(lctx, pprof.Labels("phase", "search"))
 	spec.Search.Progress = func(gen, evals int, best float64) {
 		p := ProgressInfo{Gen: gen, Evals: evals, Best: best}

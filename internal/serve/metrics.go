@@ -126,6 +126,37 @@ func newMetrics() *metrics {
 	return m
 }
 
+// registerWarm exposes a warm-start tier's counters and residency on
+// the registry. Called once from newManager when -warm-cache-mb > 0;
+// the tier's own atomics are the source of truth, sampled at render
+// time like the evaluator cache counters.
+func (m *metrics) registerWarm(w *explore.WarmCache) {
+	m.reg.CounterFunc("chrysalisd_warm_cache_hits_total",
+		"Warm-tier lookups that reused a ladder set built by an earlier search.",
+		func() int64 { return w.Stats().Hits })
+	m.reg.CounterFunc("chrysalisd_warm_cache_misses_total",
+		"Warm-tier lookups that found no reusable ladder set.",
+		func() int64 { return w.Stats().Misses })
+	m.reg.CounterFunc("chrysalisd_warm_cache_dedup_total",
+		"Ladder builds avoided by the warm tier's single-flight group (waiters sharing a leader's build).",
+		func() int64 { return w.Stats().Dedup })
+	m.reg.CounterFunc("chrysalisd_warm_cache_evictions_total",
+		"Warm-tier entries evicted by the byte bound.",
+		func() int64 { return w.Stats().Evictions })
+	m.reg.CounterFunc("chrysalisd_warm_cache_expirations_total",
+		"Warm-tier entries dropped for a stale cost-model fingerprint.",
+		func() int64 { return w.Stats().Expirations })
+	m.reg.GaugeFunc("chrysalisd_warm_cache_bytes",
+		"Estimated resident bytes of warm-tier ladder sets.",
+		func() int64 { return w.Stats().Bytes })
+	m.reg.GaugeFunc("chrysalisd_warm_cache_entries",
+		"Resident warm-tier ladder sets.",
+		func() int64 { return w.Stats().Entries })
+	m.reg.GaugeFunc("chrysalisd_warm_cache_max_bytes",
+		"Configured warm-tier byte bound.",
+		func() int64 { return w.Stats().MaxBytes })
+}
+
 // observeLatency records one finished job's wall-clock seconds in both
 // the histogram and the quantile reservoir.
 func (m *metrics) observeLatency(sec float64) {

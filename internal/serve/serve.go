@@ -74,6 +74,15 @@ type Options struct {
 	// CacheSize bounds the content-addressed result cache in entries
 	// (<= 0 selects 128).
 	CacheSize int
+	// WarmCacheMB, when > 0, attaches a process-lifetime warm-start
+	// tier of that many MiB to every job's search: near-duplicate jobs
+	// reuse the plan ladders earlier jobs built for the same hardware
+	// fingerprints instead of rebuilding them. In cluster mode the
+	// consistent-hash ring routes each design to its owner, so every
+	// node's tier specializes in its own key range. 0 (the default)
+	// disables the tier. It never affects results — warm and cold jobs
+	// return bit-identical designs.
+	WarmCacheMB int
 	// JobTimeout bounds each job's search wall-clock time (0 = none).
 	JobTimeout time.Duration
 	// MaxJobs bounds retained finished-job records (<= 0 selects 1024);
